@@ -1,0 +1,60 @@
+// Command saga-construct runs batch knowledge construction over generated
+// synthetic sources: per-source ingestion deltas flow through linking,
+// object resolution, and fusion into the KG, and the resulting graph
+// statistics are printed. It demonstrates the continuous-construction path
+// end to end, including a second incremental round of updates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"saga/internal/core"
+	"saga/internal/ingest"
+	"saga/internal/workload"
+)
+
+func main() {
+	sources := flag.Int("sources", 4, "number of synthetic sources")
+	perSource := flag.Int("entities", 200, "entities per source")
+	overlap := flag.Int("overlap", 100, "universe overlap between consecutive sources")
+	oplogPath := flag.String("oplog", "", "durable operation log path (empty = memory)")
+	flag.Parse()
+
+	p, err := core.New(core.Options{OplogPath: *oplogPath})
+	if err != nil {
+		log.Fatalf("saga-construct: %v", err)
+	}
+	fmt.Printf("constructing KG from %d sources (%d entities each, overlap %d)\n",
+		*sources, *perSource, *overlap)
+	for s := 0; s < *sources; s++ {
+		spec := workload.SourceSpec{
+			Name:    fmt.Sprintf("src%02d", s),
+			Offset:  s * (*perSource - *overlap),
+			Count:   *perSource,
+			DupRate: 0.05, TypoRate: 0.1, RichFacts: 2,
+			Seed: int64(s + 1),
+		}
+		stats, err := p.ConsumeDelta(spec.Delta())
+		if err != nil {
+			log.Fatalf("saga-construct: %v", err)
+		}
+		fmt.Printf("  %s\n", stats)
+	}
+	// Incremental round: 5% of source 0 changes.
+	changed := workload.SourceSpec{
+		Name: "src00", Offset: 0, Count: *perSource / 20,
+		Seed: 999, RichFacts: 2,
+	}
+	stats, err := p.ConsumeDelta(ingest.Delta{Source: "src00", Updated: changed.Entities()[:*perSource/20]})
+	if err != nil {
+		log.Fatalf("saga-construct: %v", err)
+	}
+	fmt.Printf("incremental round: %s\n", stats)
+
+	conflicts := p.Pipeline.DrainConflicts()
+	st := p.Stats()
+	fmt.Printf("\nfinal KG: %d entities, %d facts, %d types, %d sources, %d links, log lsn %d, %d conflicts curated\n",
+		st.Graph.Entities, st.Graph.Facts, st.Graph.Types, st.Graph.Sources, st.Links, st.LogLSN, len(conflicts))
+}

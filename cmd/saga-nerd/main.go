@@ -1,0 +1,71 @@
+// Command saga-nerd annotates text from stdin with KG entities: each input
+// line is treated as a context sentence, capitalized token runs become
+// candidate mentions, and the NERD stack resolves them against a synthetic
+// KG built at startup. Output lists the resolved entities per line.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"saga/internal/core"
+	"saga/internal/nerd"
+	"saga/internal/workload"
+)
+
+func main() {
+	p, err := core.New(core.Options{})
+	if err != nil {
+		log.Fatalf("saga-nerd: %v", err)
+	}
+	if _, err := p.ConsumeDelta(workload.SourceSpec{Name: "people", Count: 300, Seed: 1}.Delta()); err != nil {
+		log.Fatalf("saga-nerd: %v", err)
+	}
+	stack := p.BuildNERD()
+	fmt.Fprintln(os.Stderr, "saga-nerd: reading lines from stdin (capitalized runs become mentions)")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		mentions := extractMentions(line)
+		if len(mentions) == 0 {
+			fmt.Println("(no mentions)")
+			continue
+		}
+		for _, m := range mentions {
+			pred := stack.Annotate(nerd.Mention{Text: m, Context: line})
+			if pred.OK {
+				fmt.Printf("  %-24s -> %s (%.2f)\n", m, pred.Entity, pred.Confidence)
+			} else {
+				fmt.Printf("  %-24s -> (rejected, best %.2f)\n", m, pred.Confidence)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("saga-nerd: %v", err)
+	}
+}
+
+// extractMentions finds maximal runs of capitalized tokens.
+func extractMentions(line string) []string {
+	var out []string
+	var run []string
+	flush := func() {
+		if len(run) > 0 {
+			out = append(out, strings.Join(run, " "))
+			run = nil
+		}
+	}
+	for _, tok := range strings.Fields(line) {
+		trimmed := strings.Trim(tok, ".,!?;:\"'")
+		if trimmed != "" && trimmed[0] >= 'A' && trimmed[0] <= 'Z' {
+			run = append(run, trimmed)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}

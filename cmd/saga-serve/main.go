@@ -1,0 +1,71 @@
+// Command saga-serve builds a KG from synthetic sources and serves it over
+// HTTP: GET /query?q=<KGQ> executes a live graph query, GET /entity?id=<id>
+// retrieves an entity payload, GET /search?q=<text> runs ranked text search,
+// and GET /stats reports platform statistics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"saga/internal/core"
+	"saga/internal/triple"
+	"saga/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	p, err := core.New(core.Options{})
+	if err != nil {
+		log.Fatalf("saga-serve: %v", err)
+	}
+	for s := 0; s < 3; s++ {
+		spec := workload.SourceSpec{
+			Name: fmt.Sprintf("src%02d", s), Offset: s * 100, Count: 200,
+			Seed: int64(s + 1), RichFacts: 2,
+		}
+		if _, err := p.ConsumeDelta(spec.Delta()); err != nil {
+			log.Fatalf("saga-serve: %v", err)
+		}
+	}
+	p.RefreshServing()
+	p.BuildNERD()
+
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			log.Printf("saga-serve: encode: %v", err)
+		}
+	}
+	http.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		res, err := p.Query(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{"ids": res.IDs, "values": res.Texts()})
+	})
+	http.HandleFunc("/entity", func(w http.ResponseWriter, r *http.Request) {
+		id := triple.EntityID(r.URL.Query().Get("id"))
+		e := p.Live.Get(id)
+		if e == nil {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, e)
+	})
+	http.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.Live.SearchText(r.URL.Query().Get("q"), 10))
+	})
+	http.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.Stats())
+	})
+	log.Printf("saga-serve: listening on %s (try /query?q=entity(type=%%22human%%22)|limit(3))", *addr)
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}

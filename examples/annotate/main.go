@@ -1,0 +1,79 @@
+// Annotate: semantic annotation with NERD (§6.3) — text snippets are tagged
+// with KG entities, showing context-driven disambiguation of an ambiguous
+// mention (the paper's Hanover/Dartmouth example) and enrichment with
+// importance scores and related entities.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"saga/internal/core"
+	"saga/internal/importance"
+	"saga/internal/nerd"
+	"saga/internal/triple"
+)
+
+func main() {
+	platform, err := core.New(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A small world with two Hanovers: only relational context separates
+	// them.
+	put := func(id, typ, name, desc string, facts map[string]triple.Value, aliases ...string) {
+		e := triple.NewEntity(triple.EntityID(id))
+		add := func(p string, v triple.Value) { e.Add(triple.New("", p, v).WithSource("wiki", 0.9)) }
+		add(triple.PredType, triple.String(typ))
+		add(triple.PredName, triple.String(name))
+		for _, a := range aliases {
+			add(triple.PredAlias, triple.String(a))
+		}
+		if desc != "" {
+			add("description", triple.String(desc))
+		}
+		for p, v := range facts {
+			add(p, v)
+		}
+		platform.KG.Graph.Put(e)
+		platform.GraphReplica.Put(e)
+	}
+	put("kg:HanNH", "city", "Hanover", "college town in New Hampshire", nil, "Hanover, New Hampshire")
+	put("kg:HanDE", "city", "Hanover", "large city in Germany", map[string]triple.Value{
+		"located_in": triple.Ref("kg:DE"),
+	}, "Hannover")
+	put("kg:DE", "country", "Germany", "country in europe", nil)
+	put("kg:Dart", "school", "Dartmouth College", "ivy league college", map[string]triple.Value{
+		"located_in": triple.Ref("kg:HanNH"),
+	}, "Dartmouth")
+	for i := 0; i < 4; i++ {
+		put(fmt.Sprintf("kg:Org%d", i), "organization", fmt.Sprintf("trade fair %d", i), "",
+			map[string]triple.Value{"located_in": triple.Ref("kg:HanDE")})
+	}
+
+	stack := platform.BuildNERD()
+	scores := importance.Compute(platform.GraphReplica, importance.Options{})
+
+	snippets := []struct{ mention, context string }{
+		{"Hanover", "We visited downtown Hanover after spending time at Dartmouth College"},
+		{"Hanover", "The trade fair brought thousands of visitors to Hanover in Germany"},
+		{"Dartmouth", "Dartmouth announced a new engineering program"},
+		{"Atlantis", "The lost city of Atlantis was never found"},
+	}
+	for _, s := range snippets {
+		pred := stack.Annotate(nerd.Mention{Text: s.mention, Context: s.context})
+		fmt.Printf("%q in %q\n", s.mention, s.context)
+		if !pred.OK {
+			fmt.Printf("  -> rejected (best confidence %.2f)\n\n", pred.Confidence)
+			continue
+		}
+		e := platform.GraphReplica.Get(pred.Entity)
+		fmt.Printf("  -> %s (%s) confidence=%.2f importance=%.3f\n",
+			pred.Entity, e.First("description").Text(), pred.Confidence, scores[pred.Entity].Importance)
+		// Semantic enrichment: related entities from the KG.
+		if rec, ok := stack.View.Record(pred.Entity); ok && len(rec.Relations) > 0 {
+			fmt.Printf("  related: %s %s\n", rec.Relations[0].Predicate, rec.Relations[0].TargetName)
+		}
+		fmt.Println()
+	}
+}

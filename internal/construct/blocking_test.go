@@ -1,0 +1,119 @@
+package construct
+
+import (
+	"fmt"
+	"testing"
+
+	"saga/internal/triple"
+)
+
+func namedEntity(id, name string, typ string) *triple.Entity {
+	e := triple.NewEntity(triple.EntityID(id))
+	e.AddFact(triple.PredType, triple.String(typ))
+	e.AddFact(triple.PredName, triple.String(name))
+	return e
+}
+
+func TestTokenBlockerKeys(t *testing.T) {
+	e := namedEntity("s:1", "The Rolling Stones", "music_artist")
+	e.AddFact(triple.PredAlias, triple.String("Stones"))
+	keys := TokenBlocker{}.Keys(e)
+	want := map[string]bool{"tk:the": true, "tk:rolling": true, "tk:stones": true}
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Errorf("unexpected key %s", k)
+		}
+	}
+}
+
+func TestPrefixBlocker(t *testing.T) {
+	e := namedEntity("s:1", "Adele", "music_artist")
+	keys := PrefixBlocker{N: 3}.Keys(e)
+	if len(keys) != 1 || keys[0] != "pf:ade" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if got := (PrefixBlocker{}).Keys(namedEntity("s:2", "", "x")); got != nil {
+		t.Fatalf("unnamed entity keys = %v", got)
+	}
+}
+
+func TestQGramBlockerShortName(t *testing.T) {
+	e := namedEntity("s:1", "ab", "x")
+	keys := QGramBlocker{Q: 3}.Keys(e)
+	if len(keys) != 1 || keys[0] != "qg:ab" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestGeneratePairs(t *testing.T) {
+	ents := []*triple.Entity{
+		namedEntity("s:1", "Adele Adkins", "human"),
+		namedEntity("s:2", "Adele", "human"),
+		namedEntity("kg:E1", "Adele", "human"),
+		namedEntity("s:3", "Zebra Quagga", "human"),
+	}
+	res := GeneratePairs(ents, DefaultBlocker(), GenerateParams{})
+	if res.Comparisons == 0 {
+		t.Fatal("no pairs generated")
+	}
+	found := false
+	for _, p := range res.Pairs {
+		if p == MakePair("s:2", "kg:E1") {
+			found = true
+		}
+		if p.A == "s:3" || p.B == "s:3" {
+			t.Errorf("disjoint entity paired: %v", p)
+		}
+	}
+	if !found {
+		t.Error("expected pair (s:2, kg:E1) missing")
+	}
+	// Quadratic baseline covers everything.
+	all := AllPairs(ents)
+	if all.Comparisons != 6 {
+		t.Fatalf("AllPairs = %d, want 6", all.Comparisons)
+	}
+	if res.Comparisons >= all.Comparisons {
+		t.Errorf("blocking (%d) should prune vs quadratic (%d)", res.Comparisons, all.Comparisons)
+	}
+}
+
+func TestGeneratePairsDeterministic(t *testing.T) {
+	var ents []*triple.Entity
+	for i := 0; i < 30; i++ {
+		ents = append(ents, namedEntity(fmt.Sprintf("s:%d", i), fmt.Sprintf("artist number %d", i%7), "x"))
+	}
+	a := GeneratePairs(ents, DefaultBlocker(), GenerateParams{})
+	b := GeneratePairs(ents, DefaultBlocker(), GenerateParams{})
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatal("pair counts differ across runs")
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatalf("pair order differs at %d", i)
+		}
+	}
+}
+
+func TestGeneratePairsMaxBlockSize(t *testing.T) {
+	var ents []*triple.Entity
+	for i := 0; i < 20; i++ {
+		ents = append(ents, namedEntity(fmt.Sprintf("s:%d", i), "common name", "x"))
+	}
+	res := GeneratePairs(ents, DefaultBlocker(), GenerateParams{MaxBlockSize: 10})
+	if len(res.Pairs) != 0 {
+		t.Fatalf("oversized block should be skipped, got %d pairs", len(res.Pairs))
+	}
+	if res.LargestSize != 20 {
+		t.Fatalf("largest = %d", res.LargestSize)
+	}
+}
+
+func TestMakePairCanonical(t *testing.T) {
+	if MakePair("b", "a") != MakePair("a", "b") {
+		t.Fatal("pair not canonical")
+	}
+}

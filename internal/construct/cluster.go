@@ -1,0 +1,158 @@
+package construct
+
+import (
+	"sort"
+
+	"saga/internal/triple"
+)
+
+// Cluster is one resolved entity group: all members refer to the same
+// real-world entity. KG is the canonical graph entity in the cluster ("" when
+// the cluster is entirely new) — resolution guarantees at most one.
+type Cluster struct {
+	KG      triple.EntityID
+	Members []triple.EntityID
+}
+
+// ClusterParams configures resolution.
+type ClusterParams struct {
+	// Hi is the score at or above which a pair is a high-confidence match
+	// (+1 edge); default 0.85.
+	Hi float64
+	// Lo is the score at or below which a pair is a high-confidence
+	// non-match (-1 edge); default 0.4. Scores between Hi and Lo contribute
+	// no edge.
+	Lo float64
+}
+
+func (p ClusterParams) withDefaults() ClusterParams {
+	if p.Hi == 0 {
+		p.Hi = 0.85
+	}
+	if p.Lo == 0 {
+		p.Lo = 0.4
+	}
+	return p
+}
+
+// Resolve finds entity clusters from calibrated pair scores using pivot-based
+// correlation clustering over the signed linkage graph (§2.3): scores ≥ Hi
+// become positive edges, scores ≤ Lo negative edges. Nodes are processed in a
+// deterministic order with KG entities first, which enforces the constraint
+// that each cluster contains at most one graph entity: a KG entity always
+// pivots its own cluster and is never absorbed into another.
+//
+// nodes lists every entity in the combined payload (source entities and the
+// KG view); isKG reports whether an ID is a graph entity.
+func Resolve(nodes []triple.EntityID, scored []ScoredPair, params ClusterParams) []Cluster {
+	params = params.withDefaults()
+	positive := make(map[triple.EntityID][]triple.EntityID)
+	negative := make(map[Pair]bool)
+	for _, sp := range scored {
+		switch {
+		case sp.Score >= params.Hi:
+			positive[sp.A] = append(positive[sp.A], sp.B)
+			positive[sp.B] = append(positive[sp.B], sp.A)
+		case sp.Score <= params.Lo:
+			negative[sp.Pair] = true
+		}
+	}
+	// Deterministic pivot order: KG entities first, each group sorted.
+	order := make([]triple.EntityID, len(nodes))
+	copy(order, nodes)
+	sort.Slice(order, func(i, j int) bool {
+		ki, kj := order[i].IsKG(), order[j].IsKG()
+		if ki != kj {
+			return ki
+		}
+		return order[i] < order[j]
+	})
+	clustered := make(map[triple.EntityID]bool, len(nodes))
+	var out []Cluster
+	for _, pivot := range order {
+		if clustered[pivot] {
+			continue
+		}
+		clustered[pivot] = true
+		c := Cluster{Members: []triple.EntityID{pivot}}
+		if pivot.IsKG() {
+			c.KG = pivot
+		}
+		neighbors := append([]triple.EntityID(nil), positive[pivot]...)
+		sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+		for _, n := range neighbors {
+			if clustered[n] {
+				continue
+			}
+			// A KG entity never joins another pivot's cluster (≤1 graph
+			// entity per cluster), and explicit negative evidence vetoes.
+			if n.IsKG() || negative[MakePair(pivot, n)] {
+				continue
+			}
+			clustered[n] = true
+			c.Members = append(c.Members, n)
+		}
+		sort.Slice(c.Members, func(i, j int) bool { return c.Members[i] < c.Members[j] })
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Members[0] < out[j].Members[0] })
+	return out
+}
+
+// TransitiveClosure is the ablation baseline for Resolve: greedy union-find
+// over positive edges with no negative evidence and no KG-entity constraint.
+// It over-merges in dense blocks (a chain of borderline matches collapses
+// into one hairball cluster), which the resolution ablation quantifies.
+func TransitiveClosure(nodes []triple.EntityID, scored []ScoredPair, hi float64) []Cluster {
+	if hi == 0 {
+		hi = 0.85
+	}
+	parent := make(map[triple.EntityID]triple.EntityID, len(nodes))
+	var find func(x triple.EntityID) triple.EntityID
+	find = func(x triple.EntityID) triple.EntityID {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b triple.EntityID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, n := range nodes {
+		find(n)
+	}
+	for _, sp := range scored {
+		if sp.Score >= hi {
+			union(sp.A, sp.B)
+		}
+	}
+	groups := make(map[triple.EntityID][]triple.EntityID)
+	for _, n := range nodes {
+		r := find(n)
+		groups[r] = append(groups[r], n)
+	}
+	out := make([]Cluster, 0, len(groups))
+	for _, members := range groups {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		c := Cluster{Members: members}
+		for _, m := range members {
+			if m.IsKG() {
+				c.KG = m // first KG entity wins; over-merge is the point
+				break
+			}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Members[0] < out[j].Members[0] })
+	return out
+}

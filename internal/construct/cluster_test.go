@@ -1,0 +1,146 @@
+package construct
+
+import (
+	"testing"
+
+	"saga/internal/triple"
+)
+
+func TestResolveBasicClusters(t *testing.T) {
+	nodes := []triple.EntityID{"s:1", "s:2", "s:3", "kg:E1"}
+	scored := []ScoredPair{
+		{Pair: MakePair("s:1", "kg:E1"), Score: 0.95},
+		{Pair: MakePair("s:2", "kg:E1"), Score: 0.92},
+		{Pair: MakePair("s:1", "s:2"), Score: 0.9},
+		{Pair: MakePair("s:3", "kg:E1"), Score: 0.1},
+	}
+	clusters := Resolve(nodes, scored, ClusterParams{})
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+	var kgCluster, soloCluster *Cluster
+	for i := range clusters {
+		if clusters[i].KG == "kg:E1" {
+			kgCluster = &clusters[i]
+		} else {
+			soloCluster = &clusters[i]
+		}
+	}
+	if kgCluster == nil || len(kgCluster.Members) != 3 {
+		t.Fatalf("kg cluster = %+v", kgCluster)
+	}
+	if soloCluster == nil || len(soloCluster.Members) != 1 || soloCluster.Members[0] != "s:3" {
+		t.Fatalf("solo cluster = %+v", soloCluster)
+	}
+}
+
+func TestResolveAtMostOneKGEntityPerCluster(t *testing.T) {
+	// Two KG entities scored as matching each other must stay separate.
+	nodes := []triple.EntityID{"kg:E1", "kg:E2", "s:1"}
+	scored := []ScoredPair{
+		{Pair: MakePair("kg:E1", "kg:E2"), Score: 0.99},
+		{Pair: MakePair("s:1", "kg:E1"), Score: 0.9},
+		{Pair: MakePair("s:1", "kg:E2"), Score: 0.88},
+	}
+	clusters := Resolve(nodes, scored, ClusterParams{})
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+	for _, c := range clusters {
+		kgCount := 0
+		for _, m := range c.Members {
+			if m.IsKG() {
+				kgCount++
+			}
+		}
+		if kgCount > 1 {
+			t.Fatalf("cluster with %d KG entities: %+v", kgCount, c)
+		}
+	}
+}
+
+func TestResolveNegativeEdgeVeto(t *testing.T) {
+	// s:2 is positive with the pivot through blocking noise but carries an
+	// explicit negative edge; the veto keeps it out.
+	nodes := []triple.EntityID{"kg:E1", "s:1", "s:2"}
+	scored := []ScoredPair{
+		{Pair: MakePair("s:1", "kg:E1"), Score: 0.9},
+		{Pair: MakePair("s:2", "kg:E1"), Score: 0.9},
+		{Pair: MakePair("s:2", "kg:E1"), Score: 0.2}, // later negative evidence
+	}
+	// Same pair appearing with both a positive and negative score: the
+	// negative edge must veto membership.
+	clusters := Resolve(nodes, scored, ClusterParams{})
+	for _, c := range clusters {
+		if c.KG == "kg:E1" {
+			for _, m := range c.Members {
+				if m == "s:2" {
+					t.Fatal("negative edge did not veto membership")
+				}
+			}
+		}
+	}
+}
+
+func TestResolveMidScoresNoEdge(t *testing.T) {
+	nodes := []triple.EntityID{"s:1", "s:2"}
+	scored := []ScoredPair{{Pair: MakePair("s:1", "s:2"), Score: 0.6}}
+	clusters := Resolve(nodes, scored, ClusterParams{})
+	if len(clusters) != 2 {
+		t.Fatalf("mid-score pair should not merge: %+v", clusters)
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	nodes := []triple.EntityID{"s:3", "s:1", "kg:E2", "s:2", "kg:E1"}
+	scored := []ScoredPair{
+		{Pair: MakePair("s:1", "s:2"), Score: 0.9},
+		{Pair: MakePair("s:2", "s:3"), Score: 0.9},
+	}
+	a := Resolve(nodes, scored, ClusterParams{})
+	b := Resolve(nodes, scored, ClusterParams{})
+	if len(a) != len(b) {
+		t.Fatal("cluster count differs")
+	}
+	for i := range a {
+		if a[i].KG != b[i].KG || len(a[i].Members) != len(b[i].Members) {
+			t.Fatalf("cluster %d differs", i)
+		}
+		for j := range a[i].Members {
+			if a[i].Members[j] != b[i].Members[j] {
+				t.Fatalf("member %d/%d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestTransitiveClosureOverMerges(t *testing.T) {
+	// Chain a-b, b-c with a-c unknown: closure merges all three; correlation
+	// clustering keeps pivot-adjacent members only.
+	nodes := []triple.EntityID{"s:a", "s:b", "s:c"}
+	scored := []ScoredPair{
+		{Pair: MakePair("s:a", "s:b"), Score: 0.9},
+		{Pair: MakePair("s:b", "s:c"), Score: 0.9},
+		{Pair: MakePair("s:a", "s:c"), Score: 0.1},
+	}
+	tc := TransitiveClosure(nodes, scored, 0.85)
+	if len(tc) != 1 || len(tc[0].Members) != 3 {
+		t.Fatalf("closure = %+v", tc)
+	}
+	cc := Resolve(nodes, scored, ClusterParams{})
+	if len(cc) < 2 {
+		t.Fatalf("correlation clustering should respect the negative edge: %+v", cc)
+	}
+}
+
+func TestTransitiveClosureMergesKGEntities(t *testing.T) {
+	nodes := []triple.EntityID{"kg:E1", "kg:E2", "s:1"}
+	scored := []ScoredPair{
+		{Pair: MakePair("kg:E1", "s:1"), Score: 0.9},
+		{Pair: MakePair("kg:E2", "s:1"), Score: 0.9},
+	}
+	tc := TransitiveClosure(nodes, scored, 0.85)
+	if len(tc) != 1 {
+		t.Fatalf("closure should hairball: %+v", tc)
+	}
+}

@@ -1,0 +1,156 @@
+package construct
+
+import (
+	"testing"
+
+	"saga/internal/ontology"
+	"saga/internal/triple"
+)
+
+func TestFuseSimpleFactsOuterJoin(t *testing.T) {
+	ont := ontology.Default()
+	g := triple.NewGraph()
+	base := triple.NewEntity("kg:E1")
+	base.Add(triple.New("kg:E1", triple.PredName, triple.String("Adele")).WithSource("src1", 0.9))
+	base.Add(triple.New("kg:E1", "genre", triple.String("pop")).WithSource("src1", 0.9))
+	g.Put(base)
+
+	f := &Fuser{Ont: ont}
+	in := triple.NewEntity("kg:E1")
+	in.Add(triple.New("kg:E1", triple.PredName, triple.String("Adele")).WithSource("src2", 0.8))
+	in.Add(triple.New("kg:E1", "genre", triple.String("soul")).WithSource("src2", 0.8))
+	conflicts := f.FuseEntity(g, in)
+	if len(conflicts) != 0 {
+		t.Fatalf("unexpected conflicts: %v", conflicts)
+	}
+	got := g.Get("kg:E1")
+	// Name now carries both sources; genre has both values.
+	for _, tr := range got.Triples {
+		if tr.Predicate == triple.PredName {
+			if len(tr.Sources) != 2 {
+				t.Fatalf("name sources = %v", tr.Sources)
+			}
+		}
+	}
+	if n := len(got.Get("genre")); n != 2 {
+		t.Fatalf("genres = %d, want 2", n)
+	}
+}
+
+func TestFuseFunctionalConflictTruthDiscovery(t *testing.T) {
+	ont := ontology.Default()
+	g := triple.NewGraph()
+	base := triple.NewEntity("kg:E1")
+	base.Add(triple.New("kg:E1", triple.PredType, triple.String("song")).WithSource("a", 0.9))
+	base.Add(triple.New("kg:E1", "release_year", triple.Int(1999)).WithSource("a", 0.9))
+	base.Add(triple.New("kg:E1", "release_year", triple.Int(1999)).WithSource("b", 0.9))
+	g.Put(base)
+
+	f := &Fuser{Ont: ont}
+	in := triple.NewEntity("kg:E1")
+	in.Add(triple.New("kg:E1", "release_year", triple.Int(2001)).WithSource("c", 0.5))
+	conflicts := f.FuseEntity(g, in)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+	c := conflicts[0]
+	if c.Kept.Int64() != 1999 || len(c.Dropped) != 1 || c.Dropped[0].Int64() != 2001 {
+		t.Fatalf("conflict = %+v", c)
+	}
+	got := g.Get("kg:E1")
+	years := got.Get("release_year")
+	if len(years) != 1 || years[0].Int64() != 1999 {
+		t.Fatalf("years after fusion = %v", years)
+	}
+}
+
+func TestFuseRelationshipNodeMerge(t *testing.T) {
+	ont := ontology.Default()
+	g := triple.NewGraph()
+	base := triple.NewEntity("kg:E1")
+	base.Add(triple.NewRel("kg:E1", "educated_at", "r1", "school", triple.Ref("kg:E9")).WithSource("a", 0.9))
+	base.Add(triple.NewRel("kg:E1", "educated_at", "r1", "degree", triple.String("PhD")).WithSource("a", 0.9))
+	g.Put(base)
+
+	f := &Fuser{Ont: ont}
+	// Incoming node shares school+degree → merges into r1, contributing year.
+	in := triple.NewEntity("kg:E1")
+	in.Add(triple.NewRel("kg:E1", "educated_at", "x7", "school", triple.Ref("kg:E9")).WithSource("b", 0.8))
+	in.Add(triple.NewRel("kg:E1", "educated_at", "x7", "degree", triple.String("PhD")).WithSource("b", 0.8))
+	in.Add(triple.NewRel("kg:E1", "educated_at", "x7", "year", triple.Int(2005)).WithSource("b", 0.8))
+	f.FuseEntity(g, in)
+	got := g.Get("kg:E1")
+	nodes := got.RelNodes()
+	if len(nodes) != 1 {
+		t.Fatalf("nodes = %d, want 1 (merged)", len(nodes))
+	}
+	if nodes[0].RelID != "r1" {
+		t.Fatalf("merged node id = %s", nodes[0].RelID)
+	}
+	if nodes[0].Attr("year").Int64() != 2005 {
+		t.Fatal("merged node missing contributed year")
+	}
+	// A dissimilar node stays separate.
+	in2 := triple.NewEntity("kg:E1")
+	in2.Add(triple.NewRel("kg:E1", "educated_at", "z1", "school", triple.Ref("kg:E42")).WithSource("c", 0.8))
+	in2.Add(triple.NewRel("kg:E1", "educated_at", "z1", "degree", triple.String("BSc")).WithSource("c", 0.8))
+	f.FuseEntity(g, in2)
+	if nodes := g.Get("kg:E1").RelNodes(); len(nodes) != 2 {
+		t.Fatalf("nodes after dissimilar fuse = %d, want 2", len(nodes))
+	}
+}
+
+func TestRemoveSource(t *testing.T) {
+	g := triple.NewGraph()
+	e := triple.NewEntity("kg:E1")
+	e.Add(triple.New("kg:E1", triple.PredName, triple.String("X")).WithSource("a", 0.9).MergeProvenance(
+		triple.New("kg:E1", triple.PredName, triple.String("X")).WithSource("b", 0.8)))
+	e.Add(triple.New("kg:E1", "genre", triple.String("pop")).WithSource("a", 0.9))
+	g.Put(e)
+	if deleted := RemoveSource(g, "kg:E1", "a"); deleted {
+		t.Fatal("entity should survive, source b still contributes")
+	}
+	got := g.Get("kg:E1")
+	if len(got.Triples) != 1 {
+		t.Fatalf("facts = %d, want 1 (genre from a removed, name kept via b)", len(got.Triples))
+	}
+	if got.Triples[0].HasSource("a") {
+		t.Fatal("source a still attributed")
+	}
+	if deleted := RemoveSource(g, "kg:E1", "b"); !deleted {
+		t.Fatal("entity should be deleted after last source removed")
+	}
+	if g.Has("kg:E1") {
+		t.Fatal("entity still present")
+	}
+}
+
+func TestApplyVolatileOverwrite(t *testing.T) {
+	ont := ontology.Default()
+	g := triple.NewGraph()
+	e := triple.NewEntity("kg:E1")
+	e.Add(triple.New("kg:E1", triple.PredName, triple.String("Song")).WithSource("a", 0.9))
+	e.Add(triple.New("kg:E1", "play_count", triple.Int(100)).WithSource("a", 0.9))
+	e.Add(triple.New("kg:E1", "play_count", triple.Int(90)).WithSource("b", 0.9))
+	g.Put(e)
+
+	vol := triple.NewEntity("src:s1")
+	vol.Add(triple.New("src:s1", "play_count", triple.Int(250)).WithSource("a", 0.9))
+	ApplyVolatileOverwrite(g, "kg:E1", "a", vol, ont)
+
+	got := g.Get("kg:E1")
+	counts := got.Get("play_count")
+	if len(counts) != 2 {
+		t.Fatalf("play counts = %v", counts)
+	}
+	seen := map[int64]bool{}
+	for _, c := range counts {
+		seen[c.Int64()] = true
+	}
+	if !seen[250] || !seen[90] {
+		t.Fatalf("overwrite wrong: %v (want a's 100→250, b's 90 kept)", counts)
+	}
+	if got.Name() != "Song" {
+		t.Fatal("stable fact touched by volatile overwrite")
+	}
+}

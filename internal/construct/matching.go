@@ -1,0 +1,299 @@
+package construct
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"saga/internal/strsim"
+	"saga/internal/triple"
+)
+
+// Matcher scores a candidate entity pair with a calibrated probability of
+// being the same real-world entity. Matching models are domain-specific and
+// registered per entity type; the platform supports both rule-based and
+// machine-learned models (§2.3).
+type Matcher interface {
+	Score(a, b *triple.Entity) float64
+}
+
+// pairFeatures computes the feature vector of an entity pair consumed by
+// matching models: name-similarity features (deterministic plus the learned
+// encoder when available) and attribute-agreement features.
+type pairFeatures struct {
+	encoders *strsim.EncoderSet
+	// attrs lists the predicates whose agreement is featurized.
+	attrs []string
+}
+
+// FeatureCount returns the dimensionality of the produced vectors.
+func (f pairFeatures) FeatureCount() int {
+	n := len(strsim.FeatureNames) + 2 + len(f.attrs) // +alias overlap, +learned sim
+	return n
+}
+
+func (f pairFeatures) vector(a, b *triple.Entity) []float64 {
+	out := strsim.FeatureVector(a.Name(), b.Name())
+	out = append(out, aliasOverlap(a, b))
+	learned := 0.0
+	if f.encoders != nil {
+		if s, ok := f.encoders.Similarity(a.Type(), a.Name(), b.Name()); ok {
+			learned = (s + 1) / 2 // map cosine to [0,1]
+		}
+	}
+	out = append(out, learned)
+	for _, attr := range f.attrs {
+		out = append(out, attrAgreement(a, b, attr))
+	}
+	return out
+}
+
+// aliasOverlap is the Jaccard overlap of the two alias sets after
+// normalization.
+func aliasOverlap(a, b *triple.Entity) float64 {
+	sa := make(map[string]bool)
+	for _, al := range a.Aliases() {
+		sa[strsim.Normalize(al)] = true
+	}
+	inter, union := 0, len(sa)
+	seen := make(map[string]bool)
+	for _, al := range b.Aliases() {
+		n := strsim.Normalize(al)
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if sa[n] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// attrAgreement scores the agreement of one predicate across the pair:
+// 1 when they share a value, 0 when both have disjoint values, 0.5 when
+// either side lacks the predicate (no evidence).
+func attrAgreement(a, b *triple.Entity, pred string) float64 {
+	va, vb := a.Get(pred), b.Get(pred)
+	if len(va) == 0 || len(vb) == 0 {
+		return 0.5
+	}
+	for _, x := range va {
+		for _, y := range vb {
+			if x.Kind() == triple.KindString && y.Kind() == triple.KindString {
+				if strsim.Normalize(x.Str()) == strsim.Normalize(y.Str()) {
+					return 1
+				}
+				continue
+			}
+			if x.Equal(y) {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// RuleMatcher is a deterministic matching model: a weighted combination of
+// name similarity and attribute agreement with hand-tuned weights, squashed
+// into a probability. It is the kind of rule-based model domain teams deploy
+// before training data exists.
+type RuleMatcher struct {
+	// Attrs lists predicates whose agreement contributes evidence.
+	Attrs []string
+	// NameWeight scales the name-similarity contribution; default 6.
+	NameWeight float64
+	// AttrWeight scales each attribute-agreement contribution; default 1.5.
+	AttrWeight float64
+	// Bias shifts the logit; default -4 (prior against matching).
+	Bias float64
+}
+
+// Score implements Matcher.
+func (m RuleMatcher) Score(a, b *triple.Entity) float64 {
+	nameW := m.NameWeight
+	if nameW == 0 {
+		nameW = 6
+	}
+	attrW := m.AttrWeight
+	if attrW == 0 {
+		attrW = 1.5
+	}
+	bias := m.Bias
+	if bias == 0 {
+		bias = -4
+	}
+	nameSim := math.Max(strsim.JaroWinkler(strsim.Normalize(a.Name()), strsim.Normalize(b.Name())),
+		aliasBestSim(a, b))
+	logit := bias + nameW*nameSim
+	for _, attr := range m.Attrs {
+		logit += attrW * (attrAgreement(a, b, attr) - 0.5) * 2
+	}
+	return sigmoid(logit)
+}
+
+// aliasBestSim returns the best Jaro-Winkler similarity over the alias cross
+// product, so entities known under different primary names still match.
+func aliasBestSim(a, b *triple.Entity) float64 {
+	best := 0.0
+	for _, x := range a.Aliases() {
+		nx := strsim.Normalize(x)
+		for _, y := range b.Aliases() {
+			if s := strsim.JaroWinkler(nx, strsim.Normalize(y)); s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// LearnedMatcher is a logistic-regression matching model over pair features,
+// trainable from labeled pairs. The learned string-similarity encoder plugs
+// in as a feature, which is how Saga's neural similarities boost matching
+// recall (§5.1).
+type LearnedMatcher struct {
+	feats   pairFeatures
+	weights []float64
+	bias    float64
+}
+
+// NewLearnedMatcher constructs an untrained model. encoders may be nil to
+// train on deterministic features only; attrs lists the predicates to
+// featurize.
+func NewLearnedMatcher(encoders *strsim.EncoderSet, attrs []string) *LearnedMatcher {
+	f := pairFeatures{encoders: encoders, attrs: append([]string(nil), attrs...)}
+	return &LearnedMatcher{feats: f, weights: make([]float64, f.FeatureCount())}
+}
+
+// LabeledPair is a training example for the matcher.
+type LabeledPair struct {
+	A, B  *triple.Entity
+	Match bool
+}
+
+// MatcherTrainOptions controls logistic-regression training.
+type MatcherTrainOptions struct {
+	Epochs int     // default 30
+	LR     float64 // default 0.5
+	L2     float64 // default 1e-4
+	Seed   int64
+}
+
+// Train fits the model with SGD on the logistic loss. It returns the final
+// epoch's mean loss.
+func (m *LearnedMatcher) Train(pairs []LabeledPair, opts MatcherTrainOptions) float64 {
+	if opts.Epochs == 0 {
+		opts.Epochs = 30
+	}
+	if opts.LR == 0 {
+		opts.LR = 0.5
+	}
+	if opts.L2 == 0 {
+		opts.L2 = 1e-4
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	vecs := make([][]float64, len(pairs))
+	for i, p := range pairs {
+		vecs[i] = m.feats.vector(p.A, p.B)
+	}
+	order := rng.Perm(len(pairs))
+	var lastLoss float64
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		loss := 0.0
+		for _, i := range order {
+			x, y := vecs[i], 0.0
+			if pairs[i].Match {
+				y = 1
+			}
+			p := sigmoid(m.bias + strsim.Dot(m.weights, x))
+			g := p - y
+			loss += logLoss(p, y)
+			m.bias -= opts.LR * g
+			for j := range m.weights {
+				m.weights[j] -= opts.LR * (g*x[j] + opts.L2*m.weights[j])
+			}
+		}
+		if len(pairs) > 0 {
+			lastLoss = loss / float64(len(pairs))
+		}
+	}
+	return lastLoss
+}
+
+func logLoss(p, y float64) float64 {
+	const eps = 1e-12
+	if y > 0.5 {
+		return -math.Log(p + eps)
+	}
+	return -math.Log(1 - p + eps)
+}
+
+// Score implements Matcher with the trained calibrated probability.
+func (m *LearnedMatcher) Score(a, b *triple.Entity) float64 {
+	return sigmoid(m.bias + strsim.Dot(m.weights, m.feats.vector(a, b)))
+}
+
+// MatcherRegistry maps entity types to their domain-specific matching models,
+// with a default fallback ("" key).
+type MatcherRegistry struct {
+	byType map[string]Matcher
+}
+
+// NewMatcherRegistry builds a registry with the given default model.
+func NewMatcherRegistry(def Matcher) *MatcherRegistry {
+	return &MatcherRegistry{byType: map[string]Matcher{"": def}}
+}
+
+// Register installs a model for an entity type.
+func (r *MatcherRegistry) Register(entityType string, m Matcher) { r.byType[entityType] = m }
+
+// For returns the model for the type, falling back to the default.
+func (r *MatcherRegistry) For(entityType string) Matcher {
+	if m, ok := r.byType[entityType]; ok {
+		return m
+	}
+	return r.byType[""]
+}
+
+// ScoredPair is a candidate pair with its match probability.
+type ScoredPair struct {
+	Pair
+	Score float64
+}
+
+// ScorePairs evaluates the matcher over candidate pairs. byID resolves pair
+// members; pairs referencing unknown entities are skipped. Results preserve
+// pair order.
+func ScorePairs(pairs []Pair, byID map[triple.EntityID]*triple.Entity, m Matcher) []ScoredPair {
+	out := make([]ScoredPair, 0, len(pairs))
+	for _, p := range pairs {
+		a, b := byID[p.A], byID[p.B]
+		if a == nil || b == nil {
+			continue
+		}
+		out = append(out, ScoredPair{Pair: p, Score: m.Score(a, b)})
+	}
+	return out
+}
+
+// sortScored orders scored pairs descending by score then pair order, used by
+// deterministic tests.
+func sortScored(sp []ScoredPair) {
+	sort.Slice(sp, func(i, j int) bool {
+		if sp[i].Score != sp[j].Score {
+			return sp[i].Score > sp[j].Score
+		}
+		if sp[i].A != sp[j].A {
+			return sp[i].A < sp[j].A
+		}
+		return sp[i].B < sp[j].B
+	})
+}

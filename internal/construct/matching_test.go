@@ -1,0 +1,113 @@
+package construct
+
+import (
+	"math/rand"
+	"testing"
+
+	"saga/internal/strsim"
+	"saga/internal/triple"
+)
+
+func artistEntity(id, name string, genre string, year int64) *triple.Entity {
+	e := namedEntity(id, name, "music_artist")
+	if genre != "" {
+		e.AddFact("genre", triple.String(genre))
+	}
+	if year != 0 {
+		e.AddFact("release_year", triple.Int(year))
+	}
+	return e
+}
+
+func TestRuleMatcherSeparates(t *testing.T) {
+	m := RuleMatcher{Attrs: []string{"genre"}}
+	same := m.Score(
+		artistEntity("a", "Adele Adkins", "pop", 0),
+		artistEntity("b", "Adele Adkins", "pop", 0))
+	diff := m.Score(
+		artistEntity("a", "Adele Adkins", "pop", 0),
+		artistEntity("b", "Quentin Tarantino", "film", 0))
+	if same <= 0.8 {
+		t.Errorf("same-entity score = %f, want > 0.8", same)
+	}
+	if diff >= 0.4 {
+		t.Errorf("different-entity score = %f, want < 0.4", diff)
+	}
+}
+
+func TestRuleMatcherUsesAliases(t *testing.T) {
+	m := RuleMatcher{}
+	a := namedEntity("a", "Robyn Fenty", "human")
+	a.AddFact(triple.PredAlias, triple.String("Rihanna"))
+	b := namedEntity("b", "Rihanna", "human")
+	if got := m.Score(a, b); got <= 0.8 {
+		t.Errorf("alias match score = %f, want > 0.8", got)
+	}
+}
+
+func TestAttrAgreement(t *testing.T) {
+	a := artistEntity("a", "X", "pop", 1999)
+	b := artistEntity("b", "X", "POP", 2001)
+	if got := attrAgreement(a, b, "genre"); got != 1 {
+		t.Errorf("case-insensitive string agreement = %f", got)
+	}
+	if got := attrAgreement(a, b, "release_year"); got != 0 {
+		t.Errorf("disagreeing ints = %f", got)
+	}
+	if got := attrAgreement(a, b, "spouse"); got != 0.5 {
+		t.Errorf("absent predicate = %f, want 0.5 (no evidence)", got)
+	}
+}
+
+func TestLearnedMatcherTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	names := []string{"Adele Adkins", "Billie Eilish", "Frank Ocean", "Joni Mitchell",
+		"Nina Simone", "Sam Cooke", "Patti Smith", "David Byrne", "Karen O", "Thom Yorke"}
+	var pairs []LabeledPair
+	for i, n := range names {
+		typo := strsim.Typo(n, rng, strsim.TypoOptions{Rate: 0.1})
+		pairs = append(pairs, LabeledPair{
+			A: artistEntity("x", n, "pop", 0), B: artistEntity("y", typo, "pop", 0), Match: true})
+		other := names[(i+3)%len(names)]
+		pairs = append(pairs, LabeledPair{
+			A: artistEntity("x", n, "pop", 0), B: artistEntity("y", other, "rock", 0), Match: false})
+	}
+	m := NewLearnedMatcher(nil, []string{"genre"})
+	loss := m.Train(pairs, MatcherTrainOptions{Seed: 7})
+	if loss > 0.3 {
+		t.Errorf("training loss = %f, want < 0.3", loss)
+	}
+	pos := m.Score(artistEntity("x", "Frank Ocean", "pop", 0), artistEntity("y", "Frank Ocaen", "pop", 0))
+	neg := m.Score(artistEntity("x", "Frank Ocean", "pop", 0), artistEntity("y", "Patti Smith", "rock", 0))
+	if pos <= neg {
+		t.Errorf("trained matcher: pos=%f <= neg=%f", pos, neg)
+	}
+	if pos < 0.5 {
+		t.Errorf("typo pair score = %f, want >= 0.5", pos)
+	}
+}
+
+type constMatcher float64
+
+func (c constMatcher) Score(a, b *triple.Entity) float64 { return float64(c) }
+
+func TestMatcherRegistry(t *testing.T) {
+	r := NewMatcherRegistry(constMatcher(0.1))
+	r.Register("song", constMatcher(0.9))
+	a, b := namedEntity("a", "x", "song"), namedEntity("b", "y", "song")
+	if got := r.For("song").Score(a, b); got != 0.9 {
+		t.Errorf("typed lookup score = %f", got)
+	}
+	if got := r.For("movie").Score(a, b); got != 0.1 {
+		t.Errorf("fallback score = %f", got)
+	}
+}
+
+func TestScorePairsSkipsUnknown(t *testing.T) {
+	a := artistEntity("a", "X", "", 0)
+	byID := map[triple.EntityID]*triple.Entity{"a": a}
+	got := ScorePairs([]Pair{MakePair("a", "missing")}, byID, RuleMatcher{})
+	if len(got) != 0 {
+		t.Fatalf("pair with unknown member scored: %v", got)
+	}
+}

@@ -1,0 +1,168 @@
+package construct
+
+import (
+	"strings"
+
+	"saga/internal/ontology"
+	"saga/internal/strsim"
+	"saga/internal/triple"
+)
+
+// ObjectResolver resolves a textual mention of an entity (plus an optional
+// ontology type hint) to a KG identifier with a confidence. The construction
+// pipeline consults it during object resolution (OBR, §2.3); the NERD stack
+// provides the production implementation (§5.2) and AliasResolver is the
+// baseline used before NERD models are trained — and the comparator in the
+// Figure 14(b) experiment.
+type ObjectResolver interface {
+	Resolve(mention, typeHint string) (triple.EntityID, float64, bool)
+}
+
+// AliasResolver resolves mentions by normalized alias lookup over a KG
+// snapshot, preferring candidates whose type matches the hint and breaking
+// remaining ties by entity popularity (alias count) then ID order. It has no
+// notion of context, which is exactly the weakness NERD addresses.
+type AliasResolver struct {
+	ont     *ontology.Ontology
+	byAlias map[string][]aliasEntry
+}
+
+type aliasEntry struct {
+	id      triple.EntityID
+	types   []string
+	aliases int
+}
+
+// NewAliasResolver indexes the graph's aliases.
+func NewAliasResolver(g *triple.Graph, ont *ontology.Ontology) *AliasResolver {
+	r := &AliasResolver{ont: ont, byAlias: make(map[string][]aliasEntry)}
+	g.Range(func(e *triple.Entity) bool {
+		entry := aliasEntry{id: e.ID, types: e.Types(), aliases: len(e.Aliases())}
+		for _, alias := range e.Aliases() {
+			key := strsim.Normalize(alias)
+			if key != "" {
+				r.byAlias[key] = append(r.byAlias[key], entry)
+			}
+		}
+		return true
+	})
+	return r
+}
+
+// Resolve implements ObjectResolver.
+func (r *AliasResolver) Resolve(mention, typeHint string) (triple.EntityID, float64, bool) {
+	key := strsim.Normalize(mention)
+	entries := r.byAlias[key]
+	if len(entries) == 0 {
+		return "", 0, false
+	}
+	best := -1
+	bestRank := -1
+	for i, e := range entries {
+		rank := 0
+		if typeHint != "" {
+			for _, t := range e.types {
+				if t == typeHint || (r.ont != nil && r.ont.IsA(t, typeHint)) {
+					rank = 2
+					break
+				}
+			}
+			if rank == 0 {
+				// Wrong-typed candidates stay eligible but rank last.
+				rank = 0
+			}
+		} else {
+			rank = 1
+		}
+		switch {
+		case best == -1, rank > bestRank,
+			rank == bestRank && entries[i].aliases > entries[best].aliases,
+			rank == bestRank && entries[i].aliases == entries[best].aliases && entries[i].id < entries[best].id:
+			best, bestRank = i, rank
+		}
+	}
+	conf := 0.6
+	if typeHint != "" && bestRank == 2 {
+		conf = 0.9
+	}
+	if len(entries) > 1 {
+		conf -= 0.1 // ambiguity penalty
+	}
+	return entries[best].id, conf, true
+}
+
+// MentionFromID derives a human-readable mention from a source-namespace
+// entity ID: the local part with separators replaced by spaces
+// ("xl-recordings" → "xl recordings"). Used when a reference object dangles
+// outside the current payload and only its ID text is available.
+func MentionFromID(id triple.EntityID) string {
+	local := id.Local()
+	local = strings.ReplaceAll(local, "-", " ")
+	local = strings.ReplaceAll(local, "_", " ")
+	return strings.TrimSpace(local)
+}
+
+// resolveObjects rewrites the entity's reference-valued objects to KG
+// identifiers (OBR):
+//
+//  1. references already in the KG namespace are kept;
+//  2. references to entities linked in the same batch rewrite through the
+//     linking assignment;
+//  3. references to previously consumed source entities rewrite through the
+//     KG link index;
+//  4. remaining references resolve by mention through the ObjectResolver,
+//     with the ontology's RefType as the type hint;
+//  5. unresolved references create a new stub KG entity (name + type) so the
+//     fact is never dropped — the paper's "resolve or create" rule.
+//
+// makeStub mints the stub and records its link; it runs under the fusion
+// lock, so resolveObjects itself takes no locks.
+func resolveObjects(e *triple.Entity, assignment map[triple.EntityID]triple.EntityID, kg *KG, resolver ObjectResolver, ont *ontology.Ontology, makeStub func(src triple.EntityID, mention, typ string) triple.EntityID) {
+	refs := make(map[triple.EntityID]triple.EntityID)
+	for _, t := range e.Triples {
+		if !t.Object.IsRef() {
+			continue
+		}
+		target := t.Object.Ref()
+		if target.IsKG() {
+			continue
+		}
+		if _, done := refs[target]; done {
+			continue
+		}
+		if kgID, ok := assignment[target]; ok {
+			refs[target] = kgID
+			continue
+		}
+		if kgID, ok := kg.Lookup(target); ok {
+			refs[target] = kgID
+			continue
+		}
+		typeHint := ""
+		if ont != nil {
+			if p, ok := ont.Predicate(relevantPredicate(t)); ok {
+				typeHint = p.RefType
+			}
+		}
+		mention := MentionFromID(target)
+		if resolver != nil {
+			if kgID, _, ok := resolver.Resolve(mention, typeHint); ok {
+				refs[target] = kgID
+				continue
+			}
+		}
+		refs[target] = makeStub(target, mention, typeHint)
+	}
+	if len(refs) > 0 {
+		e.Rewrite(e.ID, refs)
+	}
+}
+
+// relevantPredicate names the ontology predicate governing a triple's object:
+// the relationship predicate for composite rows, the predicate otherwise.
+func relevantPredicate(t triple.Triple) string {
+	if t.IsComposite() {
+		return t.RelPred
+	}
+	return t.Predicate
+}

@@ -1,0 +1,324 @@
+package construct
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"saga/internal/ingest"
+	"saga/internal/ontology"
+	"saga/internal/triple"
+)
+
+// Pipeline is the continuously running, delta-based knowledge construction
+// framework (§2.4, Figure 5). It always operates on source diffs: a brand-new
+// source arrives as a full Added payload. Source pipelines run in parallel;
+// within a source, the Added, Updated, and Deleted payloads are processed in
+// parallel; and the only cross-source synchronization point is fusion, which
+// consumes source payloads one at a time.
+type Pipeline struct {
+	// KG is the graph under construction.
+	KG *KG
+	// Ont is the shared ontology.
+	Ont *ontology.Ontology
+	// Link configures the linking stage.
+	Link LinkParams
+	// Fuser merges payloads; nil gets a default wired to Ont.
+	Fuser *Fuser
+	// Resolver performs object resolution. Nil builds an AliasResolver over
+	// the current graph per consumed delta.
+	Resolver ObjectResolver
+
+	fuseMu      sync.Mutex
+	conflictsMu sync.Mutex
+	conflicts   []Conflict
+}
+
+// NewPipeline wires a construction pipeline over the given KG and ontology
+// with default linking and fusion parameters.
+func NewPipeline(kg *KG, ont *ontology.Ontology) *Pipeline {
+	return &Pipeline{KG: kg, Ont: ont, Fuser: &Fuser{Ont: ont}}
+}
+
+// SourceStats summarizes one consumed delta.
+type SourceStats struct {
+	Source      string
+	LinkedAdds  int // source entities linked through the full pipeline
+	NewEntities int // fresh KG identifiers minted (including OBR stubs)
+	Updated     int // entities refreshed via ID lookup
+	Deleted     int // source contributions removed
+	Volatile    int // entities refreshed via partition overwrite
+	Conflicts   int // functional-predicate conflicts resolved
+	Comparisons int // matcher invocations after blocking
+
+	// Touched lists the KG entities written by this delta (sorted), and
+	// Removed the KG entities deleted outright. The Graph Engine publishes
+	// exactly these to the operation log.
+	Touched []triple.EntityID
+	Removed []triple.EntityID
+}
+
+func (s SourceStats) String() string {
+	return fmt.Sprintf("%s: adds=%d new=%d upd=%d del=%d vol=%d conflicts=%d cmp=%d",
+		s.Source, s.LinkedAdds, s.NewEntities, s.Updated, s.Deleted, s.Volatile, s.Conflicts, s.Comparisons)
+}
+
+// ConsumeDelta runs one source's payload through the construction pipeline:
+// ToAdd links fully (blocking, matching, resolution); ToUpdate and ToDelete
+// look up their existing links; volatile payloads overwrite their partition
+// after everything else fuses.
+func (p *Pipeline) ConsumeDelta(d ingest.Delta) (SourceStats, error) {
+	stats := SourceStats{Source: d.Source}
+	if p.KG == nil || p.Ont == nil {
+		return stats, fmt.Errorf("construct: pipeline missing KG or ontology")
+	}
+	fuser := p.Fuser
+	if fuser == nil {
+		fuser = &Fuser{Ont: p.Ont}
+	}
+	resolver := p.Resolver
+	if resolver == nil {
+		resolver = NewAliasResolver(p.KG.Graph.Snapshot(), p.Ont)
+	}
+
+	// Updated entities that lost their link (for example after an on-demand
+	// deletion) re-enter through the full linking path.
+	adds := append([]*triple.Entity(nil), d.Added...)
+	type linkedUpdate struct {
+		kgID triple.EntityID
+		ent  *triple.Entity
+	}
+	var updates []linkedUpdate
+	for _, e := range d.Updated {
+		if kgID, ok := p.KG.Lookup(e.ID); ok {
+			updates = append(updates, linkedUpdate{kgID: kgID, ent: e})
+		} else {
+			adds = append(adds, e)
+		}
+	}
+
+	// Intra-source parallelism: linking of adds, lookup of deletes, and
+	// object resolution of updates proceed concurrently.
+	var (
+		wg          sync.WaitGroup
+		outcomes    []LinkOutcome
+		addGroups   map[string][]*triple.Entity
+		addTypes    []string
+		deleteLinks = make(map[triple.EntityID]triple.EntityID)
+	)
+	assignment := make(map[triple.EntityID]triple.EntityID)
+	makeStub := func(src triple.EntityID, mention, typ string) triple.EntityID {
+		id := p.KG.Graph.NewID()
+		stub := triple.NewEntity(id)
+		stub.Add(triple.New(id, triple.PredType, triple.String(orDefault(typ, "entity"))).WithSource(d.Source, 0.5))
+		stub.Add(triple.New(id, triple.PredName, triple.String(mention)).WithSource(d.Source, 0.5))
+		p.KG.Graph.Put(stub)
+		p.KG.Link(src, id)
+		return id
+	}
+
+	wg.Add(2)
+	go func() { // link adds, grouped by entity type
+		defer wg.Done()
+		addGroups, addTypes = GroupByType(adds)
+		for _, typ := range addTypes {
+			group := addGroups[typ]
+			kgView := p.KG.KGView(typ)
+			outcome := LinkEntities(group, kgView, typ, p.KG.Graph.NewID, p.Link)
+			outcomes = append(outcomes, outcome)
+			stats.LinkedAdds += len(group)
+			stats.NewEntities += outcome.NewEntities
+			stats.Comparisons += outcome.Blocking.Comparisons
+		}
+	}()
+	go func() { // look up links of deleted entities
+		defer wg.Done()
+		for _, src := range d.Deleted {
+			if kgID, ok := p.KG.Lookup(src); ok {
+				deleteLinks[src] = kgID
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Record links and collect the batch-wide assignment before OBR so that
+	// intra-batch references resolve.
+	for _, outcome := range outcomes {
+		for src, kgID := range outcome.Assignment {
+			assignment[src] = kgID
+			p.KG.Link(src, kgID)
+		}
+	}
+	for _, u := range updates {
+		assignment[u.ent.ID] = u.kgID
+	}
+
+	// Object resolution over adds and updates, parallel per entity group.
+	var obrWG sync.WaitGroup
+	for _, typ := range addTypes {
+		group := addGroups[typ]
+		obrWG.Add(1)
+		go func(group []*triple.Entity) {
+			defer obrWG.Done()
+			for _, e := range group {
+				resolveObjects(e, assignment, p.KG, resolver, p.Ont, makeStub)
+			}
+		}(group)
+	}
+	obrWG.Add(1)
+	go func() {
+		defer obrWG.Done()
+		for _, u := range updates {
+			resolveObjects(u.ent, assignment, p.KG, resolver, p.Ont, makeStub)
+		}
+	}()
+	obrWG.Wait()
+
+	// Fusion: the cross-source synchronization point.
+	p.fuseMu.Lock()
+	defer p.fuseMu.Unlock()
+	var conflicts []Conflict
+	for _, outcome := range outcomes {
+		// same_as provenance facts fuse alongside the payloads.
+		sameAsBySubject := make(map[triple.EntityID][]triple.Triple)
+		for _, t := range outcome.SameAs {
+			sameAsBySubject[t.Subject] = append(sameAsBySubject[t.Subject], t)
+		}
+		for kgID, facts := range sameAsBySubject {
+			carrier := triple.NewEntity(kgID)
+			carrier.Add(facts...)
+			conflicts = append(conflicts, fuser.FuseEntity(p.KG.Graph, carrier)...)
+		}
+	}
+	for _, typ := range addTypes {
+		for _, e := range addGroups[typ] {
+			kgID, ok := assignment[e.ID]
+			if !ok {
+				continue
+			}
+			linked := e.Clone()
+			linked.Rewrite(kgID, nil)
+			conflicts = append(conflicts, fuser.FuseEntity(p.KG.Graph, linked)...)
+		}
+	}
+	for _, u := range updates {
+		// Replace this source's stable contribution: drop, then re-fuse.
+		removeSourceStable(p.KG.Graph, u.kgID, d.Source, p.Ont)
+		linked := u.ent.Clone()
+		linked.Rewrite(u.kgID, nil)
+		conflicts = append(conflicts, fuser.FuseEntity(p.KG.Graph, linked)...)
+		stats.Updated++
+	}
+	touched := make(map[triple.EntityID]bool)
+	for _, kgID := range assignment {
+		touched[kgID] = true
+	}
+	for src, kgID := range deleteLinks {
+		if RemoveSource(p.KG.Graph, kgID, d.Source) {
+			stats.Removed = append(stats.Removed, kgID)
+			delete(touched, kgID)
+		} else {
+			touched[kgID] = true
+		}
+		p.KG.Unlink(src)
+		stats.Deleted++
+	}
+	// Volatile partition overwrite runs after the stable payloads fused.
+	for _, v := range d.Volatile {
+		kgID, ok := assignment[v.ID]
+		if !ok {
+			if kgID, ok = p.KG.Lookup(v.ID); !ok {
+				continue // entity not (yet) part of the KG
+			}
+		}
+		ApplyVolatileOverwrite(p.KG.Graph, kgID, d.Source, v, p.Ont)
+		touched[kgID] = true
+		stats.Volatile++
+	}
+	for id := range touched {
+		stats.Touched = append(stats.Touched, id)
+	}
+	sort.Slice(stats.Touched, func(i, j int) bool { return stats.Touched[i] < stats.Touched[j] })
+	sort.Slice(stats.Removed, func(i, j int) bool { return stats.Removed[i] < stats.Removed[j] })
+	stats.Conflicts = len(conflicts)
+	if len(conflicts) > 0 {
+		p.conflictsMu.Lock()
+		p.conflicts = append(p.conflicts, conflicts...)
+		p.conflictsMu.Unlock()
+	}
+	return stats, nil
+}
+
+// Consume processes multiple source deltas through parallel per-source
+// pipelines (inter-source parallelism); fusion inside ConsumeDelta is the
+// synchronization point. Results are ordered as the input.
+func (p *Pipeline) Consume(deltas []ingest.Delta) ([]SourceStats, error) {
+	stats := make([]SourceStats, len(deltas))
+	errs := make([]error, len(deltas))
+	var wg sync.WaitGroup
+	for i := range deltas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], errs[i] = p.ConsumeDelta(deltas[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// ConsumeSequential processes deltas one at a time; the ablation comparator
+// for Consume's inter-source parallelism.
+func (p *Pipeline) ConsumeSequential(deltas []ingest.Delta) ([]SourceStats, error) {
+	out := make([]SourceStats, 0, len(deltas))
+	for _, d := range deltas {
+		s, err := p.ConsumeDelta(d)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// DrainConflicts returns and clears the accumulated fusion conflicts; the
+// curation pipeline consumes them (§4.3).
+func (p *Pipeline) DrainConflicts() []Conflict {
+	p.conflictsMu.Lock()
+	defer p.conflictsMu.Unlock()
+	out := p.conflicts
+	p.conflicts = nil
+	return out
+}
+
+// removeSourceStable drops the source's non-volatile facts from the entity,
+// keeping its volatile partition intact (updates never touch volatile data —
+// that is the overwrite path's job).
+func removeSourceStable(g *triple.Graph, id triple.EntityID, source string, ont *ontology.Ontology) {
+	g.Update(id, func(e *triple.Entity) {
+		kept := e.Triples[:0]
+		for _, t := range e.Triples {
+			if !ont.IsVolatile(t.Predicate) && t.HasSource(source) {
+				out, remains := t.DropSource(source)
+				if !remains {
+					continue
+				}
+				t = out
+			}
+			kept = append(kept, t)
+		}
+		e.Triples = kept
+	})
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

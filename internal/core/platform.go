@@ -1,0 +1,282 @@
+// Package core wires Saga's subsystems into the end-to-end platform of
+// Figure 1: source ingestion feeds the batch construction pipeline, the
+// construction pipeline is the sole producer into the Graph Engine's
+// operation log, orchestration agents derive every store's view of the KG,
+// views materialize on checkpoints, the live graph serves a view of the
+// stable KG unioned with streaming sources, and the ML services (NERD,
+// embeddings, importance) are built over the same engine.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"saga/internal/construct"
+	"saga/internal/graphengine"
+	"saga/internal/importance"
+	"saga/internal/ingest"
+	"saga/internal/live"
+	"saga/internal/live/kgq"
+	"saga/internal/nerd"
+	"saga/internal/ontology"
+	"saga/internal/oplog"
+	"saga/internal/store/entitystore"
+	"saga/internal/store/textindex"
+	"saga/internal/triple"
+	"saga/internal/views"
+)
+
+// Options configures a platform.
+type Options struct {
+	// Ontology defaults to ontology.Default().
+	Ontology *ontology.Ontology
+	// OplogPath makes the operation log durable; empty keeps it in memory.
+	OplogPath string
+	// LinkParams tunes the construction linking stage.
+	LinkParams construct.LinkParams
+}
+
+// Platform is the assembled knowledge platform.
+type Platform struct {
+	Ont      *ontology.Ontology
+	KG       *construct.KG
+	Pipeline *construct.Pipeline
+
+	Engine       *graphengine.Engine
+	EntityStore  *entitystore.Store
+	TextIndex    *textindex.Index
+	GraphReplica *triple.Graph
+
+	ViewCatalog *views.Catalog
+	ViewManager *views.Manager
+
+	Live            *live.Store
+	LiveConstructor *live.Constructor
+	LiveEngine      *kgq.Engine
+	Intents         *live.IntentHandler
+	Curation        *live.Queue
+
+	// NERD is built on demand by BuildNERD.
+	NERD *nerd.NERD
+
+	snapshots map[string]ingest.Snapshot
+}
+
+// New assembles a platform.
+func New(opts Options) (*Platform, error) {
+	ont := opts.Ontology
+	if ont == nil {
+		ont = ontology.Default()
+	}
+	log, err := oplog.Open(opts.OplogPath)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	staging := graphengine.NewObjectStore()
+	if opts.OplogPath != "" {
+		staging, err = graphengine.NewDirObjectStore(opts.OplogPath + ".staging")
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	p := &Platform{
+		Ont:          ont,
+		KG:           construct.NewKG(),
+		Engine:       graphengine.NewWithStaging(log, staging),
+		EntityStore:  entitystore.New(),
+		TextIndex:    textindex.New(),
+		GraphReplica: triple.NewGraph(),
+		ViewCatalog:  views.NewCatalog(),
+		Live:         live.NewStore(),
+		Curation:     live.NewQueue(),
+		snapshots:    make(map[string]ingest.Snapshot),
+	}
+	p.Pipeline = construct.NewPipeline(p.KG, ont)
+	p.Pipeline.Link = opts.LinkParams
+	p.ViewManager = views.NewManager(p.ViewCatalog)
+	p.Engine.RegisterAgent(graphengine.EntityStoreAgent{Store: p.EntityStore})
+	p.Engine.RegisterAgent(graphengine.TextIndexAgent{Index: p.TextIndex})
+	p.Engine.RegisterAgent(graphengine.GraphAgent{Graph: p.GraphReplica})
+	p.LiveConstructor = &live.Constructor{Store: p.Live}
+	p.LiveEngine = kgq.NewEngine(p.Live)
+	p.Intents = live.NewIntentHandler(p.Live, nil)
+	return p, nil
+}
+
+// IngestSource runs a source's ingestion pipeline over a published data
+// version (import → transform → align → delta) and consumes the delta into
+// the KG. The per-source snapshot is kept so the next run diffs against it.
+func (p *Platform) IngestSource(src *ingest.Source, data io.Reader) (construct.SourceStats, error) {
+	res, err := src.Run(data, p.snapshots[src.Name], p.Ont)
+	if err != nil {
+		return construct.SourceStats{}, err
+	}
+	p.snapshots[src.Name] = res.Snapshot
+	return p.ConsumeDelta(res.Delta)
+}
+
+// ConsumeDelta runs one delta through construction and publishes the touched
+// entities to the Graph Engine, then replays agents so all stores converge.
+func (p *Platform) ConsumeDelta(d ingest.Delta) (construct.SourceStats, error) {
+	stats, err := p.Pipeline.ConsumeDelta(d)
+	if err != nil {
+		return stats, err
+	}
+	if err := p.publish(d.Source, stats); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// ConsumeDeltas consumes several sources in parallel, then publishes.
+func (p *Platform) ConsumeDeltas(deltas []ingest.Delta) ([]construct.SourceStats, error) {
+	all, err := p.Pipeline.Consume(deltas)
+	if err != nil {
+		return all, err
+	}
+	for i := range all {
+		if err := p.publish(deltas[i].Source, all[i]); err != nil {
+			return all, err
+		}
+	}
+	return all, nil
+}
+
+func (p *Platform) publish(source string, stats construct.SourceStats) error {
+	if len(stats.Touched) > 0 {
+		payload := make([]*triple.Entity, 0, len(stats.Touched))
+		for _, id := range stats.Touched {
+			if e := p.KG.Graph.Get(id); e != nil {
+				payload = append(payload, e)
+			}
+		}
+		if _, err := p.Engine.Publish(oplog.OpUpsert, source, payload); err != nil {
+			return err
+		}
+	}
+	if len(stats.Removed) > 0 {
+		if _, err := p.Engine.PublishDelete(source, stats.Removed); err != nil {
+			return err
+		}
+	}
+	return p.Engine.CatchUp()
+}
+
+// Checkpoint publishes a construction checkpoint and materializes all
+// registered views over a consistent snapshot of the graph replica.
+func (p *Platform) Checkpoint() (views.RunStats, error) {
+	if _, err := p.Engine.Publish(oplog.OpCheckpoint, "construction", nil); err != nil {
+		return views.RunStats{}, err
+	}
+	if err := p.Engine.CatchUp(); err != nil {
+		return views.RunStats{}, err
+	}
+	names := p.ViewCatalog.Names()
+	if len(names) == 0 {
+		return views.RunStats{}, nil
+	}
+	ctx := views.NewContext(p.GraphReplica.Snapshot())
+	return p.ViewManager.Materialize(ctx, names...)
+}
+
+// RefreshServing pushes the stable KG into the live store (the stable view
+// the live KG unions with streaming sources) with importance-based boosts,
+// and points live mention resolution plus the intent handler at NERD when
+// built.
+func (p *Platform) RefreshServing() {
+	scores := importance.Compute(p.GraphReplica, importance.Options{})
+	boosts := make(map[triple.EntityID]float64, len(scores))
+	var stable []*triple.Entity
+	p.GraphReplica.Range(func(e *triple.Entity) bool {
+		stable = append(stable, e.Clone())
+		return true
+	})
+	for id, s := range scores {
+		boosts[id] = s.Importance
+	}
+	p.LiveConstructor.LoadStableView(stable, boosts)
+}
+
+// BuildNERD materializes the NERD Entity View over the current replica and
+// wires the stack into object resolution (construction), live mention
+// resolution, and intent argument resolution.
+func (p *Platform) BuildNERD() *nerd.NERD {
+	scores := importance.Compute(p.GraphReplica, importance.Options{})
+	view := nerd.BuildEntityView(p.GraphReplica.Snapshot(), scores)
+	p.NERD = nerd.New(view, nerd.NewModel(nil))
+	p.Pipeline.Resolver = p.NERD
+	p.LiveConstructor.Resolver = p.NERD
+	p.Intents.Resolver = p.NERD
+	return p.NERD
+}
+
+// Query executes a KGQ query against the live engine.
+func (p *Platform) Query(text string) (kgq.Result, error) {
+	return p.LiveEngine.Query(text)
+}
+
+// ApplyCurationDecisions drains curation decisions from the live queue and
+// feeds them to the stable KG as the curation streaming source (§4.3): edits
+// become updated facts, blocks become deletions of the offending fact's
+// source attribution.
+func (p *Platform) ApplyCurationDecisions() (int, error) {
+	decisions := p.Curation.DrainDecisions()
+	if len(decisions) == 0 {
+		return 0, nil
+	}
+	for _, d := range decisions {
+		switch d.Kind {
+		case live.DecisionEdit:
+			p.KG.Graph.Update(d.Entity, func(e *triple.Entity) {
+				for i, t := range e.Triples {
+					if t.Key() == d.Fact.Key() {
+						e.Triples[i].Object = d.NewValue
+						e.Triples[i].Sources = []string{live.CurationSource}
+						e.Triples[i].Trust = []float64{1}
+					}
+				}
+			})
+		case live.DecisionBlock:
+			p.KG.Graph.Update(d.Entity, func(e *triple.Entity) {
+				kept := e.Triples[:0]
+				for _, t := range e.Triples {
+					if t.Key() != d.Fact.Key() {
+						kept = append(kept, t)
+					}
+				}
+				e.Triples = kept
+			})
+		case live.DecisionBlockEntity:
+			p.KG.Graph.Delete(d.Entity)
+		}
+		// Publish the hot fix so every store converges.
+		if d.Kind == live.DecisionBlockEntity {
+			if _, err := p.Engine.PublishDelete(live.CurationSource, []triple.EntityID{d.Entity}); err != nil {
+				return 0, err
+			}
+		} else if e := p.KG.Graph.Get(d.Entity); e != nil {
+			if _, err := p.Engine.Publish(oplog.OpCuration, live.CurationSource, []*triple.Entity{e}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return len(decisions), p.Engine.CatchUp()
+}
+
+// Stats summarizes the platform state.
+type Stats struct {
+	Graph        triple.Stats
+	Links        int
+	LogLSN       uint64
+	LiveEntities int
+}
+
+// Stats gathers platform statistics.
+func (p *Platform) Stats() Stats {
+	return Stats{
+		Graph:        p.KG.Graph.Stats(),
+		Links:        p.KG.LinkCount(),
+		LogLSN:       p.Engine.Log.LastLSN(),
+		LiveEntities: p.Live.Len(),
+	}
+}

@@ -1,0 +1,353 @@
+// Package embed implements Saga's knowledge graph embeddings (§5.3): machine
+// learning models that map every entity and predicate to a continuous vector
+// such that graph structure is approximated by vector geometry. A single
+// generalizable trainer supports multiple models (TransE and DistMult here),
+// because different embedding models capture different structural
+// properties. The learned vectors unify fact ranking, fact verification, and
+// missing-fact imputation through vector similarity search (the tasks
+// package file), and the partition-buffer trainer simulates Marius-style
+// external-memory training where the embedding table exceeds device memory.
+package embed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"saga/internal/triple"
+)
+
+// Edge is one entity-to-entity fact (s, p, o) in integer ID space.
+type Edge struct {
+	S, P, O int
+}
+
+// EdgeSet is the training view of the KG: only facts that describe
+// relationships between entities, with metadata facts filtered out — the
+// specialized registered view of §5.3.
+type EdgeSet struct {
+	Entities  []triple.EntityID
+	Relations []string
+	Edges     []Edge
+
+	entIdx map[triple.EntityID]int
+	relIdx map[string]int
+}
+
+// EdgesFromGraph extracts the entity-relationship view from a graph
+// snapshot: every reference-valued fact whose target exists in the graph.
+func EdgesFromGraph(g *triple.Graph) *EdgeSet {
+	es := &EdgeSet{entIdx: make(map[triple.EntityID]int), relIdx: make(map[string]int)}
+	entOf := func(id triple.EntityID) int {
+		if i, ok := es.entIdx[id]; ok {
+			return i
+		}
+		i := len(es.Entities)
+		es.entIdx[id] = i
+		es.Entities = append(es.Entities, id)
+		return i
+	}
+	relOf := func(p string) int {
+		if i, ok := es.relIdx[p]; ok {
+			return i
+		}
+		i := len(es.Relations)
+		es.relIdx[p] = i
+		es.Relations = append(es.Relations, p)
+		return i
+	}
+	ids := g.IDs()
+	for _, id := range ids {
+		e := g.Get(id)
+		for _, t := range e.Triples {
+			if !t.Object.IsRef() || t.Predicate == triple.PredSameAs {
+				continue
+			}
+			target := t.Object.Ref()
+			if !g.Has(target) {
+				continue
+			}
+			pred := t.Predicate
+			if t.IsComposite() {
+				pred = t.Predicate + "." + t.RelPred
+			}
+			es.Edges = append(es.Edges, Edge{S: entOf(id), P: relOf(pred), O: entOf(target)})
+		}
+	}
+	return es
+}
+
+// EntityIndex returns an entity's integer ID.
+func (es *EdgeSet) EntityIndex(id triple.EntityID) (int, bool) {
+	i, ok := es.entIdx[id]
+	return i, ok
+}
+
+// RelationIndex returns a predicate's integer ID.
+func (es *EdgeSet) RelationIndex(p string) (int, bool) {
+	i, ok := es.relIdx[p]
+	return i, ok
+}
+
+// ModelKind selects the embedding model.
+type ModelKind uint8
+
+// Supported embedding models.
+const (
+	// TransE scores a fact by the translation distance ||s + p - o||.
+	TransE ModelKind = iota
+	// DistMult scores a fact by the trilinear product <s, p, o>.
+	DistMult
+)
+
+func (k ModelKind) String() string {
+	if k == DistMult {
+		return "distmult"
+	}
+	return "transe"
+}
+
+// Embeddings holds trained entity and relation vectors.
+type Embeddings struct {
+	Kind ModelKind
+	Dim  int
+	Ent  [][]float64
+	Rel  [][]float64
+
+	set *EdgeSet
+}
+
+// EntityVec returns an entity's embedding, or nil when unknown.
+func (em *Embeddings) EntityVec(id triple.EntityID) []float64 {
+	if i, ok := em.set.EntityIndex(id); ok {
+		return em.Ent[i]
+	}
+	return nil
+}
+
+// EdgeSet returns the training view the embeddings were learned from.
+func (em *Embeddings) EdgeSet() *EdgeSet { return em.set }
+
+// Score returns the model score of a fact in integer ID space: higher means
+// more plausible for both models (TransE distances are negated).
+func (em *Embeddings) Score(s, p, o int) float64 {
+	switch em.Kind {
+	case DistMult:
+		sum := 0.0
+		for d := 0; d < em.Dim; d++ {
+			sum += em.Ent[s][d] * em.Rel[p][d] * em.Ent[o][d]
+		}
+		return sum
+	default:
+		dist := 0.0
+		for d := 0; d < em.Dim; d++ {
+			diff := em.Ent[s][d] + em.Rel[p][d] - em.Ent[o][d]
+			dist += diff * diff
+		}
+		return -math.Sqrt(dist)
+	}
+}
+
+// ScoreFact scores a fact in entity/predicate space; ok is false when any
+// component is unknown to the training view.
+func (em *Embeddings) ScoreFact(s triple.EntityID, p string, o triple.EntityID) (float64, bool) {
+	si, ok1 := em.set.EntityIndex(s)
+	pi, ok2 := em.set.RelationIndex(p)
+	oi, ok3 := em.set.EntityIndex(o)
+	if !ok1 || !ok2 || !ok3 {
+		return 0, false
+	}
+	return em.Score(si, pi, oi), true
+}
+
+// TargetVec returns f(θs, θp): the vector whose nearest entity neighbours
+// are candidate objects for the fact <s, p, ?> (§5.3).
+func (em *Embeddings) TargetVec(s triple.EntityID, p string) ([]float64, bool) {
+	si, ok1 := em.set.EntityIndex(s)
+	pi, ok2 := em.set.RelationIndex(p)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	out := make([]float64, em.Dim)
+	for d := 0; d < em.Dim; d++ {
+		if em.Kind == DistMult {
+			out[d] = em.Ent[si][d] * em.Rel[pi][d]
+		} else {
+			out[d] = em.Ent[si][d] + em.Rel[pi][d]
+		}
+	}
+	return out, true
+}
+
+// TrainOptions tunes embedding training.
+type TrainOptions struct {
+	Kind      ModelKind
+	Dim       int     // default 32
+	Epochs    int     // default 20
+	LR        float64 // default 0.05
+	Margin    float64 // TransE margin; default 1.0
+	Negatives int     // negative samples per positive; default 4
+	Seed      int64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Dim == 0 {
+		o.Dim = 32
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 20
+	}
+	if o.LR == 0 {
+		o.LR = 0.05
+	}
+	if o.Margin == 0 {
+		o.Margin = 1.0
+	}
+	if o.Negatives == 0 {
+		o.Negatives = 4
+	}
+	return o
+}
+
+// Train learns embeddings over the full edge set with SGD and negative
+// sampling (corrupting the object of each positive edge).
+func Train(es *EdgeSet, opts TrainOptions) (*Embeddings, error) {
+	opts = opts.withDefaults()
+	if len(es.Edges) == 0 {
+		return nil, fmt.Errorf("embed: empty edge set")
+	}
+	em := initEmbeddings(es, opts)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	order := rng.Perm(len(es.Edges))
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			e := es.Edges[i]
+			for n := 0; n < opts.Negatives; n++ {
+				neg := rng.Intn(len(es.Entities))
+				step(em, e, neg, opts)
+			}
+		}
+	}
+	return em, nil
+}
+
+func initEmbeddings(es *EdgeSet, opts TrainOptions) *Embeddings {
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	em := &Embeddings{Kind: opts.Kind, Dim: opts.Dim, set: es}
+	scale := 6 / math.Sqrt(float64(opts.Dim))
+	em.Ent = make([][]float64, len(es.Entities))
+	for i := range em.Ent {
+		em.Ent[i] = randomVec(rng, opts.Dim, scale)
+		normalize(em.Ent[i])
+	}
+	em.Rel = make([][]float64, len(es.Relations))
+	for i := range em.Rel {
+		em.Rel[i] = randomVec(rng, opts.Dim, scale)
+	}
+	return em
+}
+
+func randomVec(rng *rand.Rand, dim int, scale float64) []float64 {
+	v := make([]float64, dim)
+	for d := range v {
+		v[d] = (rng.Float64()*2 - 1) * scale
+	}
+	return v
+}
+
+func normalize(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	if n < 1e-12 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// step applies one SGD update for a positive edge and a corrupted object.
+func step(em *Embeddings, e Edge, negO int, opts TrainOptions) {
+	switch em.Kind {
+	case DistMult:
+		// Logistic loss on positive and negative facts.
+		update := func(o int, y float64) {
+			s := em.Score(e.S, e.P, o)
+			g := sigmoid(s) - y
+			for d := 0; d < em.Dim; d++ {
+				es, ep, eo := em.Ent[e.S][d], em.Rel[e.P][d], em.Ent[o][d]
+				em.Ent[e.S][d] -= opts.LR * g * ep * eo
+				em.Rel[e.P][d] -= opts.LR * g * es * eo
+				em.Ent[o][d] -= opts.LR * g * es * ep
+			}
+		}
+		update(e.O, 1)
+		update(negO, 0)
+	default:
+		// Margin ranking loss on squared translation distance.
+		posDist, negDist := 0.0, 0.0
+		for d := 0; d < em.Dim; d++ {
+			pd := em.Ent[e.S][d] + em.Rel[e.P][d] - em.Ent[e.O][d]
+			nd := em.Ent[e.S][d] + em.Rel[e.P][d] - em.Ent[negO][d]
+			posDist += pd * pd
+			negDist += nd * nd
+		}
+		if opts.Margin+posDist-negDist <= 0 {
+			return
+		}
+		lr := opts.LR
+		for d := 0; d < em.Dim; d++ {
+			pd := em.Ent[e.S][d] + em.Rel[e.P][d] - em.Ent[e.O][d]
+			nd := em.Ent[e.S][d] + em.Rel[e.P][d] - em.Ent[negO][d]
+			// d(pos)/dθ − d(neg)/dθ, scaled by 2.
+			em.Ent[e.S][d] -= lr * 2 * (pd - nd)
+			em.Rel[e.P][d] -= lr * 2 * (pd - nd)
+			em.Ent[e.O][d] -= lr * 2 * (-pd)
+			em.Ent[negO][d] -= lr * 2 * nd
+		}
+		normalize(em.Ent[e.S])
+		normalize(em.Ent[e.O])
+		normalize(em.Ent[negO])
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// MeanRank evaluates link-prediction quality: for each test edge, the rank
+// of the true object among all entities by model score (1 is best). Lower is
+// better; random guessing averages |E|/2.
+func MeanRank(em *Embeddings, test []Edge) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, e := range test {
+		trueScore := em.Score(e.S, e.P, e.O)
+		rank := 1
+		for o := range em.Ent {
+			if o != e.O && em.Score(e.S, e.P, o) > trueScore {
+				rank++
+			}
+		}
+		total += float64(rank)
+	}
+	return total / float64(len(test))
+}
+
+// sortEdges orders edges deterministically (helper for tests).
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].S != edges[j].S {
+			return edges[i].S < edges[j].S
+		}
+		if edges[i].P != edges[j].P {
+			return edges[i].P < edges[j].P
+		}
+		return edges[i].O < edges[j].O
+	})
+}

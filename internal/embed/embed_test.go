@@ -1,0 +1,240 @@
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"saga/internal/triple"
+)
+
+// clusterGraph builds two dense communities connected sparsely: entities
+// within a community are linked by "knows"; embeddings should place
+// plausible (intra-community) facts above implausible (cross-community)
+// ones.
+func clusterGraph(perSide int) *triple.Graph {
+	g := triple.NewGraph()
+	add := func(id string) *triple.Entity {
+		e := triple.NewEntity(triple.EntityID(id))
+		e.AddFact(triple.PredType, triple.String("human"))
+		e.AddFact(triple.PredName, triple.String(id))
+		return e
+	}
+	for side := 0; side < 2; side++ {
+		for i := 0; i < perSide; i++ {
+			e := add(fmt.Sprintf("kg:%c%02d", 'A'+side, i))
+			for j := 0; j < perSide; j++ {
+				if i != j {
+					e.AddFact("knows", triple.Ref(triple.EntityID(fmt.Sprintf("kg:%c%02d", 'A'+side, j))))
+				}
+			}
+			g.Put(e)
+		}
+	}
+	return g
+}
+
+func TestEdgesFromGraph(t *testing.T) {
+	g := clusterGraph(4)
+	es := EdgesFromGraph(g)
+	if len(es.Entities) != 8 {
+		t.Fatalf("entities = %d", len(es.Entities))
+	}
+	if len(es.Relations) != 1 || es.Relations[0] != "knows" {
+		t.Fatalf("relations = %v", es.Relations)
+	}
+	if len(es.Edges) != 2*4*3 {
+		t.Fatalf("edges = %d", len(es.Edges))
+	}
+	if _, ok := es.EntityIndex("kg:A00"); !ok {
+		t.Fatal("entity index missing")
+	}
+}
+
+func TestEdgesFromGraphSkipsSameAsAndDangling(t *testing.T) {
+	g := triple.NewGraph()
+	e := triple.NewEntity("kg:E1")
+	e.AddFact(triple.PredSameAs, triple.Ref("src:x"))
+	e.AddFact("spouse", triple.Ref("kg:missing"))
+	g.Put(e)
+	es := EdgesFromGraph(g)
+	if len(es.Edges) != 0 {
+		t.Fatalf("edges = %v", es.Edges)
+	}
+}
+
+func trainSmall(t *testing.T, kind ModelKind) *Embeddings {
+	t.Helper()
+	es := EdgesFromGraph(clusterGraph(6))
+	em, err := Train(es, TrainOptions{Kind: kind, Dim: 16, Epochs: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return em
+}
+
+func testSeparation(t *testing.T, em *Embeddings) {
+	t.Helper()
+	intra, _ := em.ScoreFact("kg:A00", "knows", "kg:A01")
+	var crossSum float64
+	for i := 0; i < 6; i++ {
+		c, _ := em.ScoreFact("kg:A00", "knows", triple.EntityID(fmt.Sprintf("kg:B%02d", i)))
+		crossSum += c
+	}
+	cross := crossSum / 6
+	if intra <= cross {
+		t.Fatalf("intra-community score %f <= cross %f", intra, cross)
+	}
+}
+
+func TestTransESeparatesCommunities(t *testing.T)   { testSeparation(t, trainSmall(t, TransE)) }
+func TestDistMultSeparatesCommunities(t *testing.T) { testSeparation(t, trainSmall(t, DistMult)) }
+
+func TestTrainEmptyEdgeSet(t *testing.T) {
+	if _, err := Train(&EdgeSet{}, TrainOptions{}); err == nil {
+		t.Fatal("empty edge set accepted")
+	}
+}
+
+func TestMeanRankBeatsRandom(t *testing.T) {
+	es := EdgesFromGraph(clusterGraph(6))
+	em, err := Train(es, TrainOptions{Kind: TransE, Dim: 16, Epochs: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := es.Edges[:20]
+	mr := MeanRank(em, test)
+	random := float64(len(es.Entities)) / 2
+	if mr >= random {
+		t.Fatalf("mean rank %f not better than random %f", mr, random)
+	}
+}
+
+func TestPartitionedTrainingIO(t *testing.T) {
+	es := EdgesFromGraph(clusterGraph(8))
+	opts := TrainOptions{Kind: TransE, Dim: 8, Epochs: 2, Seed: 3}
+	_, aware, err := TrainPartitioned(es, opts, PartitionOptions{Partitions: 4, BufferCap: 2, Ordering: OrderBufferAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, random, err := TrainPartitioned(es, opts, PartitionOptions{Partitions: 4, BufferCap: 2, Ordering: OrderRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.Swaps >= random.Swaps {
+		t.Fatalf("buffer-aware swaps %d not fewer than random %d", aware.Swaps, random.Swaps)
+	}
+	if aware.BytesLoaded >= random.BytesLoaded {
+		t.Fatalf("buffer-aware IO %d not below random %d", aware.BytesLoaded, random.BytesLoaded)
+	}
+	if aware.Buckets == 0 {
+		t.Fatal("no buckets processed")
+	}
+}
+
+func TestPartitionedTrainingQuality(t *testing.T) {
+	es := EdgesFromGraph(clusterGraph(6))
+	em, _, err := TrainPartitioned(es,
+		TrainOptions{Kind: TransE, Dim: 16, Epochs: 30, Seed: 5},
+		PartitionOptions{Partitions: 4, BufferCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testSeparation(t, em)
+}
+
+func TestRankObjects(t *testing.T) {
+	em := trainSmall(t, TransE)
+	ranked := RankObjects(em, "kg:A00", "knows",
+		[]triple.EntityID{"kg:B00", "kg:A01", "kg:A02"})
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if ranked[len(ranked)-1].Object != "kg:B00" {
+		t.Fatalf("cross-community fact not ranked last: %+v", ranked)
+	}
+	if got := RankObjects(em, "kg:A00", "unknown_pred", []triple.EntityID{"kg:A01"}); len(got) != 0 {
+		t.Fatalf("unknown predicate ranked: %v", got)
+	}
+}
+
+func TestVerifyFactsFindsInjectedOutlier(t *testing.T) {
+	g := clusterGraph(6)
+	// Inject one cross-community fact: it should surface as an outlier.
+	g.Update("kg:A00", func(e *triple.Entity) {
+		e.AddFact("knows", triple.Ref("kg:B03"))
+	})
+	es := EdgesFromGraph(g)
+	em, err := Train(es, TrainOptions{Kind: TransE, Dim: 16, Epochs: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspects := VerifyFacts(em, 0.05)
+	found := false
+	for _, s := range suspects {
+		if s.Subject == "kg:A00" && s.Object == "kg:B03" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("injected outlier not in bottom 5%%: %+v", suspects)
+	}
+}
+
+func TestImputeFindsCommunityMember(t *testing.T) {
+	es := EdgesFromGraph(clusterGraph(6))
+	em, err := Train(es, TrainOptions{Kind: TransE, Dim: 16, Epochs: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadVectorDB(em, func(triple.EntityID) string { return "human" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Impute(em, db, "kg:A00", "knows", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("imputed = %d", len(got))
+	}
+	// Top suggestions should come from A's own community.
+	for _, f := range got[:2] {
+		if f.Object[3] != 'A' {
+			t.Fatalf("imputed cross-community object: %+v", got)
+		}
+	}
+	if _, err := Impute(em, db, "kg:A00", "ghost_pred", 3); err == nil {
+		t.Fatal("unknown predicate accepted")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	es := EdgesFromGraph(clusterGraph(4))
+	a, _ := Train(es, TrainOptions{Kind: TransE, Dim: 8, Epochs: 3, Seed: 9})
+	b, _ := Train(es, TrainOptions{Kind: TransE, Dim: 8, Epochs: 3, Seed: 9})
+	for i := range a.Ent {
+		for d := range a.Ent[i] {
+			if a.Ent[i][d] != b.Ent[i][d] {
+				t.Fatal("training not deterministic for fixed seed")
+			}
+		}
+	}
+}
+
+func TestLRUBuffer(t *testing.T) {
+	b := newLRUBuffer(2)
+	if !b.touch(1) || !b.touch(2) {
+		t.Fatal("first touches should miss")
+	}
+	if b.touch(1) {
+		t.Fatal("resident partition missed")
+	}
+	if !b.touch(3) { // evicts 2 (LRU)
+		t.Fatal("miss expected")
+	}
+	if !b.touch(2) {
+		t.Fatal("evicted partition should miss")
+	}
+	_ = rand.Int // keep math/rand import meaningful if helpers change
+}

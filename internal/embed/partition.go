@@ -1,0 +1,182 @@
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file simulates external-memory embedding training in the style of
+// Marius (§5.3). Embedding tables for billion-scale KGs exceed device
+// memory, so entities are partitioned, edges are grouped into buckets by
+// their (source partition, object partition) pair, and a fixed-capacity
+// partition buffer stands in for device memory. Processing an edge bucket
+// requires both its partitions to be buffered; the traversal order over
+// buckets determines how many partition swaps (IO) an epoch performs. The
+// buffer-aware ordering processes all buckets sharing buffered partitions
+// before evicting (Marius's optimization); the naive ordering shuffles
+// buckets randomly, modelling schedulers that ignore buffer locality.
+
+// BufferOrdering selects the bucket traversal policy.
+type BufferOrdering uint8
+
+// Orderings for partitioned training.
+const (
+	// OrderBufferAware sweeps buckets so buffered partitions are maximally
+	// reused before eviction (Marius-style).
+	OrderBufferAware BufferOrdering = iota
+	// OrderRandom shuffles buckets randomly (the utilization-poor baseline).
+	OrderRandom
+)
+
+// PartitionOptions configures the external-memory simulation.
+type PartitionOptions struct {
+	// Partitions is the number of entity partitions; default 8.
+	Partitions int
+	// BufferCap is how many partitions fit in device memory; default 2
+	// (the minimum to process any bucket).
+	BufferCap int
+	// Ordering selects the traversal policy.
+	Ordering BufferOrdering
+}
+
+func (o PartitionOptions) withDefaults() PartitionOptions {
+	if o.Partitions == 0 {
+		o.Partitions = 8
+	}
+	if o.BufferCap < 2 {
+		o.BufferCap = 2
+	}
+	return o
+}
+
+// BufferStats reports the IO behaviour of a partitioned training run.
+type BufferStats struct {
+	// Swaps counts partition loads into the buffer (after the initial fill).
+	Swaps int
+	// BytesLoaded is the simulated embedding-table IO volume.
+	BytesLoaded int64
+	// Buckets is the number of edge buckets processed per epoch.
+	Buckets int
+}
+
+// TrainPartitioned trains embeddings with the partition-buffer execution
+// model and reports the simulated IO. The learned model quality matches
+// Train (same SGD), but negatives are sampled from buffered partitions only,
+// as in real external-memory training.
+func TrainPartitioned(es *EdgeSet, opts TrainOptions, popts PartitionOptions) (*Embeddings, BufferStats, error) {
+	opts = opts.withDefaults()
+	popts = popts.withDefaults()
+	if len(es.Edges) == 0 {
+		return nil, BufferStats{}, fmt.Errorf("embed: empty edge set")
+	}
+	numPart := popts.Partitions
+	if numPart > len(es.Entities) {
+		numPart = len(es.Entities)
+		if numPart < 1 {
+			numPart = 1
+		}
+	}
+	partOf := func(ent int) int { return ent % numPart }
+	// Partition members, for in-buffer negative sampling.
+	members := make([][]int, numPart)
+	for i := range es.Entities {
+		p := partOf(i)
+		members[p] = append(members[p], i)
+	}
+	// Edge buckets keyed by (source partition, object partition).
+	buckets := make(map[[2]int][]Edge)
+	for _, e := range es.Edges {
+		k := [2]int{partOf(e.S), partOf(e.O)}
+		buckets[k] = append(buckets[k], e)
+	}
+	order := bucketOrder(numPart, popts.Ordering, opts.Seed)
+	// Keep only non-empty buckets, preserving order.
+	var active [][2]int
+	for _, k := range order {
+		if len(buckets[k]) > 0 {
+			active = append(active, k)
+		}
+	}
+
+	em := initEmbeddings(es, opts)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perPartBytes := int64(len(es.Entities)/numPart+1) * int64(opts.Dim) * 8
+	buffer := newLRUBuffer(popts.BufferCap)
+	stats := BufferStats{Buckets: len(active)}
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		for _, k := range active {
+			for _, p := range []int{k[0], k[1]} {
+				if buffer.touch(p) {
+					stats.Swaps++
+					stats.BytesLoaded += perPartBytes
+				}
+			}
+			// Negative candidates come from the buffered partitions.
+			var negPool []int
+			for _, p := range buffer.resident() {
+				negPool = append(negPool, members[p]...)
+			}
+			for _, e := range buckets[k] {
+				for n := 0; n < opts.Negatives; n++ {
+					neg := negPool[rng.Intn(len(negPool))]
+					step(em, e, neg, opts)
+				}
+			}
+		}
+	}
+	return em, stats, nil
+}
+
+// bucketOrder enumerates all (i,j) partition buckets in the chosen policy.
+func bucketOrder(numPart int, ordering BufferOrdering, seed int64) [][2]int {
+	var order [][2]int
+	switch ordering {
+	case OrderRandom:
+		for i := 0; i < numPart; i++ {
+			for j := 0; j < numPart; j++ {
+				order = append(order, [2]int{i, j})
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	default:
+		// Buffer-aware sweep: hold partition i, stream each j through the
+		// remaining buffer slot, covering (i,j) and (j,i) while j is
+		// resident. With BufferCap 2 this needs O(P²/2) loads per epoch
+		// instead of O(P²) for the random order.
+		for i := 0; i < numPart; i++ {
+			order = append(order, [2]int{i, i})
+			for j := i + 1; j < numPart; j++ {
+				order = append(order, [2]int{i, j}, [2]int{j, i})
+			}
+		}
+	}
+	return order
+}
+
+// lruBuffer models the device-memory partition buffer.
+type lruBuffer struct {
+	cap   int
+	items []int // most recently used last
+}
+
+func newLRUBuffer(cap int) *lruBuffer { return &lruBuffer{cap: cap} }
+
+// touch brings a partition into the buffer, returning true when it caused a
+// load (miss).
+func (b *lruBuffer) touch(p int) bool {
+	for i, x := range b.items {
+		if x == p {
+			b.items = append(append(b.items[:i], b.items[i+1:]...), p)
+			return false
+		}
+	}
+	if len(b.items) >= b.cap {
+		b.items = b.items[1:]
+	}
+	b.items = append(b.items, p)
+	return true
+}
+
+// resident lists buffered partitions.
+func (b *lruBuffer) resident() []int { return b.items }

@@ -1,0 +1,126 @@
+package embed
+
+import (
+	"fmt"
+	"sort"
+
+	"saga/internal/store/vectordb"
+	"saga/internal/triple"
+)
+
+// This file implements the three downstream tasks embeddings unify (§5.3):
+// fact ranking, fact verification, and missing-fact imputation. Ranking and
+// verification score existing facts directly; imputation finds candidate
+// objects by nearest-neighbour search over entity vectors in the vector DB.
+
+// ScoredFact is a fact with its embedding-model plausibility score.
+type ScoredFact struct {
+	Subject   triple.EntityID
+	Predicate string
+	Object    triple.EntityID
+	Score     float64
+}
+
+// RankObjects orders the given candidate objects of <s, p, ?> by decreasing
+// plausibility — fact ranking, for example finding the dominant occupation
+// among several. Unknown components are skipped.
+func RankObjects(em *Embeddings, s triple.EntityID, p string, objects []triple.EntityID) []ScoredFact {
+	out := make([]ScoredFact, 0, len(objects))
+	for _, o := range objects {
+		score, ok := em.ScoreFact(s, p, o)
+		if !ok {
+			continue
+		}
+		out = append(out, ScoredFact{Subject: s, Predicate: p, Object: o, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// VerifyFacts scores every edge of the training view and returns the
+// lowest-scoring fraction as verification candidates: facts whose structure
+// the model finds implausible are outliers to prioritize for auditing.
+func VerifyFacts(em *Embeddings, fraction float64) []ScoredFact {
+	if fraction <= 0 {
+		fraction = 0.05
+	}
+	es := em.EdgeSet()
+	out := make([]ScoredFact, 0, len(es.Edges))
+	for _, e := range es.Edges {
+		out = append(out, ScoredFact{
+			Subject:   es.Entities[e.S],
+			Predicate: es.Relations[e.P],
+			Object:    es.Entities[e.O],
+			Score:     em.Score(e.S, e.P, e.O),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		if out[i].Subject != out[j].Subject {
+			return out[i].Subject < out[j].Subject
+		}
+		return out[i].Object < out[j].Object
+	})
+	n := int(float64(len(out)) * fraction)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
+}
+
+// LoadVectorDB indexes the entity embeddings into a vector DB, tagging each
+// vector with its entity type attribute for filtered search (the "people
+// embeddings" pattern of Figure 7). typeOf may be nil.
+func LoadVectorDB(em *Embeddings, typeOf func(triple.EntityID) string) (*vectordb.DB, error) {
+	db, err := vectordb.New(vectordb.Options{Dim: em.Dim, LSHTables: 4, LSHBits: 10, Seed: 11})
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range em.EdgeSet().Entities {
+		var attrs map[string]string
+		if typeOf != nil {
+			if t := typeOf(id); t != "" {
+				attrs = map[string]string{"type": t}
+			}
+		}
+		if err := db.Put(string(id), em.Ent[i], attrs); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Impute proposes candidate objects for the missing fact <s, p, ?> by
+// nearest-neighbour search between f(θs, θp) and the entity vectors in the
+// vector DB. The subject itself is excluded.
+func Impute(em *Embeddings, db *vectordb.DB, s triple.EntityID, p string, k int) ([]ScoredFact, error) {
+	target, ok := em.TargetVec(s, p)
+	if !ok {
+		return nil, fmt.Errorf("embed: unknown subject %s or predicate %s", s, p)
+	}
+	hits, err := db.Search(target, k+1, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScoredFact, 0, k)
+	for _, h := range hits {
+		if triple.EntityID(h.ID) == s {
+			continue
+		}
+		out = append(out, ScoredFact{Subject: s, Predicate: p, Object: triple.EntityID(h.ID), Score: h.Score})
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}

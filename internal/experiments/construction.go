@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"saga/internal/construct"
+	"saga/internal/ingest"
+	"saga/internal/ontology"
+	"saga/internal/triple"
+	"saga/internal/workload"
+)
+
+// ConstructionResult reproduces the §2.4 design claims: delta-based
+// construction beats full rebuilds, and parallel source pipelines beat
+// sequential consumption.
+type ConstructionResult struct {
+	FullRebuildMS   float64
+	DeltaMS         float64
+	DeltaSpeedup    float64
+	SequentialMS    float64
+	ParallelMS      float64
+	ParallelSpeedup float64
+	Sources         int
+}
+
+// String renders the comparison.
+func (r ConstructionResult) String() string {
+	return fmt.Sprintf("Incremental construction (§2.4): full-rebuild=%.1fms delta=%.1fms (%.1fx); sequential=%.1fms parallel=%.1fms (%.2fx) over %d sources\n",
+		r.FullRebuildMS, r.DeltaMS, r.DeltaSpeedup,
+		r.SequentialMS, r.ParallelMS, r.ParallelSpeedup, r.Sources)
+}
+
+// ConstructionPipeline measures delta-vs-rebuild and parallel-vs-sequential.
+func ConstructionPipeline() (ConstructionResult, error) {
+	ont := ontology.Default()
+	const sources, perSource = 6, 150
+	specs := make([]workload.SourceSpec, sources)
+	for s := range specs {
+		specs[s] = workload.SourceSpec{
+			Name: fmt.Sprintf("src%d", s), Offset: s * perSource, Count: perSource,
+			Seed: int64(s), DupRate: 0.05,
+		}
+	}
+	build := func(consume func(p *construct.Pipeline, deltas []ingest.Delta) error, deltas []ingest.Delta) (float64, error) {
+		kg := construct.NewKG()
+		p := construct.NewPipeline(kg, ont)
+		start := time.Now()
+		err := consume(p, deltas)
+		return float64(time.Since(start).Microseconds()) / 1000, err
+	}
+	fullDeltas := make([]ingest.Delta, sources)
+	for s, spec := range specs {
+		fullDeltas[s] = spec.Delta()
+	}
+	sequential := func(p *construct.Pipeline, deltas []ingest.Delta) error {
+		_, err := p.ConsumeSequential(deltas)
+		return err
+	}
+	parallel := func(p *construct.Pipeline, deltas []ingest.Delta) error {
+		_, err := p.Consume(deltas)
+		return err
+	}
+
+	seqMS, err := build(sequential, fullDeltas)
+	if err != nil {
+		return ConstructionResult{}, err
+	}
+	parMS, err := build(parallel, fullDeltas)
+	if err != nil {
+		return ConstructionResult{}, err
+	}
+
+	// Delta vs rebuild: after the initial load, a new version changes 5% of
+	// one source. Rebuild re-consumes everything; delta consumes the diff.
+	kg := construct.NewKG()
+	p := construct.NewPipeline(kg, ont)
+	if _, err := p.ConsumeSequential(fullDeltas); err != nil {
+		return ConstructionResult{}, err
+	}
+	changed := specs[0]
+	changed.Seed += 1000
+	changedEnts := changed.Entities()
+	smallDelta := ingest.Delta{Source: changed.Name, Updated: changedEnts[:perSource/20]}
+	start := time.Now()
+	if _, err := p.ConsumeDelta(smallDelta); err != nil {
+		return ConstructionResult{}, err
+	}
+	deltaMS := float64(time.Since(start).Microseconds()) / 1000
+
+	rebuildMS, err := build(sequential, fullDeltas)
+	if err != nil {
+		return ConstructionResult{}, err
+	}
+	return ConstructionResult{
+		FullRebuildMS: rebuildMS, DeltaMS: deltaMS, DeltaSpeedup: rebuildMS / deltaMS,
+		SequentialMS: seqMS, ParallelMS: parMS, ParallelSpeedup: seqMS / parMS,
+		Sources: sources,
+	}, nil
+}
+
+// BlockingResult is the blocking ablation: comparisons and wall time of
+// blocked vs quadratic pair generation at equal linking quality.
+type BlockingResult struct {
+	Entities             int
+	BlockedComparisons   int
+	QuadraticComparisons int
+	ReductionX           float64
+	BlockedMS, QuadMS    float64
+	BlockedF1, QuadF1    float64
+}
+
+// String renders the ablation.
+func (r BlockingResult) String() string {
+	return fmt.Sprintf("Blocking ablation: %d entities; comparisons %d vs %d quadratic (%.0fx fewer); time %.1fms vs %.1fms; pair F1 %.3f vs %.3f\n",
+		r.Entities, r.BlockedComparisons, r.QuadraticComparisons, r.ReductionX,
+		r.BlockedMS, r.QuadMS, r.BlockedF1, r.QuadF1)
+}
+
+// BlockingAblation compares blocked and quadratic pair generation on a
+// two-source feed with known ground truth.
+func BlockingAblation() BlockingResult {
+	a := workload.SourceSpec{Name: "sa", Offset: 0, Count: 300, TypoRate: 0.25, Seed: 1}.Entities()
+	b := workload.SourceSpec{Name: "sb", Offset: 0, Count: 300, TypoRate: 0.25, Seed: 2}.Entities()
+	var combined []*triple.Entity
+	combined = append(combined, a...)
+	combined = append(combined, b...)
+	// Ground truth: source-local IDs share the universe index.
+	truth := func(x, y triple.EntityID) bool { return x.Local() == y.Local() && x != y }
+
+	matcher := construct.RuleMatcher{}
+	run := func(gen func() construct.BlockingResult) (construct.BlockingResult, float64, float64) {
+		start := time.Now()
+		blocking := gen()
+		byID := make(map[triple.EntityID]*triple.Entity, len(combined))
+		for _, e := range combined {
+			byID[e.ID] = e
+		}
+		scored := construct.ScorePairs(blocking.Pairs, byID, matcher)
+		tp, fp, fn := 0, 0, 0
+		predicted := make(map[construct.Pair]bool)
+		for _, sp := range scored {
+			if sp.Score >= 0.85 {
+				predicted[sp.Pair] = true
+				if truth(sp.A, sp.B) {
+					tp++
+				} else {
+					fp++
+				}
+			}
+		}
+		for _, x := range a {
+			for _, y := range b {
+				if truth(x.ID, y.ID) && !predicted[construct.MakePair(x.ID, y.ID)] {
+					fn++
+				}
+			}
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		f1 := 0.0
+		if 2*tp+fp+fn > 0 {
+			f1 = 2 * float64(tp) / float64(2*tp+fp+fn)
+		}
+		return blocking, ms, f1
+	}
+	blocked, blockedMS, blockedF1 := run(func() construct.BlockingResult {
+		return construct.GeneratePairs(combined, construct.DefaultBlocker(), construct.GenerateParams{MaxBlockSize: 1024})
+	})
+	quad, quadMS, quadF1 := run(func() construct.BlockingResult {
+		return construct.AllPairs(combined)
+	})
+	return BlockingResult{
+		Entities:             len(combined),
+		BlockedComparisons:   blocked.Comparisons,
+		QuadraticComparisons: quad.Comparisons,
+		ReductionX:           float64(quad.Comparisons) / float64(blocked.Comparisons),
+		BlockedMS:            blockedMS, QuadMS: quadMS,
+		BlockedF1: blockedF1, QuadF1: quadF1,
+	}
+}
+
+// ResolutionResult is the resolution ablation: correlation clustering vs
+// greedy transitive closure against ground-truth clusters. Beyond pair F1,
+// it counts constraint violations: clusters holding more than one canonical
+// KG entity, which correlation clustering forbids (§2.3) and closure
+// produces whenever a noisy chain connects two confusable KG entities.
+type ResolutionResult struct {
+	CorrelationF1                                      float64
+	ClosureF1                                          float64
+	CorrelationClusters, ClosureClusters, TrueClusters int
+	CorrelationViolations, ClosureViolations           int
+}
+
+// String renders the ablation.
+func (r ResolutionResult) String() string {
+	return fmt.Sprintf("Resolution ablation: correlation clustering F1=%.3f (%d clusters, %d KG-constraint violations) vs transitive closure F1=%.3f (%d clusters, %d violations), truth=%d\n",
+		r.CorrelationF1, r.CorrelationClusters, r.CorrelationViolations,
+		r.ClosureF1, r.ClosureClusters, r.ClosureViolations, r.TrueClusters)
+}
+
+// ResolutionAblation compares the clustering strategies on a noisy feed that
+// also contains pairs of confusable canonical KG entities (distinct
+// real-world entities sharing a name), the case where closure over-merges.
+func ResolutionAblation() ResolutionResult {
+	a := workload.SourceSpec{Name: "sa", Offset: 0, Count: 150, TypoRate: 0.35, DupRate: 0.2, Seed: 3}.Entities()
+	b := workload.SourceSpec{Name: "sb", Offset: 0, Count: 150, TypoRate: 0.35, DupRate: 0.2, Seed: 4}.Entities()
+	var combined []*triple.Entity
+	combined = append(combined, a...)
+	combined = append(combined, b...)
+	// Confusable KG pairs: two distinct canonical entities sharing a name
+	// (for example two people called the same), each with a source record.
+	for i := 0; i < 20; i++ {
+		name := workload.PersonName(900 + i)
+		for v := 0; v < 2; v++ {
+			kgEnt := triple.NewEntity(triple.EntityID(fmt.Sprintf("kg:CONF%02d-%d", i, v)))
+			kgEnt.AddFact(triple.PredType, triple.String("human"))
+			kgEnt.AddFact(triple.PredName, triple.String(name))
+			combined = append(combined, kgEnt)
+		}
+	}
+	byID := make(map[triple.EntityID]*triple.Entity, len(combined))
+	nodes := make([]triple.EntityID, 0, len(combined))
+	for _, e := range combined {
+		byID[e.ID] = e
+		nodes = append(nodes, e.ID)
+	}
+	blocking := construct.GeneratePairs(combined, construct.DefaultBlocker(), construct.GenerateParams{MaxBlockSize: 1024})
+	scored := construct.ScorePairs(blocking.Pairs, byID, construct.RuleMatcher{})
+
+	universe := func(id triple.EntityID) string {
+		local := id.Local()
+		// strip the -dup suffix: duplicates share the universe entity
+		if len(local) > 4 && local[len(local)-4:] == "-dup" {
+			local = local[:len(local)-4]
+		}
+		return local
+	}
+	pairF1 := func(clusters []construct.Cluster) float64 {
+		tp, fp := 0, 0
+		trueSize := make(map[string]int)
+		for _, n := range nodes {
+			trueSize[universe(n)]++
+		}
+		truePairs := 0
+		for _, n := range trueSize {
+			truePairs += n * (n - 1) / 2
+		}
+		for _, c := range clusters {
+			for i := 0; i < len(c.Members); i++ {
+				for j := i + 1; j < len(c.Members); j++ {
+					if universe(c.Members[i]) == universe(c.Members[j]) {
+						tp++
+					} else {
+						fp++
+					}
+				}
+			}
+		}
+		fn := truePairs - tp
+		if 2*tp+fp+fn == 0 {
+			return 0
+		}
+		return 2 * float64(tp) / float64(2*tp+fp+fn)
+	}
+	violations := func(clusters []construct.Cluster) int {
+		n := 0
+		for _, c := range clusters {
+			kg := 0
+			for _, m := range c.Members {
+				if m.IsKG() {
+					kg++
+				}
+			}
+			if kg > 1 {
+				n++
+			}
+		}
+		return n
+	}
+	cc := construct.Resolve(nodes, scored, construct.ClusterParams{})
+	tc := construct.TransitiveClosure(nodes, scored, 0.85)
+	trueClusters := make(map[string]bool)
+	for _, n := range nodes {
+		trueClusters[universe(n)] = true
+	}
+	return ResolutionResult{
+		CorrelationF1: pairF1(cc), ClosureF1: pairF1(tc),
+		CorrelationClusters: len(cc), ClosureClusters: len(tc),
+		TrueClusters:          len(trueClusters),
+		CorrelationViolations: violations(cc),
+		ClosureViolations:     violations(tc),
+	}
+}
+
+// VolatileResult is the volatile-overwrite ablation: refreshing high-churn
+// predicates via partition overwrite vs full update fusion.
+type VolatileResult struct {
+	Entities     int
+	OverwriteMS  float64
+	FullFusionMS float64
+	Speedup      float64
+}
+
+// String renders the ablation.
+func (r VolatileResult) String() string {
+	return fmt.Sprintf("Volatile-overwrite ablation: %d entities; overwrite=%.1fms full-fusion=%.1fms (%.1fx)\n",
+		r.Entities, r.OverwriteMS, r.FullFusionMS, r.Speedup)
+}
+
+// VolatileOverwrite measures refreshing every entity's popularity via the
+// volatile path against re-fusing full payloads.
+func VolatileOverwrite() (VolatileResult, error) {
+	ont := ontology.Default()
+	spec := workload.SourceSpec{Name: "s", Count: 600, Seed: 5}
+	kg := construct.NewKG()
+	p := construct.NewPipeline(kg, ont)
+	if _, err := p.ConsumeDelta(spec.Delta()); err != nil {
+		return VolatileResult{}, err
+	}
+	// Fresh payloads with changed popularity.
+	churn := spec
+	churn.Seed += 99
+	ents := churn.Entities()
+	volatileOnly := make([]*triple.Entity, 0, len(ents))
+	for _, e := range ents {
+		v := triple.NewEntity(e.ID)
+		pop := e.First("popularity")
+		if pop.IsNull() {
+			continue
+		}
+		v.Add(triple.New("", "popularity", triple.Float(pop.Float64()*0.5)).WithSource("s", 0.85))
+		volatileOnly = append(volatileOnly, v)
+	}
+
+	start := time.Now()
+	if _, err := p.ConsumeDelta(ingest.Delta{Source: "s", Volatile: volatileOnly}); err != nil {
+		return VolatileResult{}, err
+	}
+	overwriteMS := float64(time.Since(start).Microseconds()) / 1000
+
+	start = time.Now()
+	if _, err := p.ConsumeDelta(ingest.Delta{Source: "s", Updated: ents}); err != nil {
+		return VolatileResult{}, err
+	}
+	fullMS := float64(time.Since(start).Microseconds()) / 1000
+
+	return VolatileResult{
+		Entities:    len(volatileOnly),
+		OverwriteMS: overwriteMS, FullFusionMS: fullMS,
+		Speedup: fullMS / overwriteMS,
+	}, nil
+}

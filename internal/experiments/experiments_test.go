@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests assert the *shape* of each reproduced result: who wins and in
+// which direction, per the reproduction contract (absolute numbers depend on
+// the host).
+
+func TestFig8Shape(t *testing.T) {
+	res, err := Fig8(Fig8Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("views = %d", len(res.Rows))
+	}
+	max, min := 0.0, 1e18
+	byName := map[string]Fig8Row{}
+	for _, row := range res.Rows {
+		byName[row.View] = row
+		if row.Speedup > max {
+			max = row.Speedup
+		}
+		if row.Speedup < min {
+			min = row.Speedup
+		}
+		if row.RowsProduced == 0 {
+			t.Fatalf("view %s produced no rows", row.View)
+		}
+	}
+	// Shape contract: the optimized engine never regresses, the join-heavy
+	// Media People view gains large factors, and the per-view spread spans
+	// well over 3x (the paper's 1.05x–14.5x spread; our minimum sits higher
+	// because the legacy stand-in has no Spark-style fixed overheads to
+	// amortize on scan-heavy views — see EXPERIMENTS.md).
+	if min < 0.95 {
+		t.Fatalf("a view regressed: %+v", res.Rows)
+	}
+	if byName["Media People"].Speedup < 5 {
+		t.Fatalf("join-heavy media people speedup = %.2fx, want >= 5x", byName["Media People"].Speedup)
+	}
+	if max/min < 3 {
+		t.Fatalf("speedup spread %.1fx too narrow (max %.1fx / min %.1fx)", max/min, max, min)
+	}
+	if !strings.Contains(res.String(), "Figure 8") {
+		t.Fatal("missing render")
+	}
+}
+
+func TestViewReuseShape(t *testing.T) {
+	res, err := ViewReuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImprovementPct <= 0 {
+		t.Fatalf("reuse did not help: %+v", res)
+	}
+	if res.SharedViews != 1 {
+		t.Fatalf("shared views = %d", res.SharedViews)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.FactsRel < 10 {
+		t.Fatalf("facts growth %.1fx too small", last.FactsRel)
+	}
+	if last.EntitiesRel < 3 {
+		t.Fatalf("entity growth %.1fx too small", last.EntitiesRel)
+	}
+	// Facts grow faster than entities (multi-source fusion).
+	if last.FactsRel <= last.EntitiesRel {
+		t.Fatalf("facts (%.1fx) should outgrow entities (%.1fx)", last.FactsRel, last.EntitiesRel)
+	}
+	// Inflection: growth before Saga is flat.
+	var sagaIdx int
+	for i, p := range res.Points {
+		if p.SagaOnboard {
+			sagaIdx = i
+		}
+	}
+	pre := res.Points[sagaIdx-1]
+	if pre.FactsRel > 2 {
+		t.Fatalf("pre-Saga growth %.1fx should be flat", pre.FactsRel)
+	}
+}
+
+func TestFig14aShape(t *testing.T) {
+	res := Fig14a()
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	at09 := res.Rows[0]
+	if at09.Cutoff != 0.9 {
+		t.Fatalf("first cutoff = %f", at09.Cutoff)
+	}
+	if at09.RecallGain < 20 {
+		t.Fatalf("recall gain at 0.9 = %.1f%%, want large", at09.RecallGain)
+	}
+	if at09.PrecisionGain < -2 {
+		t.Fatalf("precision gain at 0.9 = %.1f%%, should not regress", at09.PrecisionGain)
+	}
+	// Gains diminish at lower cutoffs (paper's trend).
+	last := res.Rows[len(res.Rows)-1]
+	if last.RecallGain > at09.RecallGain {
+		t.Fatalf("recall gain should diminish: 0.9=%.1f%% 0.6=%.1f%%", at09.RecallGain, last.RecallGain)
+	}
+}
+
+func TestFig14bShape(t *testing.T) {
+	res := Fig14b()
+	if res.NERDTypeHints.Precision < res.NERD.Precision {
+		t.Fatalf("type hints should not hurt precision: %+v", res)
+	}
+	if res.NERDTypeHints.Recall <= res.Baseline.Recall {
+		t.Fatalf("NERD+hints recall %.3f should beat baseline %.3f",
+			res.NERDTypeHints.Recall, res.Baseline.Recall)
+	}
+	if res.NERDTypeHints.Precision <= res.Baseline.Precision {
+		t.Fatalf("NERD+hints precision %.3f should beat baseline %.3f",
+			res.NERDTypeHints.Precision, res.Baseline.Precision)
+	}
+}
+
+func TestCandidatePruningShape(t *testing.T) {
+	res := CandidatePruning()
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].RecallAtK < res.Rows[i-1].RecallAtK {
+			t.Fatalf("recall@k not monotone: %+v", res.Rows)
+		}
+	}
+	if last := res.Rows[len(res.Rows)-1]; last.RecallAtK < 0.9 {
+		t.Fatalf("recall@%d = %.3f, want high", last.K, last.RecallAtK)
+	}
+}
+
+func TestLiveLatencyShape(t *testing.T) {
+	res, err := LiveLatency(800, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P95 >= 20*time.Millisecond {
+		t.Fatalf("p95 = %v, paper claims < 20ms", res.P95)
+	}
+	if res.P50 > res.P95 || res.P95 > res.P99 {
+		t.Fatalf("percentiles disordered: %+v", res)
+	}
+}
+
+func TestLearnedSimilarityRecallShape(t *testing.T) {
+	res := LearnedSimilarityRecall()
+	if res.GainPoints < 20 {
+		t.Fatalf("recall gain = %.1f points, paper claims > 20", res.GainPoints)
+	}
+	if res.Precision.Learned < 0.7 {
+		t.Fatalf("learned precision collapsed: %.3f", res.Precision.Learned)
+	}
+}
+
+func TestEmbeddingTrainingShape(t *testing.T) {
+	res, err := EmbeddingTraining()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AwareSwaps >= res.RandomSwaps {
+		t.Fatalf("buffer-aware swaps %d not below random %d", res.AwareSwaps, res.RandomSwaps)
+	}
+	if res.TransEMeanRank >= float64(res.Entities)/2 {
+		t.Fatalf("TransE mean rank %.1f no better than random", res.TransEMeanRank)
+	}
+	if res.DistMultMeanRank >= float64(res.Entities)/2 {
+		t.Fatalf("DistMult mean rank %.1f no better than random", res.DistMultMeanRank)
+	}
+}
+
+func TestConstructionPipelineShape(t *testing.T) {
+	res, err := ConstructionPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeltaSpeedup < 2 {
+		t.Fatalf("delta speedup %.1fx too small vs rebuild", res.DeltaSpeedup)
+	}
+}
+
+func TestBlockingAblationShape(t *testing.T) {
+	res := BlockingAblation()
+	if res.ReductionX < 3 {
+		t.Fatalf("blocking reduced comparisons only %.1fx", res.ReductionX)
+	}
+	if res.BlockedF1 < res.QuadF1-0.05 {
+		t.Fatalf("blocking lost quality: %.3f vs %.3f", res.BlockedF1, res.QuadF1)
+	}
+}
+
+func TestResolutionAblationShape(t *testing.T) {
+	res := ResolutionAblation()
+	if res.CorrelationF1 < res.ClosureF1 {
+		t.Fatalf("correlation clustering F1 %.3f below closure %.3f", res.CorrelationF1, res.ClosureF1)
+	}
+}
+
+func TestVolatileOverwriteShape(t *testing.T) {
+	res, err := VolatileOverwrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 1.2 {
+		t.Fatalf("volatile overwrite speedup %.1fx too small", res.Speedup)
+	}
+}

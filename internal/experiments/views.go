@@ -1,0 +1,229 @@
+// Package experiments implements the reproduction harness: one function per
+// table/figure of the paper's evaluation plus the in-text claims and the
+// design-choice ablations listed in DESIGN.md. Each experiment returns a
+// printable result whose rows mirror what the paper reports; bench_test.go
+// wraps them as testing.B benchmarks and cmd/saga-bench prints them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"saga/internal/store/analytics"
+	"saga/internal/triple"
+	"saga/internal/views"
+	"saga/internal/workload"
+)
+
+// Fig8Spec sizes the Figure 8 experiment.
+type Fig8Spec struct {
+	// Scale multiplies the default workload size; 1 is bench scale.
+	Scale int
+}
+
+// Fig8Row is one bar of Figure 8: a production view with the latency of both
+// executors and their ratio (legacy / graph engine).
+type Fig8Row struct {
+	View         string
+	Joins        int
+	LegacyMS     float64
+	EngineMS     float64
+	Speedup      float64
+	RowsProduced int
+}
+
+// Fig8Result reproduces Figure 8: relative view-computation performance of
+// the Graph Engine's analytics store versus the legacy row-at-a-time system.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// String renders the paper-style table.
+func (r Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: Graph Engine view computation vs legacy (speedup = legacy/engine)\n")
+	b.WriteString(fmt.Sprintf("%-16s %6s %12s %12s %9s\n", "view", "joins", "legacy(ms)", "engine(ms)", "speedup"))
+	var sum, max, min float64
+	min = 1e18
+	for _, row := range r.Rows {
+		b.WriteString(fmt.Sprintf("%-16s %6d %12.2f %12.2f %8.2fx\n",
+			row.View, row.Joins, row.LegacyMS, row.EngineMS, row.Speedup))
+		sum += row.Speedup
+		if row.Speedup > max {
+			max = row.Speedup
+		}
+		if row.Speedup < min {
+			min = row.Speedup
+		}
+	}
+	b.WriteString(fmt.Sprintf("average %.2fx, max %.2fx, min %.2fx (paper: avg ~5x, max ~14.5x, min ~1.05x)\n",
+		sum/float64(len(r.Rows)), max, min))
+	return b.String()
+}
+
+// fig8Views returns the six production view definitions of Figure 8, ordered
+// from few joins (Songs-like) to join-heavy (Media People-like) so the
+// speedup spread matches the paper's shape.
+func fig8Views() []analytics.EntityViewSpec {
+	return []analytics.EntityViewSpec{
+		{Name: "Songs", Type: "song", Predicates: []string{"duration_sec", "release_year"}},
+		{Name: "Artists", Type: "music_artist", Predicates: []string{triple.PredName, "genre", "popularity"}},
+		{Name: "Playlists", Type: "playlist", Predicates: []string{triple.PredName},
+			Enrich: []analytics.Enrichment{{Path: []string{"track", triple.PredName}, As: "track_name"}}},
+		{Name: "Playlist Artists", Type: "playlist", Predicates: []string{triple.PredName},
+			Enrich: []analytics.Enrichment{{Path: []string{"track", "performed_by", triple.PredName}, As: "artist_name"}}},
+		{Name: "People", Type: "human", Predicates: []string{triple.PredName, "occupation"},
+			Enrich: []analytics.Enrichment{{Path: []string{"birth_place", triple.PredName}, As: "birth_city"}}},
+		{Name: "Media People", Type: "movie", Predicates: []string{triple.PredName, "release_year"},
+			RelAttrs: map[string][]string{"cast_member": {"character"}},
+			Enrich: []analytics.Enrichment{
+				{Path: []string{"cast_member.actor", triple.PredName}, As: "actor_name"},
+				{Path: []string{"cast_member.actor", "occupation"}, As: "actor_occupation"},
+				{Path: []string{"cast_member.actor", "birth_place", triple.PredName}, As: "actor_birth_city"},
+			}},
+	}
+}
+
+// Fig8 runs the view-computation comparison.
+func Fig8(spec Fig8Spec) (Fig8Result, error) {
+	scale := spec.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	g := workload.MusicSpec{
+		Artists: 60 * scale, SongsPerArtist: 6, Playlists: 40 * scale, TracksPerList: 12,
+		People: 300 * scale, MediaPeople: 500 * scale, Seed: 42,
+	}.Graph()
+	store := analytics.FromGraph(g)
+	var out Fig8Result
+	for _, vs := range fig8Views() {
+		legacy, rows, err := timeView(store, vs, analytics.LegacyExecutor{})
+		if err != nil {
+			return out, err
+		}
+		engine, rows2, err := timeView(store, vs, analytics.HashExecutor{})
+		if err != nil {
+			return out, err
+		}
+		if rows != rows2 {
+			return out, fmt.Errorf("experiments: executors disagree on %s: %d vs %d rows", vs.Name, rows, rows2)
+		}
+		out.Rows = append(out.Rows, Fig8Row{
+			View:     vs.Name,
+			Joins:    vs.JoinCount(),
+			LegacyMS: legacy, EngineMS: engine,
+			Speedup:      legacy / engine,
+			RowsProduced: rows,
+		})
+	}
+	return out, nil
+}
+
+// timeView reports the best of three runs, shielding the speedup ratios from
+// GC pauses and scheduler noise when the experiment itself runs in a loop.
+func timeView(store *analytics.Store, vs analytics.EntityViewSpec, exec analytics.Executor) (float64, int, error) {
+	best, rows := 0.0, 0
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		rel, err := analytics.BuildEntityView(store, vs, exec)
+		if err != nil {
+			return 0, 0, err
+		}
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		if rep == 0 || elapsed < best {
+			best = elapsed
+		}
+		rows = rel.Len()
+	}
+	return best, rows, nil
+}
+
+// ReuseResult reproduces the §3.2 in-text claim: 26% run-time improvement
+// from view-dependency reuse in a production view DAG (Figure 7).
+type ReuseResult struct {
+	WithReuseMS    float64
+	WithoutReuseMS float64
+	ImprovementPct float64
+	SharedViews    int
+}
+
+// String renders the comparison.
+func (r ReuseResult) String() string {
+	return fmt.Sprintf("View-dependency reuse (§3.2): with=%.2fms without=%.2fms improvement=%.1f%% (paper: 26%%)\n",
+		r.WithReuseMS, r.WithoutReuseMS, r.ImprovementPct)
+}
+
+// ViewReuse builds the Figure 7 dependency DAG with real analytics work in
+// each view and compares shared materialization against per-sink
+// recomputation.
+func ViewReuse() (ReuseResult, error) {
+	g := workload.MusicSpec{Artists: 40, SongsPerArtist: 6, Playlists: 30, TracksPerList: 10,
+		People: 200, MediaPeople: 80, Seed: 7}.Graph()
+	catalog := views.NewCatalog()
+	exec := analytics.HashExecutor{}
+	register := func(def views.Definition) error { return catalog.Register(def) }
+	// entity-features: degree features over the whole graph (the expensive
+	// shared ancestor).
+	if err := register(views.Definition{
+		Name: "entity-features", Engine: "analytics",
+		Create: func(ctx *views.Context) error {
+			store := analytics.FromGraph(ctx.Graph)
+			out := exec.Join(store.DegreeRelation(exec), store.InDegreeRelation(exec), "subj", "subj")
+			ctx.SetArtifact("entity-features", out)
+			return nil
+		},
+	}); err != nil {
+		return ReuseResult{}, err
+	}
+	dependent := func(name string) views.Definition {
+		return views.Definition{
+			Name: name, Engine: "analytics", DependsOn: []string{"entity-features"},
+			Create: func(ctx *views.Context) error {
+				feats, _ := ctx.Artifact("entity-features")
+				rel := feats.(*analytics.Relation)
+				// Cheap consumer: a filter over the shared features.
+				out := exec.Filter(rel, "out_degree", func(v triple.Value) bool { return v.Int64() > 1 })
+				ctx.SetArtifact(name, out)
+				return nil
+			},
+		}
+	}
+	if err := register(dependent("ranked-entity-index")); err != nil {
+		return ReuseResult{}, err
+	}
+	if err := register(dependent("entity-neighbourhood")); err != nil {
+		return ReuseResult{}, err
+	}
+	m := views.NewManager(catalog)
+	sinks := []string{"ranked-entity-index", "entity-neighbourhood"}
+
+	// Best of three per variant: the comparison is between evaluation plans,
+	// not between GC pauses.
+	var stats views.RunStats
+	with, without := 0.0, 0.0
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		s, err := m.Materialize(views.NewContext(g), sinks...)
+		if err != nil {
+			return ReuseResult{}, err
+		}
+		stats = s
+		if e := float64(time.Since(start).Microseconds()) / 1000; rep == 0 || e < with {
+			with = e
+		}
+		start = time.Now()
+		if _, err := m.MaterializeNoReuse(views.NewContext(g), sinks...); err != nil {
+			return ReuseResult{}, err
+		}
+		if e := float64(time.Since(start).Microseconds()) / 1000; rep == 0 || e < without {
+			without = e
+		}
+	}
+	return ReuseResult{
+		WithReuseMS:    with,
+		WithoutReuseMS: without,
+		ImprovementPct: (without - with) / without * 100,
+		SharedViews:    stats.Reused,
+	}, nil
+}

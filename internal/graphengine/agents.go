@@ -1,0 +1,154 @@
+package graphengine
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"saga/internal/oplog"
+	"saga/internal/store/entitystore"
+	"saga/internal/store/textindex"
+	"saga/internal/triple"
+)
+
+// encodeEntities frames entity payloads with the CRC-checked record codec.
+func encodeEntities(entities []*triple.Entity) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, e := range entities {
+		data, err := e.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		if err := triple.WriteRecord(&buf, data); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeEntities(payload []byte) ([]*triple.Entity, error) {
+	r := bytes.NewReader(payload)
+	var out []*triple.Entity
+	for {
+		rec, err := triple.ReadRecord(r)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		var e triple.Entity
+		if err := e.UnmarshalBinary(rec); err != nil {
+			return nil, err
+		}
+		out = append(out, &e)
+	}
+}
+
+// EntityStoreAgent replays KG updates into the low-latency entity index.
+type EntityStoreAgent struct {
+	Store *entitystore.Store
+}
+
+// Name implements Agent.
+func (EntityStoreAgent) Name() string { return "entity-store" }
+
+// Apply implements Agent: upserts and overwrites replace payload entities;
+// deletes remove them; checkpoints and unknown kinds are no-ops (agents must
+// tolerate new operation kinds for extensibility).
+func (a EntityStoreAgent) Apply(op oplog.Op, entities []*triple.Entity) error {
+	switch op.Kind {
+	case oplog.OpUpsert, oplog.OpOverwritePartition, oplog.OpCuration:
+		for _, e := range entities {
+			if err := a.Store.Put(e); err != nil {
+				return err
+			}
+		}
+	case oplog.OpDelete:
+		for _, id := range op.EntityIDs {
+			a.Store.Delete(id)
+		}
+	}
+	return nil
+}
+
+// TextIndexAgent replays KG updates into the full-text index: each entity's
+// searchable document is its name, aliases, and description.
+type TextIndexAgent struct {
+	Index *textindex.Index
+}
+
+// Name implements Agent.
+func (TextIndexAgent) Name() string { return "text-index" }
+
+// Apply implements Agent.
+func (a TextIndexAgent) Apply(op oplog.Op, entities []*triple.Entity) error {
+	switch op.Kind {
+	case oplog.OpUpsert, oplog.OpCuration:
+		for _, e := range entities {
+			a.Index.Put(textindex.Doc{ID: string(e.ID), Text: EntityDocText(e)})
+		}
+	case oplog.OpDelete:
+		for _, id := range op.EntityIDs {
+			a.Index.Delete(string(id))
+		}
+	}
+	return nil
+}
+
+// EntityDocText renders an entity's searchable text.
+func EntityDocText(e *triple.Entity) string {
+	var b strings.Builder
+	for _, alias := range e.Aliases() {
+		b.WriteString(alias)
+		b.WriteByte(' ')
+	}
+	if d := e.First("description"); !d.IsNull() {
+		b.WriteString(d.Text())
+	}
+	return b.String()
+}
+
+// GraphAgent replays updates into an in-memory graph replica — the base
+// "current KG" other stores and views read. Read-side consumers (analytics
+// refresh, view materialization) snapshot this replica at checkpoints.
+type GraphAgent struct {
+	Graph *triple.Graph
+}
+
+// Name implements Agent.
+func (GraphAgent) Name() string { return "graph-replica" }
+
+// Apply implements Agent.
+func (a GraphAgent) Apply(op oplog.Op, entities []*triple.Entity) error {
+	switch op.Kind {
+	case oplog.OpUpsert, oplog.OpOverwritePartition, oplog.OpCuration:
+		for _, e := range entities {
+			a.Graph.Put(e)
+		}
+	case oplog.OpDelete:
+		for _, id := range op.EntityIDs {
+			a.Graph.Delete(id)
+		}
+	}
+	return nil
+}
+
+// FuncAgent adapts a function into an Agent, for prototyping new stores with
+// "reasonably small engineering effort" (§3.1).
+type FuncAgent struct {
+	AgentName string
+	Fn        func(op oplog.Op, entities []*triple.Entity) error
+}
+
+// Name implements Agent.
+func (f FuncAgent) Name() string { return f.AgentName }
+
+// Apply implements Agent.
+func (f FuncAgent) Apply(op oplog.Op, entities []*triple.Entity) error {
+	if f.Fn == nil {
+		return fmt.Errorf("graphengine: FuncAgent %s has no Fn", f.AgentName)
+	}
+	return f.Fn(op, entities)
+}

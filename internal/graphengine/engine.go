@@ -1,0 +1,316 @@
+// Package graphengine implements the Knowledge Graph Query Engine's data
+// lifecycle layer (§3.1, Figure 6): a federated polystore in which the KG
+// construction pipeline is the sole producer, payloads are staged in a
+// high-throughput object store, ingest operations flow through the durable
+// operation log, and per-store orchestration agents replay operations in
+// order so every engine eventually derives its view of the KG from the same
+// base data. Agents track their replay progress (LSN) in a metadata store,
+// from which consumers read store freshness.
+package graphengine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"saga/internal/oplog"
+	"saga/internal/triple"
+)
+
+// ObjectStore is the staging store for ingest payloads: a durable,
+// high-throughput blob store keyed by staging key — write once, read by any
+// agent, delete after retention. The memory implementation backs tests and
+// ephemeral deployments; the directory implementation persists payloads so a
+// durable operation log can be replayed after a restart.
+type ObjectStore interface {
+	// Stage writes a payload and returns its generated staging key.
+	Stage(payload []byte) string
+	// Get reads a staged payload.
+	Get(key string) ([]byte, bool)
+	// Delete removes a staged payload after retention.
+	Delete(key string)
+	// Len returns the number of staged payloads.
+	Len() int
+}
+
+// memObjectStore is the in-memory staging store.
+type memObjectStore struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+	seq  uint64
+}
+
+// NewObjectStore constructs an empty in-memory staging store.
+func NewObjectStore() ObjectStore {
+	return &memObjectStore{data: make(map[string][]byte)}
+}
+
+func (s *memObjectStore) Stage(payload []byte) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	key := fmt.Sprintf("staging/%08d", s.seq)
+	s.data[key] = payload
+	return key
+}
+
+func (s *memObjectStore) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.data[key]
+	return p, ok
+}
+
+func (s *memObjectStore) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+func (s *memObjectStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// dirObjectStore persists each payload as a file under a directory, so
+// staged payloads survive restarts alongside a durable operation log.
+type dirObjectStore struct {
+	mu  sync.Mutex
+	dir string
+	seq uint64
+}
+
+// NewDirObjectStore opens (creating if needed) a directory-backed staging
+// store. Existing payloads are retained and the key sequence resumes past
+// them.
+func NewDirObjectStore(dir string) (ObjectStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("graphengine: staging dir %s: %w", dir, err)
+	}
+	s := &dirObjectStore{dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("graphengine: scan staging dir: %w", err)
+	}
+	for _, ent := range entries {
+		var n uint64
+		if _, err := fmt.Sscanf(ent.Name(), "%d.blob", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+	return s, nil
+}
+
+func (s *dirObjectStore) path(key string) string {
+	return filepath.Join(s.dir, strings.TrimPrefix(key, "staging/")+".blob")
+}
+
+func (s *dirObjectStore) Stage(payload []byte) string {
+	s.mu.Lock()
+	s.seq++
+	key := fmt.Sprintf("staging/%08d", s.seq)
+	s.mu.Unlock()
+	// Best-effort write; Get reports absence if the write failed.
+	_ = os.WriteFile(s.path(key), payload, 0o644)
+	return key
+}
+
+func (s *dirObjectStore) Get(key string) ([]byte, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func (s *dirObjectStore) Delete(key string) { _ = os.Remove(s.path(key)) }
+
+func (s *dirObjectStore) Len() int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".blob") {
+			n++
+		}
+	}
+	return n
+}
+
+// Agent is one orchestration agent: it encapsulates all store-specific logic
+// for applying a KG update to its engine. The rest of the framework is
+// generic — onboarding a new storage engine means implementing this
+// interface and registering it (§3.1's extensibility goal).
+type Agent interface {
+	// Name identifies the agent in the metadata store.
+	Name() string
+	// Apply replays one operation. Entities is the decoded staged payload
+	// (nil for operations without payloads, such as deletes or checkpoints).
+	Apply(op oplog.Op, entities []*triple.Entity) error
+}
+
+// MetadataStore tracks each agent's replayed LSN; consumers read a store's
+// freshness from it ("serving at least KG version X").
+type MetadataStore struct {
+	mu   sync.RWMutex
+	lsns map[string]uint64
+}
+
+// NewMetadataStore constructs an empty metadata store.
+func NewMetadataStore() *MetadataStore {
+	return &MetadataStore{lsns: make(map[string]uint64)}
+}
+
+// SetLSN records that the agent replayed through the LSN.
+func (m *MetadataStore) SetLSN(agent string, lsn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lsns[agent] = lsn
+}
+
+// LSN returns the agent's replayed LSN.
+func (m *MetadataStore) LSN(agent string) uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.lsns[agent]
+}
+
+// MinLSN returns the minimum replayed LSN across agents: the KG version every
+// store is guaranteed to serve.
+func (m *MetadataStore) MinLSN() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	first := true
+	var min uint64
+	for _, lsn := range m.lsns {
+		if first || lsn < min {
+			min, first = lsn, false
+		}
+	}
+	return min
+}
+
+// Engine wires the log, staging store, metadata store, and agents into the
+// polystore coordinator.
+type Engine struct {
+	Log      *oplog.Log
+	Staging  ObjectStore
+	Metadata *MetadataStore
+
+	mu     sync.RWMutex
+	agents []Agent
+}
+
+// New constructs an engine over the given log with in-memory staging.
+func New(log *oplog.Log) *Engine {
+	return NewWithStaging(log, NewObjectStore())
+}
+
+// NewWithStaging constructs an engine with an explicit staging store; pair a
+// durable log with NewDirObjectStore so replay survives restarts.
+func NewWithStaging(log *oplog.Log, staging ObjectStore) *Engine {
+	return &Engine{Log: log, Staging: staging, Metadata: NewMetadataStore()}
+}
+
+// RegisterAgent adds an orchestration agent; its replay position starts at 0,
+// so the next CatchUp replays the full log into it.
+func (e *Engine) RegisterAgent(a Agent) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.agents = append(e.agents, a)
+	e.Metadata.SetLSN(a.Name(), 0)
+}
+
+// Agents returns the registered agent names.
+func (e *Engine) Agents() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, len(e.agents))
+	for i, a := range e.agents {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+// Publish stages the entity payload, appends the operation to the log, and
+// returns the assigned LSN. It is the single write path into the polystore:
+// construction publishes upserts, deletes, partition overwrites, curation
+// fixes, and checkpoints through it.
+func (e *Engine) Publish(kind oplog.OpKind, source string, entities []*triple.Entity) (uint64, error) {
+	op := oplog.Op{Kind: kind, Source: source}
+	if len(entities) > 0 {
+		payload, err := encodeEntities(entities)
+		if err != nil {
+			return 0, fmt.Errorf("graphengine: encode payload: %w", err)
+		}
+		op.StagingKey = e.Staging.Stage(payload)
+		for _, ent := range entities {
+			op.EntityIDs = append(op.EntityIDs, ent.ID)
+		}
+	}
+	lsn, err := e.Log.Append(op)
+	if err != nil {
+		return 0, fmt.Errorf("graphengine: append op: %w", err)
+	}
+	return lsn, nil
+}
+
+// PublishDelete appends a delete operation for the given entities.
+func (e *Engine) PublishDelete(source string, ids []triple.EntityID) (uint64, error) {
+	return e.Log.Append(oplog.Op{Kind: oplog.OpDelete, Source: source, EntityIDs: ids})
+}
+
+// CatchUp replays pending operations into every agent, in log order, and
+// advances each agent's LSN in the metadata store. Agents that fail stop
+// advancing (and their error is returned) but do not block other agents —
+// stores degrade independently, never inconsistently.
+func (e *Engine) CatchUp() error {
+	e.mu.RLock()
+	agents := append([]Agent(nil), e.agents...)
+	e.mu.RUnlock()
+	var firstErr error
+	for _, a := range agents {
+		from := e.Metadata.LSN(a.Name())
+		ops := e.Log.Read(from, 0)
+		for _, op := range ops {
+			entities, err := e.payloadOf(op)
+			if err == nil {
+				err = a.Apply(op, entities)
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("graphengine: agent %s at lsn %d: %w", a.Name(), op.LSN, err)
+				}
+				break
+			}
+			e.Metadata.SetLSN(a.Name(), op.LSN)
+		}
+	}
+	return firstErr
+}
+
+func (e *Engine) payloadOf(op oplog.Op) ([]*triple.Entity, error) {
+	if op.StagingKey == "" {
+		return nil, nil
+	}
+	payload, ok := e.Staging.Get(op.StagingKey)
+	if !ok {
+		return nil, fmt.Errorf("staged payload %s missing", op.StagingKey)
+	}
+	return decodeEntities(payload)
+}
+
+// Freshness reports how many operations an agent is behind the log head.
+func (e *Engine) Freshness(agent string) (behind uint64) {
+	head := e.Log.LastLSN()
+	at := e.Metadata.LSN(agent)
+	if head < at {
+		return 0
+	}
+	return head - at
+}

@@ -1,0 +1,175 @@
+package graphengine
+
+import (
+	"fmt"
+	"testing"
+
+	"saga/internal/oplog"
+	"saga/internal/store/entitystore"
+	"saga/internal/store/textindex"
+	"saga/internal/triple"
+)
+
+func testEntity(id, name string) *triple.Entity {
+	e := triple.NewEntity(triple.EntityID(id))
+	e.Add(triple.New("", triple.PredName, triple.String(name)).WithSource("src", 0.9))
+	return e
+}
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	log, err := oplog.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(log)
+}
+
+func TestPublishAndCatchUp(t *testing.T) {
+	e := newEngine(t)
+	es := entitystore.New()
+	tx := textindex.New()
+	g := triple.NewGraph()
+	e.RegisterAgent(EntityStoreAgent{Store: es})
+	e.RegisterAgent(TextIndexAgent{Index: tx})
+	e.RegisterAgent(GraphAgent{Graph: g})
+
+	if _, err := e.Publish(oplog.OpUpsert, "musicdb", []*triple.Entity{
+		testEntity("kg:E1", "Adele"), testEntity("kg:E2", "Sia"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	// All stores derived the same update.
+	if got, _ := es.Get("kg:E1"); got == nil || got.Name() != "Adele" {
+		t.Fatalf("entity store: %+v", got)
+	}
+	if hits := tx.Search("adele", 1); len(hits) != 1 || hits[0].ID != "kg:E1" {
+		t.Fatalf("text index: %v", hits)
+	}
+	if !g.Has("kg:E2") {
+		t.Fatal("graph replica missing entity")
+	}
+	for _, agent := range e.Agents() {
+		if lsn := e.Metadata.LSN(agent); lsn != 1 {
+			t.Fatalf("agent %s lsn = %d", agent, lsn)
+		}
+		if e.Freshness(agent) != 0 {
+			t.Fatalf("agent %s behind", agent)
+		}
+	}
+	if e.Metadata.MinLSN() != 1 {
+		t.Fatalf("min lsn = %d", e.Metadata.MinLSN())
+	}
+}
+
+func TestDeletePropagates(t *testing.T) {
+	e := newEngine(t)
+	es := entitystore.New()
+	tx := textindex.New()
+	e.RegisterAgent(EntityStoreAgent{Store: es})
+	e.RegisterAgent(TextIndexAgent{Index: tx})
+	e.Publish(oplog.OpUpsert, "s", []*triple.Entity{testEntity("kg:E1", "Gone Soon")})
+	e.PublishDelete("s", []triple.EntityID{"kg:E1"})
+	if err := e.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := es.Get("kg:E1"); got != nil {
+		t.Fatal("entity survived delete")
+	}
+	if hits := tx.Search("gone", 1); len(hits) != 0 {
+		t.Fatalf("text index after delete: %v", hits)
+	}
+}
+
+func TestLateRegisteredAgentReplaysFromStart(t *testing.T) {
+	e := newEngine(t)
+	e.Publish(oplog.OpUpsert, "s", []*triple.Entity{testEntity("kg:E1", "First")})
+	if err := e.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	// A store onboarded later must converge to the same state.
+	es := entitystore.New()
+	e.RegisterAgent(EntityStoreAgent{Store: es})
+	if err := e.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := es.Get("kg:E1"); got == nil {
+		t.Fatal("late agent did not replay history")
+	}
+}
+
+func TestFailingAgentDoesNotAdvance(t *testing.T) {
+	e := newEngine(t)
+	es := entitystore.New()
+	e.RegisterAgent(EntityStoreAgent{Store: es})
+	calls := 0
+	e.RegisterAgent(FuncAgent{AgentName: "flaky", Fn: func(op oplog.Op, _ []*triple.Entity) error {
+		calls++
+		return fmt.Errorf("store down")
+	}})
+	e.Publish(oplog.OpUpsert, "s", []*triple.Entity{testEntity("kg:E1", "X")})
+	if err := e.CatchUp(); err == nil {
+		t.Fatal("agent failure swallowed")
+	}
+	// The healthy agent advanced, the flaky one did not.
+	if e.Metadata.LSN("entity-store") != 1 {
+		t.Fatal("healthy agent blocked by flaky agent")
+	}
+	if e.Metadata.LSN("flaky") != 0 {
+		t.Fatal("flaky agent advanced despite error")
+	}
+	// Retry replays the same op (at-least-once, in order).
+	e.CatchUp()
+	if calls != 2 {
+		t.Fatalf("flaky agent calls = %d, want 2", calls)
+	}
+}
+
+func TestStagingRoundTrip(t *testing.T) {
+	s := NewObjectStore()
+	key := s.Stage([]byte("payload"))
+	got, ok := s.Get(key)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("staging = %q %v", got, ok)
+	}
+	s.Delete(key)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("payload survived delete")
+	}
+}
+
+func TestEncodeDecodeEntities(t *testing.T) {
+	in := []*triple.Entity{testEntity("kg:E1", "A"), testEntity("kg:E2", "B")}
+	payload, err := encodeEntities(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeEntities(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].ID != "kg:E1" || out[1].Name() != "B" {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if _, err := decodeEntities([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestCheckpointIsNoOpForStores(t *testing.T) {
+	e := newEngine(t)
+	es := entitystore.New()
+	e.RegisterAgent(EntityStoreAgent{Store: es})
+	if _, err := e.Publish(oplog.OpCheckpoint, "construction", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metadata.LSN("entity-store") != 1 {
+		t.Fatal("checkpoint did not advance lsn")
+	}
+}

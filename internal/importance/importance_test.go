@@ -1,0 +1,112 @@
+package importance
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"saga/internal/triple"
+)
+
+// hubGraph: one hub entity referenced by n spokes, plus an isolated entity.
+func hubGraph(n int) *triple.Graph {
+	g := triple.NewGraph()
+	hub := triple.NewEntity("kg:HUB")
+	hub.Add(triple.New("", triple.PredName, triple.String("Hub")).WithSource("s1", 0.9))
+	hub.Add(triple.New("", triple.PredName, triple.String("Hub")).WithSource("s2", 0.9).
+		MergeProvenance(triple.New("", triple.PredName, triple.String("Hub")).WithSource("s3", 0.9)))
+	g.Put(hub)
+	for i := 0; i < n; i++ {
+		e := triple.NewEntity(triple.EntityID(fmt.Sprintf("kg:S%02d", i)))
+		e.Add(triple.New("", "spouse", triple.Ref("kg:HUB")).WithSource("s1", 0.9))
+		g.Put(e)
+	}
+	iso := triple.NewEntity("kg:ISO")
+	iso.Add(triple.New("", triple.PredName, triple.String("Alone")).WithSource("s1", 0.9))
+	g.Put(iso)
+	return g
+}
+
+func TestComputeSignals(t *testing.T) {
+	g := hubGraph(5)
+	scores := Compute(g, Options{})
+	hub := scores["kg:HUB"]
+	if hub.InDegree != 5 || hub.OutDegree != 0 {
+		t.Fatalf("hub degrees = %+v", hub)
+	}
+	if hub.Identities < 2 {
+		t.Fatalf("hub identities = %d", hub.Identities)
+	}
+	spoke := scores["kg:S00"]
+	if spoke.OutDegree != 1 || spoke.InDegree != 0 {
+		t.Fatalf("spoke = %+v", spoke)
+	}
+	if hub.PageRank <= spoke.PageRank {
+		t.Fatalf("hub pagerank %f <= spoke %f", hub.PageRank, spoke.PageRank)
+	}
+	if hub.Importance <= scores["kg:ISO"].Importance {
+		t.Fatal("hub not more important than isolated entity")
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := hubGraph(7)
+	scores := Compute(g, Options{})
+	sum := 0.0
+	for _, s := range scores {
+		sum += s.PageRank
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("pagerank mass = %f", sum)
+	}
+}
+
+func TestImportanceInRange(t *testing.T) {
+	scores := Compute(hubGraph(3), Options{})
+	for id, s := range scores {
+		if s.Importance < 0 || s.Importance > 1 {
+			t.Fatalf("importance of %s = %f", id, s.Importance)
+		}
+	}
+}
+
+func TestRanked(t *testing.T) {
+	scores := Compute(hubGraph(4), Options{})
+	ranked := Ranked(scores)
+	if len(ranked) != 6 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if ranked[0] != "kg:HUB" {
+		t.Fatalf("top entity = %s", ranked[0])
+	}
+	for i := 1; i < len(ranked); i++ {
+		if scores[ranked[i-1]].Importance < scores[ranked[i]].Importance {
+			t.Fatal("ranking not descending")
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	scores := Compute(triple.NewGraph(), Options{})
+	if len(scores) != 0 {
+		t.Fatalf("scores = %v", scores)
+	}
+}
+
+func TestDanglingMassRedistributed(t *testing.T) {
+	// A graph that is all dangling nodes must still sum to 1.
+	g := triple.NewGraph()
+	for i := 0; i < 4; i++ {
+		e := triple.NewEntity(triple.EntityID(fmt.Sprintf("kg:D%d", i)))
+		e.Add(triple.New("", triple.PredName, triple.String("x")).WithSource("s", 0.9))
+		g.Put(e)
+	}
+	scores := Compute(g, Options{})
+	sum := 0.0
+	for _, s := range scores {
+		sum += s.PageRank
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("pagerank mass = %f", sum)
+	}
+}

@@ -1,0 +1,233 @@
+package ingest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"saga/internal/triple"
+)
+
+// PGFMode selects how a predicate generation function populates its target.
+type PGFMode uint8
+
+// Predicate generation modes (§2.2): copy renames a source predicate into the
+// KG ontology; concat combines several source predicates into one target
+// (the paper's <title, sequel_number> → full_title example); constant emits a
+// fixed value; relgroup zips parallel source lists into composite
+// relationship nodes (the educated_at example of Figure 2).
+const (
+	ModeCopy PGFMode = iota
+	ModeConcat
+	ModeConstant
+	ModeRelGroup
+)
+
+// PGF is one predicate generation function: a config-driven alignment of
+// source predicates to a target predicate of the KG ontology. PGFs are
+// lightweight, declarative, and related to tuple-generating dependencies.
+type PGF struct {
+	// Target is the KG-ontology predicate populated by this function.
+	Target string
+	// Sources lists the consumed source predicates. Copy uses the first
+	// non-empty one; Concat joins all; RelGroup zips them positionally.
+	Sources []string
+	// Mode selects the generation behaviour.
+	Mode PGFMode
+	// Sep is the Concat separator; default " ".
+	Sep string
+	// Const is the emitted value in Constant mode.
+	Const string
+	// Kind is the target object kind; KindNull defaults to string. In
+	// RelGroup mode, RelKinds applies instead.
+	Kind triple.Kind
+	// Locale optionally tags produced string facts.
+	Locale string
+	// RelPreds, in RelGroup mode, names the relationship predicate for each
+	// entry of Sources, for example school/degree/year for educated_at.
+	RelPreds []string
+	// RelKinds, in RelGroup mode, gives the object kind per relationship
+	// predicate; missing entries default to string.
+	RelKinds []triple.Kind
+}
+
+// AlignConfig configures the ontology-alignment stage for one source. It is
+// the declarative interface engineers provide to onboard a source (§2.2).
+type AlignConfig struct {
+	// Source is the provider name; it becomes the ID namespace and the
+	// provenance annotation of every produced fact.
+	Source string
+	// EntityType is the ontology type assigned to produced entities.
+	// TypeField, when set, overrides it with a per-entity source field.
+	EntityType string
+	// TypeField optionally names a source field carrying the entity type.
+	TypeField string
+	// Trust is the source's prior trustworthiness, recorded per fact.
+	Trust float64
+	// PGFs define the predicate alignment.
+	PGFs []PGF
+}
+
+// Align populates the KG-ontology target schema from transformed source
+// entities. Output entities keep source-namespace subjects ("source:id");
+// knowledge construction later links them to KG identifiers. Every produced
+// fact carries the source's provenance and trust prior. Reference-valued
+// objects stay in the source namespace too, resolved during object
+// resolution.
+func Align(entities []*SourceEntity, cfg AlignConfig) ([]*triple.Entity, error) {
+	if cfg.Source == "" {
+		return nil, fmt.Errorf("ingest: align: Source not configured")
+	}
+	if cfg.EntityType == "" && cfg.TypeField == "" {
+		return nil, fmt.Errorf("ingest: align: neither EntityType nor TypeField configured")
+	}
+	out := make([]*triple.Entity, 0, len(entities))
+	for _, src := range entities {
+		ent := triple.NewEntity(triple.EntityID(cfg.Source + ":" + src.ID))
+		typ := cfg.EntityType
+		if cfg.TypeField != "" {
+			if t := src.Field(cfg.TypeField); t != "" {
+				typ = t
+			}
+		}
+		if typ == "" {
+			return nil, fmt.Errorf("ingest: align: entity %s has no type", src.ID)
+		}
+		addFact := func(t triple.Triple) {
+			ent.Add(t.WithSource(cfg.Source, cfg.Trust))
+		}
+		addFact(triple.New("", triple.PredType, triple.String(typ)))
+		addFact(triple.New("", triple.PredSourceID, triple.String(src.ID)))
+		for i, pgf := range cfg.PGFs {
+			if pgf.Target == "" {
+				return nil, fmt.Errorf("ingest: align: pgf %d has empty target", i)
+			}
+			switch pgf.Mode {
+			case ModeCopy:
+				for _, field := range pgf.Sources {
+					for _, raw := range src.Fields[field] {
+						v, err := parseValue(raw, pgf.Kind, cfg.Source)
+						if err != nil {
+							return nil, fmt.Errorf("ingest: align: %s.%s: %w", src.ID, pgf.Target, err)
+						}
+						if v.IsNull() {
+							continue
+						}
+						addFact(triple.Triple{Predicate: pgf.Target, Object: v, Locale: pgf.Locale})
+					}
+				}
+			case ModeConcat:
+				sep := pgf.Sep
+				if sep == "" {
+					sep = " "
+				}
+				parts := make([]string, 0, len(pgf.Sources))
+				for _, field := range pgf.Sources {
+					if v := src.Field(field); v != "" {
+						parts = append(parts, v)
+					}
+				}
+				if len(parts) == 0 {
+					continue
+				}
+				addFact(triple.Triple{Predicate: pgf.Target, Object: triple.String(strings.Join(parts, sep)), Locale: pgf.Locale})
+			case ModeConstant:
+				addFact(triple.Triple{Predicate: pgf.Target, Object: triple.String(pgf.Const), Locale: pgf.Locale})
+			case ModeRelGroup:
+				if len(pgf.RelPreds) != len(pgf.Sources) {
+					return nil, fmt.Errorf("ingest: align: pgf %s has %d rel preds for %d sources", pgf.Target, len(pgf.RelPreds), len(pgf.Sources))
+				}
+				// Zip the parallel value lists: the k-th value of every
+				// source field forms relationship node k.
+				n := 0
+				for _, field := range pgf.Sources {
+					if l := len(src.Fields[field]); l > n {
+						n = l
+					}
+				}
+				for k := 0; k < n; k++ {
+					relID := fmt.Sprintf("%s-%s-%d", src.ID, pgf.Target, k)
+					for fi, field := range pgf.Sources {
+						vals := src.Fields[field]
+						if k >= len(vals) || vals[k] == "" {
+							continue
+						}
+						kind := triple.KindString
+						if fi < len(pgf.RelKinds) && pgf.RelKinds[fi] != triple.KindNull {
+							kind = pgf.RelKinds[fi]
+						}
+						v, err := parseValue(vals[k], kind, cfg.Source)
+						if err != nil {
+							return nil, fmt.Errorf("ingest: align: %s.%s.%s: %w", src.ID, pgf.Target, pgf.RelPreds[fi], err)
+						}
+						if v.IsNull() {
+							continue
+						}
+						addFact(triple.Triple{
+							Predicate: pgf.Target,
+							RelID:     relID,
+							RelPred:   pgf.RelPreds[fi],
+							Object:    v,
+							Locale:    pgf.Locale,
+						})
+					}
+				}
+			default:
+				return nil, fmt.Errorf("ingest: align: pgf %s has unknown mode %d", pgf.Target, pgf.Mode)
+			}
+		}
+		ent.Dedup()
+		if err := ent.Validate(); err != nil {
+			return nil, fmt.Errorf("ingest: align: %w", err)
+		}
+		out = append(out, ent)
+	}
+	return out, nil
+}
+
+// parseValue converts raw source text to a typed object value. Reference
+// values are namespaced to the source so object resolution can find them.
+// Empty text yields Null (the caller skips it).
+func parseValue(raw string, kind triple.Kind, source string) (triple.Value, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return triple.Null, nil
+	}
+	switch kind {
+	case triple.KindNull, triple.KindString:
+		return triple.String(raw), nil
+	case triple.KindInt:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return triple.Null, fmt.Errorf("parse int %q: %w", raw, err)
+		}
+		return triple.Int(n), nil
+	case triple.KindFloat:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return triple.Null, fmt.Errorf("parse float %q: %w", raw, err)
+		}
+		return triple.Float(f), nil
+	case triple.KindBool:
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return triple.Null, fmt.Errorf("parse bool %q: %w", raw, err)
+		}
+		return triple.Bool(b), nil
+	case triple.KindTime:
+		for _, layout := range []string{time.RFC3339, "2006-01-02", "2006"} {
+			if t, err := time.Parse(layout, raw); err == nil {
+				return triple.Time(t), nil
+			}
+		}
+		return triple.Null, fmt.Errorf("parse time %q", raw)
+	case triple.KindRef:
+		if strings.Contains(raw, ":") {
+			// Already namespaced (possibly a KG ID from a curated feed).
+			return triple.Ref(triple.EntityID(raw)), nil
+		}
+		return triple.Ref(triple.EntityID(source + ":" + raw)), nil
+	}
+	return triple.Null, fmt.Errorf("unsupported kind %v", kind)
+}

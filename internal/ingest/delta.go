@@ -1,0 +1,147 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"saga/internal/ontology"
+	"saga/internal/triple"
+)
+
+// Snapshot records what the KG last consumed from a source: a fingerprint of
+// each source entity's stable facts, keyed by source entity ID. Delta
+// computation diffs the current feed against it. Fingerprints cover only
+// non-volatile predicates so that churn in popularity-style fields does not
+// masquerade as entity updates (§2.4).
+type Snapshot map[string]uint64
+
+// Write persists the snapshot as JSON.
+func (s Snapshot) Write(w io.Writer) error {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]uint64, len(s))
+	for _, k := range keys {
+		ordered[k] = s[k]
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ordered)
+}
+
+// ReadSnapshot loads a snapshot persisted by Write.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("ingest: read snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Delta is the eagerly computed difference between the current source feed
+// and the snapshot last consumed by the KG (§2.4): Added entities exist now
+// but not at t0, Deleted existed at t0 but not now, Updated exist at both and
+// changed. Volatile is the separate full dump of high-churn predicates for
+// all current entities; changes in volatile predicates never appear in the
+// other partitions.
+type Delta struct {
+	Source   string
+	Added    []*triple.Entity
+	Updated  []*triple.Entity
+	Deleted  []triple.EntityID
+	Volatile []*triple.Entity
+}
+
+// Empty reports whether the delta carries no work at all.
+func (d Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Updated) == 0 && len(d.Deleted) == 0 && len(d.Volatile) == 0
+}
+
+// Counts summarizes the delta for logging.
+func (d Delta) Counts() string {
+	return fmt.Sprintf("added=%d updated=%d deleted=%d volatile=%d",
+		len(d.Added), len(d.Updated), len(d.Deleted), len(d.Volatile))
+}
+
+// splitVolatile partitions an aligned entity's facts into stable and volatile
+// parts according to the ontology's volatility flags. Either part may be nil
+// when empty. The stable part keeps the entity's identity facts; the volatile
+// part also carries type and source-id so partition overwrite can operate
+// standalone.
+func splitVolatile(e *triple.Entity, ont *ontology.Ontology) (stable, volatile *triple.Entity) {
+	st := triple.NewEntity(e.ID)
+	vo := triple.NewEntity(e.ID)
+	for _, t := range e.Triples {
+		if ont.IsVolatile(t.Predicate) {
+			vo.Triples = append(vo.Triples, t)
+		} else {
+			st.Triples = append(st.Triples, t)
+		}
+	}
+	if len(vo.Triples) > 0 {
+		// Carry identity facts so the volatile payload is self-describing.
+		for _, p := range []string{triple.PredType, triple.PredSourceID} {
+			if v := st.First(p); !v.IsNull() {
+				vo.Add(triple.New(e.ID, p, v))
+			}
+		}
+		volatile = vo
+	}
+	if len(st.Triples) > 0 {
+		stable = st
+	}
+	return stable, volatile
+}
+
+// ComputeDelta diffs the aligned current feed against the previous snapshot
+// and returns the partitioned delta plus the new snapshot to persist. The
+// diff is eager: it runs when the provider publishes, not when construction
+// consumes (§2.2). A nil previous snapshot marks a brand-new source, which
+// yields a full Added payload (§2.4).
+func ComputeDelta(source string, current []*triple.Entity, prev Snapshot, ont *ontology.Ontology) (Delta, Snapshot) {
+	d := Delta{Source: source}
+	next := make(Snapshot, len(current))
+	seen := make(map[string]bool, len(current))
+	for _, e := range current {
+		localID := e.First(triple.PredSourceID).Text()
+		if localID == "" {
+			localID = e.ID.Local()
+		}
+		stable, volatile := splitVolatile(e, ont)
+		if volatile != nil {
+			d.Volatile = append(d.Volatile, volatile)
+		}
+		var fp uint64
+		if stable != nil {
+			fp = stable.Fingerprint()
+		}
+		next[localID] = fp
+		seen[localID] = true
+		prevFP, existed := prev[localID]
+		switch {
+		case !existed:
+			if stable != nil {
+				d.Added = append(d.Added, stable)
+			}
+		case prevFP != fp:
+			if stable != nil {
+				d.Updated = append(d.Updated, stable)
+			}
+		}
+	}
+	// Entities present at t0 but absent now were deleted upstream.
+	deleted := make([]string, 0)
+	for localID := range prev {
+		if !seen[localID] {
+			deleted = append(deleted, localID)
+		}
+	}
+	sort.Strings(deleted)
+	for _, localID := range deleted {
+		d.Deleted = append(d.Deleted, triple.EntityID(source+":"+localID))
+	}
+	return d, next
+}

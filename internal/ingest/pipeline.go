@@ -1,0 +1,86 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+
+	"saga/internal/ontology"
+	"saga/internal/triple"
+)
+
+// Source bundles the pluggable pieces of one ingestion pipeline (Figure 3):
+// an importer for the provider's raw format, the transformer configuration,
+// and the ontology-alignment configuration. Engineers onboard a new provider
+// by filling in this struct — the self-serve API of requirement 5 in §1.
+type Source struct {
+	// Name is the provider name; it must match Align.Source.
+	Name string
+	// Importer reads the provider's raw artifacts.
+	Importer Importer
+	// Transform configures the entity-centric view.
+	Transform TransformConfig
+	// Align configures the PGF-based ontology alignment.
+	Align AlignConfig
+	// AuxReaders supplies auxiliary artifact readers by dataset name; they
+	// are imported and joined during transform. Optional.
+	AuxReaders map[string]io.Reader
+}
+
+// Result is the output of one pipeline run: the partitioned delta payload
+// ready for knowledge construction, and the snapshot to persist for the next
+// run.
+type Result struct {
+	Delta    Delta
+	Snapshot Snapshot
+	// Aligned is the full aligned feed (stable+volatile facts), useful for
+	// bootstrapping and debugging.
+	Aligned []*triple.Entity
+}
+
+// Run executes the full ingestion pipeline on one published source version:
+// import → transform → ontology alignment → delta computation. prev is the
+// snapshot from the previous run (nil for a new source).
+func (s *Source) Run(data io.Reader, prev Snapshot, ont *ontology.Ontology) (Result, error) {
+	if s.Name == "" {
+		return Result{}, fmt.Errorf("ingest: source has no name")
+	}
+	if s.Importer == nil {
+		return Result{}, fmt.Errorf("ingest: source %s has no importer", s.Name)
+	}
+	if s.Align.Source == "" {
+		s.Align.Source = s.Name
+	} else if s.Align.Source != s.Name {
+		return Result{}, fmt.Errorf("ingest: source %s aligns as %q", s.Name, s.Align.Source)
+	}
+	rows, err := s.Importer.Import(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("ingest: source %s: %w", s.Name, err)
+	}
+	// Import auxiliary artifacts with the same importer.
+	cfg := s.Transform
+	for i := range cfg.Aux {
+		if r, ok := s.AuxReaders[cfg.Aux[i].Name]; ok && len(cfg.Aux[i].Rows) == 0 {
+			auxRows, err := s.Importer.Import(r)
+			if err != nil {
+				return Result{}, fmt.Errorf("ingest: source %s aux %s: %w", s.Name, cfg.Aux[i].Name, err)
+			}
+			cfg.Aux[i].Rows = auxRows
+		}
+	}
+	ents, err := Transform(rows, cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("ingest: source %s: %w", s.Name, err)
+	}
+	aligned, err := Align(ents, s.Align)
+	if err != nil {
+		return Result{}, fmt.Errorf("ingest: source %s: %w", s.Name, err)
+	}
+	delta, next := ComputeDelta(s.Name, aligned, prev, ont)
+	return Result{Delta: delta, Snapshot: next, Aligned: aligned}, nil
+}
+
+// Export writes aligned entities as extended-triples JSONL, the wire format
+// consumed by knowledge construction.
+func Export(w io.Writer, entities []*triple.Entity) error {
+	return triple.WriteJSONL(w, entities)
+}

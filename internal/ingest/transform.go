@@ -1,0 +1,175 @@
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SourceEntity is the entity-centric view of one upstream entity produced by
+// the data transformer: a multi-valued record whose fields are predicates
+// expressed in the source namespace.
+type SourceEntity struct {
+	// ID is the mandatory per-source entity identifier.
+	ID string
+	// Fields maps source predicate names to their values. Every predicate of
+	// the source schema is present, possibly with an empty value list.
+	Fields map[string][]string
+}
+
+// Field returns the first value of the named field, or "".
+func (e *SourceEntity) Field(name string) string {
+	if vs := e.Fields[name]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+// AuxDataset is a secondary imported artifact joined into the entity view by
+// ID, for example a popularity dataset joined to raw artist records. Joined
+// columns keep their names (optionally prefixed to avoid collisions).
+type AuxDataset struct {
+	// Name labels the dataset in error messages.
+	Name string
+	// Rows are the imported auxiliary rows.
+	Rows []Row
+	// IDColumn names the join key column in Rows.
+	IDColumn string
+	// Prefix, when non-empty, prefixes every joined column name.
+	Prefix string
+}
+
+// TransformConfig configures the data transformer stage.
+type TransformConfig struct {
+	// IDColumn names the primary dataset column carrying the entity ID.
+	IDColumn string
+	// Schema lists the source predicates the produced entities must carry.
+	// Empty means "all columns observed in the primary dataset".
+	Schema []string
+	// MultiValued lists columns whose cells pack several values separated by
+	// MultiValueSep.
+	MultiValued []string
+	// Aux lists auxiliary datasets joined by entity ID.
+	Aux []AuxDataset
+}
+
+// Transform produces entity-centric views from imported source rows,
+// enforcing the data-integrity checks of §2.2: unique entity IDs, a non-empty
+// ID on every entity, non-empty predicate names, schema predicates present on
+// every produced entity, and predicate names unique within an entity.
+// Entities are returned sorted by ID for determinism.
+func Transform(primary []Row, cfg TransformConfig) ([]*SourceEntity, error) {
+	if cfg.IDColumn == "" {
+		return nil, fmt.Errorf("ingest: transform: IDColumn not configured")
+	}
+	multi := make(map[string]bool, len(cfg.MultiValued))
+	for _, c := range cfg.MultiValued {
+		multi[c] = true
+	}
+	// Index auxiliary datasets by join key.
+	type auxIndex struct {
+		ds   AuxDataset
+		byID map[string][]Row
+	}
+	auxes := make([]auxIndex, 0, len(cfg.Aux))
+	for _, ds := range cfg.Aux {
+		if ds.IDColumn == "" {
+			return nil, fmt.Errorf("ingest: transform: aux dataset %q has no IDColumn", ds.Name)
+		}
+		idx := auxIndex{ds: ds, byID: make(map[string][]Row, len(ds.Rows))}
+		for _, r := range ds.Rows {
+			id := r[ds.IDColumn]
+			idx.byID[id] = append(idx.byID[id], r)
+		}
+		auxes = append(auxes, idx)
+	}
+
+	schema := cfg.Schema
+	if len(schema) == 0 {
+		seen := make(map[string]bool)
+		for _, r := range primary {
+			for col := range r {
+				if !seen[col] {
+					seen[col] = true
+					schema = append(schema, col)
+				}
+			}
+		}
+		sort.Strings(schema)
+	}
+	for _, col := range schema {
+		if strings.TrimSpace(col) == "" {
+			return nil, fmt.Errorf("ingest: transform: schema contains an empty predicate name")
+		}
+	}
+
+	byID := make(map[string]*SourceEntity, len(primary))
+	order := make([]string, 0, len(primary))
+	for i, row := range primary {
+		id := strings.TrimSpace(row[cfg.IDColumn])
+		if id == "" {
+			return nil, fmt.Errorf("ingest: transform: row %d has empty id (column %q)", i+1, cfg.IDColumn)
+		}
+		if _, dup := byID[id]; dup {
+			return nil, fmt.Errorf("ingest: transform: duplicate entity id %q", id)
+		}
+		ent := &SourceEntity{ID: id, Fields: make(map[string][]string, len(schema))}
+		for col, val := range row {
+			if strings.TrimSpace(col) == "" {
+				return nil, fmt.Errorf("ingest: transform: row %d has an empty column name", i+1)
+			}
+			ent.Fields[col] = splitCell(val, multi[col])
+		}
+		// Join auxiliary datasets.
+		for _, aux := range auxes {
+			for _, arow := range aux.byID[id] {
+				for col, val := range arow {
+					if col == aux.ds.IDColumn {
+						continue
+					}
+					name := aux.ds.Prefix + col
+					if name == "" {
+						return nil, fmt.Errorf("ingest: transform: aux %q produces empty predicate", aux.ds.Name)
+					}
+					ent.Fields[name] = append(ent.Fields[name], splitCell(val, multi[name])...)
+				}
+			}
+		}
+		// Schema predicates must be present even when null/empty.
+		for _, col := range schema {
+			if _, ok := ent.Fields[col]; !ok {
+				ent.Fields[col] = nil
+			}
+		}
+		byID[id] = ent
+		order = append(order, id)
+	}
+	sort.Strings(order)
+	out := make([]*SourceEntity, len(order))
+	for i, id := range order {
+		out[i] = byID[id]
+	}
+	return out, nil
+}
+
+// splitCell splits a packed multi-value cell and drops empty segments; a
+// single-valued empty cell yields no values.
+func splitCell(val string, multiValued bool) []string {
+	if val == "" {
+		return nil
+	}
+	if !multiValued {
+		return []string{val}
+	}
+	parts := strings.Split(val, MultiValueSep)
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+// Package live implements Saga's Live Knowledge Graph (§4): the union of a
+// view of the stable graph with real-time streaming sources (sports scores,
+// stock prices, flights), indexed for low-latency graph search under high
+// concurrency. The store maintains an inverted graph index (tokens and
+// attribute values to entities, plus reverse reference postings) alongside a
+// sharded key-value entity store, both updated in real time. Live graph
+// construction links streaming events' entity mentions to stable entities,
+// and the query engine (the kgq subpackage) serves ad-hoc structured queries
+// and query intents with multi-turn context.
+package live
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"saga/internal/store/textindex"
+	"saga/internal/triple"
+)
+
+const storeShards = 32
+
+// Store is the live KG index: a graph KV store plus inverted indexes
+// optimized for low-latency retrieval under concurrent requests. All methods
+// are safe for concurrent use; shards bound contention.
+type Store struct {
+	shards [storeShards]*storeShard
+	// text is the token index over entity names/aliases used by search().
+	text *textindex.Index
+
+	mu sync.RWMutex
+	// attr maps predicate\x1fvalueText -> entity set (equality lookups).
+	attr map[string]map[triple.EntityID]bool
+	// reverse maps predicate\x1ftargetID -> source entity set (in() walks).
+	reverse map[string]map[triple.EntityID]bool
+	// byType maps entity type -> entity set.
+	byType map[string]map[triple.EntityID]bool
+	// boost holds per-entity ranking boosts (entity importance).
+	boost map[triple.EntityID]float64
+
+	// version increments on every write; query caches use it to invalidate.
+	version atomic.Uint64
+}
+
+// Version returns a counter that increments on every write, letting query
+// result caches detect staleness cheaply.
+func (s *Store) Version() uint64 { return s.version.Load() }
+
+type storeShard struct {
+	mu   sync.RWMutex
+	data map[triple.EntityID]*triple.Entity
+}
+
+// NewStore constructs an empty live store.
+func NewStore() *Store {
+	s := &Store{
+		text:    textindex.New(),
+		attr:    make(map[string]map[triple.EntityID]bool),
+		reverse: make(map[string]map[triple.EntityID]bool),
+		byType:  make(map[string]map[triple.EntityID]bool),
+		boost:   make(map[triple.EntityID]float64),
+	}
+	for i := range s.shards {
+		s.shards[i] = &storeShard{data: make(map[triple.EntityID]*triple.Entity)}
+	}
+	return s
+}
+
+func (s *Store) shardFor(id triple.EntityID) *storeShard {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	var h uint64 = offset64
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return s.shards[h%storeShards]
+}
+
+func attrKey(pred, valText string) string { return pred + "\x1f" + valText }
+
+// Put indexes (replacing) an entity: KV payload, attribute postings, reverse
+// reference postings, type sets, and the token index. Streaming updates call
+// Put at high frequency; curation hot fixes call it directly too.
+func (s *Store) Put(e *triple.Entity, boost float64) {
+	clone := e.Clone()
+	sh := s.shardFor(clone.ID)
+	sh.mu.Lock()
+	old := sh.data[clone.ID]
+	sh.data[clone.ID] = clone
+	sh.mu.Unlock()
+
+	s.mu.Lock()
+	if old != nil {
+		s.unindexLocked(old)
+	}
+	s.indexLocked(clone, boost)
+	s.mu.Unlock()
+
+	s.text.Put(textindex.Doc{ID: string(clone.ID), Text: docText(clone), Boost: 1 + boost})
+	s.version.Add(1)
+}
+
+// Delete removes an entity from all indexes.
+func (s *Store) Delete(id triple.EntityID) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	old, ok := sh.data[id]
+	delete(sh.data, id)
+	sh.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.mu.Lock()
+	s.unindexLocked(old)
+	s.mu.Unlock()
+	s.text.Delete(string(id))
+	s.version.Add(1)
+	return true
+}
+
+func (s *Store) indexLocked(e *triple.Entity, boost float64) {
+	add := func(m map[string]map[triple.EntityID]bool, key string, id triple.EntityID) {
+		set := m[key]
+		if set == nil {
+			set = make(map[triple.EntityID]bool)
+			m[key] = set
+		}
+		set[id] = true
+	}
+	for _, t := range e.Triples {
+		pred := t.Predicate
+		if t.IsComposite() {
+			pred = t.Predicate + "." + t.RelPred
+		}
+		add(s.attr, attrKey(pred, normText(t.Object.Text())), e.ID)
+		if t.Object.IsRef() {
+			add(s.reverse, attrKey(pred, string(t.Object.Ref())), e.ID)
+		}
+	}
+	for _, typ := range e.Types() {
+		add(s.byType, typ, e.ID)
+	}
+	s.boost[e.ID] = boost
+}
+
+func (s *Store) unindexLocked(e *triple.Entity) {
+	remove := func(m map[string]map[triple.EntityID]bool, key string, id triple.EntityID) {
+		if set := m[key]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(m, key)
+			}
+		}
+	}
+	for _, t := range e.Triples {
+		pred := t.Predicate
+		if t.IsComposite() {
+			pred = t.Predicate + "." + t.RelPred
+		}
+		remove(s.attr, attrKey(pred, normText(t.Object.Text())), e.ID)
+		if t.Object.IsRef() {
+			remove(s.reverse, attrKey(pred, string(t.Object.Ref())), e.ID)
+		}
+	}
+	for _, typ := range e.Types() {
+		remove(s.byType, typ, e.ID)
+	}
+	delete(s.boost, e.ID)
+}
+
+// Get returns a copy of the entity, or nil.
+func (s *Store) Get(id triple.EntityID) *triple.Entity {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.data[id]
+	if !ok {
+		return nil
+	}
+	return e.Clone()
+}
+
+// Len returns the number of live entities.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.data)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ByAttr returns entities with pred equal (by normalized text) to value.
+func (s *Store) ByAttr(pred, value string) []triple.EntityID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return setToSlice(s.attr[attrKey(pred, normText(value))])
+}
+
+// ByType returns entities of the given type.
+func (s *Store) ByType(typ string) []triple.EntityID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return setToSlice(s.byType[typ])
+}
+
+// InRefs returns entities whose predicate references the target (reverse
+// traversal).
+func (s *Store) InRefs(pred string, target triple.EntityID) []triple.EntityID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return setToSlice(s.reverse[attrKey(pred, string(target))])
+}
+
+// SearchText runs ranked token search over names/aliases/descriptions.
+func (s *Store) SearchText(query string, k int) []textindex.Hit {
+	return s.text.Search(query, k)
+}
+
+// Boost returns the entity's ranking boost.
+func (s *Store) Boost(id triple.EntityID) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.boost[id]
+}
+
+func setToSlice(set map[triple.EntityID]bool) []triple.EntityID {
+	out := make([]triple.EntityID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func normText(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+func docText(e *triple.Entity) string {
+	var b strings.Builder
+	for _, a := range e.Aliases() {
+		b.WriteString(a)
+		b.WriteByte(' ')
+	}
+	if d := e.First("description"); !d.IsNull() {
+		b.WriteString(d.Text())
+	}
+	return b.String()
+}
+
+// ReplicaSet models geo-replicated serving (§4): N live store replicas with
+// reads routed round-robin (standing in for locality routing) and writes
+// applied to all replicas. Each replica can serve the full query load of its
+// region; the set exists to exercise the replication code path at test scale.
+type ReplicaSet struct {
+	replicas []*Store
+	mu       sync.Mutex
+	next     int
+}
+
+// NewReplicaSet builds n replicas.
+func NewReplicaSet(n int) *ReplicaSet {
+	rs := &ReplicaSet{}
+	for i := 0; i < n; i++ {
+		rs.replicas = append(rs.replicas, NewStore())
+	}
+	return rs
+}
+
+// Put applies the write to every replica (synchronous replication).
+func (rs *ReplicaSet) Put(e *triple.Entity, boost float64) {
+	for _, r := range rs.replicas {
+		r.Put(e, boost)
+	}
+}
+
+// Delete applies the delete to every replica.
+func (rs *ReplicaSet) Delete(id triple.EntityID) {
+	for _, r := range rs.replicas {
+		r.Delete(id)
+	}
+}
+
+// Route returns the next replica to serve a read.
+func (rs *ReplicaSet) Route() *Store {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	r := rs.replicas[rs.next%len(rs.replicas)]
+	rs.next++
+	return r
+}
+
+// Size returns the replica count.
+func (rs *ReplicaSet) Size() int { return len(rs.replicas) }

@@ -1,0 +1,353 @@
+package nerd
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"saga/internal/strsim"
+	"saga/internal/triple"
+)
+
+// Mention is one disambiguation input: the mention text, its surrounding
+// context (sentence text or the other fields of a structured record), and an
+// optional ontology type hint (available during object resolution, where the
+// attribute's expected entity type is known).
+type Mention struct {
+	Text     string
+	Context  string
+	TypeHint string
+}
+
+// Prediction is the disambiguation output. OK is false when the model
+// rejected every candidate (the "none of the above" option of the
+// one-versus-all classifier).
+type Prediction struct {
+	Entity     triple.EntityID
+	Confidence float64
+	OK         bool
+}
+
+// Feature names of the contextual disambiguation model, mirroring the
+// per-view encodings of Figure 11: one signal per (mention × entity-view
+// attribute) pairing.
+var featureNames = []string{
+	"name_sim",        // mention vs candidate names (deterministic)
+	"name_sim_neural", // mention vs candidate names (learned encoder)
+	"ctx_relations",   // context vs relation target names
+	"ctx_neighbors",   // context vs neighbour names
+	"ctx_description", // context vs description
+	"ctx_types",       // context vs type words
+	"type_hint",       // type hint agreement
+	"importance",      // candidate importance prior
+}
+
+// Model is the contextual entity disambiguation model: a trainable
+// log-linear scorer over the per-view similarity features with a rejection
+// threshold.
+type Model struct {
+	mu      sync.RWMutex
+	weights []float64
+	bias    float64
+	// Encoder provides learned name similarity; nil disables that feature.
+	Encoder *strsim.Encoder
+}
+
+// NewModel constructs a model with sensible default weights so the stack
+// works before training; Train refines them.
+func NewModel(encoder *strsim.Encoder) *Model {
+	return &Model{
+		// Ordered as featureNames.
+		weights: []float64{5.0, 1.5, 3.0, 1.5, 1.0, 1.0, 1.5, 0.8},
+		bias:    -5.0,
+		Encoder: encoder,
+	}
+}
+
+// features computes the per-view similarity vector for one candidate.
+func (m *Model) features(mention Mention, rec *EntityRecord) []float64 {
+	mnorm := strsim.Normalize(mention.Text)
+	ctxTokens := tokenSet(mention.Context)
+	// Name similarity: best over aliases.
+	nameSim, nameNeural := 0.0, 0.0
+	for _, name := range rec.Names {
+		n := strsim.Normalize(name)
+		if s := strsim.JaroWinkler(mnorm, n); s > nameSim {
+			nameSim = s
+		}
+		if m.Encoder != nil {
+			if s := (m.Encoder.Similarity(mnorm, n) + 1) / 2; s > nameNeural {
+				nameNeural = s
+			}
+		}
+	}
+	relNames := make([]string, 0, len(rec.Relations))
+	for _, r := range rec.Relations {
+		relNames = append(relNames, r.TargetName)
+	}
+	typeWords := strings.Join(rec.Types, " ")
+	hint := 0.0
+	if mention.TypeHint != "" {
+		if containsStr(rec.Types, mention.TypeHint) {
+			hint = 1
+		} else {
+			hint = -1
+		}
+	}
+	return []float64{
+		nameSim,
+		nameNeural,
+		overlapScore(ctxTokens, relNames),
+		overlapScore(ctxTokens, rec.NeighborNames),
+		overlapScore(ctxTokens, []string{rec.Description}),
+		overlapScore(ctxTokens, []string{strings.ReplaceAll(typeWords, "_", " ")}),
+		hint,
+		rec.Importance,
+	}
+}
+
+// overlapScore measures how strongly the context supports the candidate
+// phrases: each phrase contributes the fraction of its informative tokens
+// present in the context, and the best-supported phrase wins. Requiring
+// full-phrase support (rather than any-token) keeps boilerplate words shared
+// across candidates from washing out the signal.
+func overlapScore(ctx map[string]bool, phrases []string) float64 {
+	if len(ctx) == 0 || len(phrases) == 0 {
+		return 0
+	}
+	best := 0.0
+	for _, p := range phrases {
+		toks := strings.Fields(strsim.Normalize(p))
+		matched, informative := 0, 0
+		for _, tok := range toks {
+			if len(tok) < 3 {
+				continue
+			}
+			informative++
+			if ctx[tok] {
+				matched++
+			}
+		}
+		if informative == 0 {
+			continue
+		}
+		if frac := float64(matched) / float64(informative); frac > best {
+			best = frac
+		}
+	}
+	return best
+}
+
+func tokenSet(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, tok := range strings.Fields(strsim.Normalize(s)) {
+		out[tok] = true
+	}
+	return out
+}
+
+// Score returns the calibrated match probability of a candidate.
+func (m *Model) Score(mention Mention, rec *EntityRecord) float64 {
+	f := m.features(mention, rec)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return sigmoid(m.bias + strsim.Dot(m.weights, f))
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Example is one weak-supervision training example: a mention paired with a
+// candidate record and a match label. Training data combines entity-tagged
+// text, curated query logs, and template-generated snippets over KG facts
+// (§5.2).
+type Example struct {
+	Mention   Mention
+	Candidate *EntityRecord
+	Match     bool
+}
+
+// TrainOptions tunes model training.
+type TrainOptions struct {
+	Epochs int     // default 40
+	LR     float64 // default 0.3
+	L2     float64 // default 1e-4
+	Seed   int64
+}
+
+// Train fits the model with logistic-regression SGD, returning the final
+// epoch's mean loss.
+func (m *Model) Train(examples []Example, opts TrainOptions) float64 {
+	if opts.Epochs == 0 {
+		opts.Epochs = 40
+	}
+	if opts.LR == 0 {
+		opts.LR = 0.3
+	}
+	if opts.L2 == 0 {
+		opts.L2 = 1e-4
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	feats := make([][]float64, len(examples))
+	for i, ex := range examples {
+		feats[i] = m.features(ex.Mention, ex.Candidate)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	order := rng.Perm(len(examples))
+	var last float64
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		loss := 0.0
+		for _, i := range order {
+			y := 0.0
+			if examples[i].Match {
+				y = 1
+			}
+			p := sigmoid(m.bias + strsim.Dot(m.weights, feats[i]))
+			g := p - y
+			if y > 0.5 {
+				loss += -math.Log(p + 1e-12)
+			} else {
+				loss += -math.Log(1 - p + 1e-12)
+			}
+			m.bias -= opts.LR * g
+			for j := range m.weights {
+				m.weights[j] -= opts.LR * (g*feats[i][j] + opts.L2*m.weights[j])
+			}
+		}
+		if len(examples) > 0 {
+			last = loss / float64(len(examples))
+		}
+	}
+	return last
+}
+
+// NERD is the end-to-end stack: candidate retrieval over the entity view
+// followed by contextual disambiguation with rejection. It implements the
+// ObjectResolver and EntityResolver interfaces of the construction and live
+// pipelines.
+type NERD struct {
+	View  *EntityView
+	Model *Model
+	// K bounds candidate retrieval; default 16.
+	K int
+	// RejectBelow rejects predictions under this confidence; default 0.5.
+	RejectBelow float64
+}
+
+// New wires a NERD stack.
+func New(view *EntityView, model *Model) *NERD {
+	return &NERD{View: view, Model: model, K: 16, RejectBelow: 0.5}
+}
+
+// Annotate disambiguates one mention: retrieve candidates, score each, pick
+// the best, and reject when no candidate clears the confidence bar.
+func (n *NERD) Annotate(m Mention) Prediction {
+	k := n.K
+	if k == 0 {
+		k = 16
+	}
+	cands := n.View.Candidates(m.Text, m.TypeHint, k)
+	best, bestScore := triple.EntityID(""), 0.0
+	for _, rec := range cands {
+		s := n.Model.Score(m, rec)
+		if s > bestScore || (s == bestScore && rec.ID < best) {
+			best, bestScore = rec.ID, s
+		}
+	}
+	threshold := n.RejectBelow
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	if best == "" || bestScore < threshold {
+		return Prediction{Confidence: bestScore}
+	}
+	return Prediction{Entity: best, Confidence: bestScore, OK: true}
+}
+
+// AnnotateBatch disambiguates mentions in parallel (the elastic batch
+// deployment of Figure 10). parallel <= 0 uses 4 workers.
+func (n *NERD) AnnotateBatch(mentions []Mention, parallel int) []Prediction {
+	if parallel <= 0 {
+		parallel = 4
+	}
+	out := make([]Prediction, len(mentions))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				out[i] = n.Annotate(mentions[i])
+			}
+		}()
+	}
+	for i := range mentions {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// Resolve implements the object-resolution interface (construct.ObjectResolver
+// and live.EntityResolver): mention plus type hint, no free-text context.
+func (n *NERD) Resolve(mention, typeHint string) (triple.EntityID, float64, bool) {
+	p := n.Annotate(Mention{Text: mention, TypeHint: typeHint})
+	return p.Entity, p.Confidence, p.OK
+}
+
+// PopularityBaseline is the alternative deployed entity-disambiguation
+// solution NERD is evaluated against in Figure 14: it matches aliases and
+// ranks by entity popularity, without leveraging the KG's relational
+// information — strong on head entities, weak on tails.
+type PopularityBaseline struct {
+	View *EntityView
+	// RejectBelow mirrors the NERD rejection threshold; default 0.5.
+	RejectBelow float64
+}
+
+// Annotate implements the baseline prediction.
+func (b *PopularityBaseline) Annotate(m Mention) Prediction {
+	cands := b.View.Candidates(m.Text, "", 16)
+	if len(cands) == 0 {
+		return Prediction{}
+	}
+	mnorm := strsim.Normalize(m.Text)
+	type scored struct {
+		rec *EntityRecord
+		s   float64
+	}
+	best := scored{}
+	for _, rec := range cands {
+		nameSim := 0.0
+		for _, name := range rec.Names {
+			if s := strsim.JaroWinkler(mnorm, strsim.Normalize(name)); s > nameSim {
+				nameSim = s
+			}
+		}
+		// Popularity-weighted string match: the head-entity prior dominates.
+		// Confidence spreads with the prior, so thresholding trades recall
+		// for precision the way a deployed popularity model does.
+		s := sigmoid(-3.2 + 3*nameSim + 3.4*rec.Importance)
+		if s > best.s || (s == best.s && best.rec != nil && rec.ID < best.rec.ID) {
+			best = scored{rec: rec, s: s}
+		}
+	}
+	threshold := b.RejectBelow
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	if best.rec == nil || best.s < threshold {
+		return Prediction{Confidence: best.s}
+	}
+	return Prediction{Entity: best.rec.ID, Confidence: best.s, OK: true}
+}
+
+// sortRecords orders candidate records deterministically (used in tests).
+func sortRecords(recs []*EntityRecord) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+}

@@ -1,0 +1,112 @@
+package ontology
+
+import "saga/internal/triple"
+
+// Default builds the open-domain ontology used by the examples, workloads,
+// and experiments in this repository. It covers the verticals the paper's
+// introduction and evaluation mention: people, music (artists, songs, albums,
+// playlists), movies, sports (teams, games), finance (stocks), and geography.
+// The ontology is returned frozen.
+func Default() *Ontology {
+	o := New()
+	must := func(err error) {
+		if err != nil {
+			panic("ontology: building default ontology: " + err.Error())
+		}
+	}
+
+	for _, t := range []Type{
+		{Name: "entity"},
+		{Name: "agent", Parent: "entity"},
+		{Name: "human", Parent: "agent"},
+		{Name: "music_artist", Parent: "human"},
+		{Name: "athlete", Parent: "human"},
+		{Name: "organization", Parent: "agent"},
+		{Name: "school", Parent: "organization"},
+		{Name: "record_label", Parent: "organization"},
+		{Name: "sports_team", Parent: "organization"},
+		{Name: "company", Parent: "organization"},
+		{Name: "creative_work", Parent: "entity"},
+		{Name: "song", Parent: "creative_work"},
+		{Name: "album", Parent: "creative_work"},
+		{Name: "playlist", Parent: "creative_work"},
+		{Name: "movie", Parent: "creative_work"},
+		{Name: "place", Parent: "entity"},
+		{Name: "city", Parent: "place"},
+		{Name: "country", Parent: "place"},
+		{Name: "venue", Parent: "place"},
+		{Name: "mountain", Parent: "place"},
+		{Name: "event", Parent: "entity"},
+		{Name: "sports_game", Parent: "event"},
+		{Name: "stock", Parent: "entity"},
+		{Name: "flight", Parent: "event"},
+	} {
+		must(o.AddType(t))
+	}
+
+	for _, p := range []Predicate{
+		// Open-domain predicates.
+		{Name: triple.PredType, Range: triple.KindString},
+		{Name: triple.PredName, Range: triple.KindString, Card: Functional},
+		{Name: triple.PredAlias, Range: triple.KindString},
+		{Name: triple.PredSameAs, Range: triple.KindRef},
+		{Name: triple.PredSourceID, Range: triple.KindString},
+		{Name: "description", Range: triple.KindString, Card: Functional},
+		{Name: "popularity", Range: triple.KindFloat, Card: Functional, Volatile: true},
+
+		// People.
+		{Name: "birth_date", Domain: []string{"human"}, Range: triple.KindTime, Card: Functional},
+		{Name: "birth_place", Domain: []string{"human"}, Range: triple.KindRef, RefType: "place", Card: Functional},
+		{Name: "occupation", Domain: []string{"human"}, Range: triple.KindString},
+		{Name: "spouse", Domain: []string{"human"}, Range: triple.KindRef, RefType: "human", Card: Functional},
+		{Name: "educated_at", Domain: []string{"human"}, Composite: true,
+			RelPreds: []string{"school", "degree", "year"}},
+
+		// Music.
+		{Name: "performed_by", Domain: []string{"song", "album"}, Range: triple.KindRef, RefType: "music_artist"},
+		{Name: "part_of_album", Domain: []string{"song"}, Range: triple.KindRef, RefType: "album"},
+		{Name: "signed_to", Domain: []string{"music_artist"}, Range: triple.KindRef, RefType: "record_label"},
+		{Name: "genre", Domain: []string{"song", "album", "music_artist", "movie"}, Range: triple.KindString},
+		{Name: "track", Domain: []string{"playlist"}, Range: triple.KindRef, RefType: "song"},
+		{Name: "curated_by", Domain: []string{"playlist"}, Range: triple.KindRef, RefType: "agent"},
+		{Name: "release_year", Domain: []string{"song", "album", "movie"}, Range: triple.KindInt, Card: Functional},
+		{Name: "duration_sec", Domain: []string{"song"}, Range: triple.KindInt, Card: Functional},
+		{Name: "play_count", Domain: []string{"song", "album"}, Range: triple.KindInt, Card: Functional, Volatile: true},
+
+		// Movies.
+		{Name: "directed_by", Domain: []string{"movie"}, Range: triple.KindRef, RefType: "human"},
+		{Name: "cast_member", Domain: []string{"movie"}, Composite: true,
+			RelPreds: []string{"actor", "character", "billing"}},
+		{Name: "full_title", Domain: []string{"movie"}, Range: triple.KindString, Card: Functional},
+
+		// Geography and organizations.
+		{Name: "located_in", Domain: []string{"place", "organization"}, Range: triple.KindRef, RefType: "place", Card: Functional},
+		{Name: "capital", Domain: []string{"country"}, Range: triple.KindRef, RefType: "city", Card: Functional},
+		{Name: "mayor", Domain: []string{"city"}, Range: triple.KindRef, RefType: "human", Card: Functional},
+		{Name: "head_of_state", Domain: []string{"country"}, Range: triple.KindRef, RefType: "human", Card: Functional},
+		{Name: "population", Domain: []string{"place"}, Range: triple.KindInt, Card: Functional},
+		{Name: "elevation_m", Domain: []string{"mountain"}, Range: triple.KindInt, Card: Functional},
+
+		// Sports (live sources).
+		{Name: "home_team", Domain: []string{"sports_game"}, Range: triple.KindRef, RefType: "sports_team", Card: Functional},
+		{Name: "away_team", Domain: []string{"sports_game"}, Range: triple.KindRef, RefType: "sports_team", Card: Functional},
+		{Name: "home_score", Domain: []string{"sports_game"}, Range: triple.KindInt, Card: Functional, Volatile: true},
+		{Name: "away_score", Domain: []string{"sports_game"}, Range: triple.KindInt, Card: Functional, Volatile: true},
+		{Name: "game_status", Domain: []string{"sports_game"}, Range: triple.KindString, Card: Functional, Volatile: true},
+		{Name: "game_venue", Domain: []string{"sports_game"}, Range: triple.KindRef, RefType: "venue", Card: Functional},
+		{Name: "plays_in_city", Domain: []string{"sports_team"}, Range: triple.KindRef, RefType: "city", Card: Functional},
+
+		// Finance and flights (live sources).
+		{Name: "ticker", Domain: []string{"stock"}, Range: triple.KindString, Card: Functional},
+		{Name: "price", Domain: []string{"stock"}, Range: triple.KindFloat, Card: Functional, Volatile: true},
+		{Name: "issued_by", Domain: []string{"stock"}, Range: triple.KindRef, RefType: "company", Card: Functional},
+		{Name: "flight_status", Domain: []string{"flight"}, Range: triple.KindString, Card: Functional, Volatile: true},
+		{Name: "departs_from", Domain: []string{"flight"}, Range: triple.KindRef, RefType: "place", Card: Functional},
+		{Name: "arrives_at", Domain: []string{"flight"}, Range: triple.KindRef, RefType: "place", Card: Functional},
+	} {
+		must(o.AddPredicate(p))
+	}
+
+	o.Freeze()
+	return o
+}

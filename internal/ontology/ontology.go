@@ -1,0 +1,319 @@
+// Package ontology implements Saga's in-house open-domain ontology (§2.1):
+// the controlled vocabulary of entity types and predicates that ingested data
+// is aligned to, together with the constraints (domains, ranges, cardinality,
+// volatility) that construction and truth discovery enforce.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"saga/internal/triple"
+)
+
+// Cardinality constrains how many objects a predicate admits per subject.
+type Cardinality uint8
+
+const (
+	// Multi predicates admit any number of objects (for example "alias").
+	Multi Cardinality = iota
+	// Functional predicates admit at most one object per subject and locale
+	// (for example "birth_date"). Conflicting observations from different
+	// sources are resolved by truth discovery.
+	Functional
+)
+
+// Predicate describes one predicate in the ontology.
+type Predicate struct {
+	// Name is the canonical predicate name in the KG namespace.
+	Name string
+	// Domain lists the entity types the predicate may appear on. Empty means
+	// unrestricted (open-domain predicates such as "name").
+	Domain []string
+	// Range is the expected object kind. KindNull means unrestricted.
+	Range triple.Kind
+	// RefType, for reference-valued predicates, names the expected type of
+	// the referenced entity ("educated_at.school" points at "school").
+	RefType string
+	// Card is the cardinality constraint.
+	Card Cardinality
+	// Volatile marks high-churn predicates (popularity, score) whose updates
+	// bypass delta payloads and flow through partition overwrite (§2.4).
+	Volatile bool
+	// Composite marks predicates whose facts form relationship nodes with
+	// the listed relationship predicates.
+	Composite bool
+	// RelPreds lists the admissible relationship predicates of a composite
+	// predicate, for example school/degree/year under educated_at.
+	RelPreds []string
+}
+
+// Type describes one entity type in the ontology's type hierarchy.
+type Type struct {
+	// Name is the canonical type name.
+	Name string
+	// Parent is the supertype name, or "" for a root type.
+	Parent string
+}
+
+// Ontology is an immutable-after-build registry of types and predicates.
+// A single Ontology is shared across the platform; reads are lock-free after
+// Freeze and the builder methods are mutex-guarded before it.
+type Ontology struct {
+	mu         sync.RWMutex
+	frozen     bool
+	types      map[string]Type
+	predicates map[string]Predicate
+}
+
+// New constructs an empty ontology.
+func New() *Ontology {
+	return &Ontology{
+		types:      make(map[string]Type),
+		predicates: make(map[string]Predicate),
+	}
+}
+
+// AddType registers an entity type. Registering a type twice or after Freeze
+// is an error, as is a dangling parent.
+func (o *Ontology) AddType(t Type) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.frozen {
+		return fmt.Errorf("ontology: AddType(%s) after Freeze", t.Name)
+	}
+	if t.Name == "" {
+		return fmt.Errorf("ontology: type with empty name")
+	}
+	if _, dup := o.types[t.Name]; dup {
+		return fmt.Errorf("ontology: duplicate type %q", t.Name)
+	}
+	if t.Parent != "" {
+		if _, ok := o.types[t.Parent]; !ok {
+			return fmt.Errorf("ontology: type %q has unknown parent %q", t.Name, t.Parent)
+		}
+	}
+	o.types[t.Name] = t
+	return nil
+}
+
+// AddPredicate registers a predicate definition.
+func (o *Ontology) AddPredicate(p Predicate) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.frozen {
+		return fmt.Errorf("ontology: AddPredicate(%s) after Freeze", p.Name)
+	}
+	if p.Name == "" {
+		return fmt.Errorf("ontology: predicate with empty name")
+	}
+	if _, dup := o.predicates[p.Name]; dup {
+		return fmt.Errorf("ontology: duplicate predicate %q", p.Name)
+	}
+	for _, d := range p.Domain {
+		if _, ok := o.types[d]; !ok {
+			return fmt.Errorf("ontology: predicate %q domain references unknown type %q", p.Name, d)
+		}
+	}
+	if p.RefType != "" {
+		if _, ok := o.types[p.RefType]; !ok {
+			return fmt.Errorf("ontology: predicate %q range references unknown type %q", p.Name, p.RefType)
+		}
+	}
+	if p.Composite && len(p.RelPreds) == 0 {
+		return fmt.Errorf("ontology: composite predicate %q lists no relationship predicates", p.Name)
+	}
+	o.predicates[p.Name] = p
+	return nil
+}
+
+// Freeze makes the ontology immutable. Construction pipelines call Freeze
+// before sharing the ontology across goroutines.
+func (o *Ontology) Freeze() {
+	o.mu.Lock()
+	o.frozen = true
+	o.mu.Unlock()
+}
+
+// HasType reports whether the type is registered.
+func (o *Ontology) HasType(name string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	_, ok := o.types[name]
+	return ok
+}
+
+// Predicate returns the predicate definition and whether it exists.
+func (o *Ontology) Predicate(name string) (Predicate, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	p, ok := o.predicates[name]
+	return p, ok
+}
+
+// Types returns all registered type names, sorted.
+func (o *Ontology) Types() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, 0, len(o.types))
+	for name := range o.types {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predicates returns all registered predicate names, sorted.
+func (o *Ontology) Predicates() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, 0, len(o.predicates))
+	for name := range o.predicates {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsA reports whether type name is, or transitively inherits from, ancestor.
+func (o *Ontology) IsA(name, ancestor string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for name != "" {
+		if name == ancestor {
+			return true
+		}
+		t, ok := o.types[name]
+		if !ok {
+			return false
+		}
+		name = t.Parent
+	}
+	return false
+}
+
+// Ancestors returns the inheritance chain of the type from itself up to its
+// root, or nil for unknown types.
+func (o *Ontology) Ancestors(name string) []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var out []string
+	for name != "" {
+		t, ok := o.types[name]
+		if !ok {
+			return out
+		}
+		out = append(out, name)
+		name = t.Parent
+	}
+	return out
+}
+
+// CompatibleTypes reports whether two type names could describe the same
+// real-world entity: equal, or one inherits from the other. Linking uses this
+// to reject pairs across incompatible types.
+func (o *Ontology) CompatibleTypes(a, b string) bool {
+	if a == "" || b == "" {
+		return true // untyped entities are not constrained
+	}
+	return o.IsA(a, b) || o.IsA(b, a)
+}
+
+// VolatilePredicates returns the names of volatile predicates, sorted.
+func (o *Ontology) VolatilePredicates() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var out []string
+	for name, p := range o.predicates {
+		if p.Volatile {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsVolatile reports whether the predicate is registered as volatile.
+func (o *Ontology) IsVolatile(pred string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	p, ok := o.predicates[pred]
+	return ok && p.Volatile
+}
+
+// Violation describes one ontology-constraint violation on an entity.
+type Violation struct {
+	Entity    triple.EntityID
+	Predicate string
+	Reason    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s/%s: %s", v.Entity, v.Predicate, v.Reason)
+}
+
+// Validate checks an entity payload against the ontology and returns every
+// violation found. Unknown predicates are violations: ingestion must align
+// all source predicates to the ontology before export (§2.2).
+func (o *Ontology) Validate(e *triple.Entity) []Violation {
+	var out []Violation
+	add := func(pred, reason string) {
+		out = append(out, Violation{Entity: e.ID, Predicate: pred, Reason: reason})
+	}
+	etype := e.Type()
+	if etype != "" && !o.HasType(etype) {
+		add(triple.PredType, fmt.Sprintf("unknown entity type %q", etype))
+	}
+	seenFunctional := make(map[string]bool)
+	for _, t := range e.Triples {
+		p, ok := o.Predicate(t.Predicate)
+		if !ok {
+			add(t.Predicate, "predicate not in ontology")
+			continue
+		}
+		if len(p.Domain) > 0 && etype != "" {
+			inDomain := false
+			for _, d := range p.Domain {
+				if o.IsA(etype, d) {
+					inDomain = true
+					break
+				}
+			}
+			if !inDomain {
+				add(t.Predicate, fmt.Sprintf("type %q outside predicate domain %v", etype, p.Domain))
+			}
+		}
+		if t.IsComposite() {
+			if !p.Composite {
+				add(t.Predicate, "relationship rows on a non-composite predicate")
+			} else if !contains(p.RelPreds, t.RelPred) {
+				add(t.Predicate, fmt.Sprintf("unknown relationship predicate %q", t.RelPred))
+			}
+		} else {
+			if p.Composite {
+				add(t.Predicate, "simple fact on a composite predicate")
+			}
+			if p.Range != triple.KindNull && t.Object.Kind() != p.Range && !t.Object.IsNull() {
+				add(t.Predicate, fmt.Sprintf("object kind %s, want %s", t.Object.Kind(), p.Range))
+			}
+			if p.Card == Functional {
+				key := t.Predicate + "\x1f" + t.Locale
+				if seenFunctional[key] {
+					add(t.Predicate, "multiple objects on a functional predicate")
+				}
+				seenFunctional[key] = true
+			}
+		}
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

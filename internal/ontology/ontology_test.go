@@ -1,0 +1,229 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"saga/internal/triple"
+)
+
+func buildSmall(t *testing.T) *Ontology {
+	t.Helper()
+	o := New()
+	for _, typ := range []Type{
+		{Name: "entity"},
+		{Name: "agent", Parent: "entity"},
+		{Name: "human", Parent: "agent"},
+		{Name: "place", Parent: "entity"},
+	} {
+		if err := o.AddType(typ); err != nil {
+			t.Fatalf("AddType: %v", err)
+		}
+	}
+	for _, p := range []Predicate{
+		{Name: "type", Range: triple.KindString},
+		{Name: "name", Range: triple.KindString, Card: Functional},
+		{Name: "birth_date", Domain: []string{"human"}, Range: triple.KindTime, Card: Functional},
+		{Name: "popularity", Range: triple.KindFloat, Volatile: true},
+		{Name: "educated_at", Domain: []string{"human"}, Composite: true, RelPreds: []string{"school", "year"}},
+	} {
+		if err := o.AddPredicate(p); err != nil {
+			t.Fatalf("AddPredicate: %v", err)
+		}
+	}
+	return o
+}
+
+func TestBuilderErrors(t *testing.T) {
+	o := buildSmall(t)
+	if err := o.AddType(Type{Name: "human"}); err == nil {
+		t.Error("duplicate type accepted")
+	}
+	if err := o.AddType(Type{Name: "x", Parent: "ghost"}); err == nil {
+		t.Error("dangling parent accepted")
+	}
+	if err := o.AddType(Type{}); err == nil {
+		t.Error("empty type name accepted")
+	}
+	if err := o.AddPredicate(Predicate{Name: "name"}); err == nil {
+		t.Error("duplicate predicate accepted")
+	}
+	if err := o.AddPredicate(Predicate{Name: "p", Domain: []string{"ghost"}}); err == nil {
+		t.Error("dangling domain accepted")
+	}
+	if err := o.AddPredicate(Predicate{Name: "p", RefType: "ghost"}); err == nil {
+		t.Error("dangling ref type accepted")
+	}
+	if err := o.AddPredicate(Predicate{Name: "p", Composite: true}); err == nil {
+		t.Error("composite without rel preds accepted")
+	}
+	o.Freeze()
+	if err := o.AddType(Type{Name: "late"}); err == nil {
+		t.Error("AddType after Freeze accepted")
+	}
+	if err := o.AddPredicate(Predicate{Name: "late"}); err == nil {
+		t.Error("AddPredicate after Freeze accepted")
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	o := buildSmall(t)
+	if !o.IsA("human", "entity") || !o.IsA("human", "human") {
+		t.Error("IsA transitive/reflexive failure")
+	}
+	if o.IsA("entity", "human") {
+		t.Error("IsA inverted")
+	}
+	if o.IsA("ghost", "entity") {
+		t.Error("unknown type IsA anything")
+	}
+	anc := o.Ancestors("human")
+	if strings.Join(anc, ",") != "human,agent,entity" {
+		t.Errorf("Ancestors = %v", anc)
+	}
+	if !o.CompatibleTypes("human", "agent") || !o.CompatibleTypes("agent", "human") {
+		t.Error("ancestor/descendant should be compatible")
+	}
+	if o.CompatibleTypes("human", "place") {
+		t.Error("siblings should be incompatible")
+	}
+	if !o.CompatibleTypes("", "place") {
+		t.Error("untyped must be compatible with anything")
+	}
+}
+
+func TestVolatile(t *testing.T) {
+	o := buildSmall(t)
+	if !o.IsVolatile("popularity") || o.IsVolatile("name") || o.IsVolatile("ghost") {
+		t.Error("IsVolatile misreports")
+	}
+	vol := o.VolatilePredicates()
+	if len(vol) != 1 || vol[0] != "popularity" {
+		t.Errorf("VolatilePredicates = %v", vol)
+	}
+}
+
+func validHuman() *triple.Entity {
+	e := triple.NewEntity("kg:E1")
+	e.AddFact("type", triple.String("human"))
+	e.AddFact("name", triple.String("J. Smith"))
+	e.AddFact("birth_date", triple.Time(time.Date(1980, 1, 1, 0, 0, 0, 0, time.UTC)))
+	e.AddRelFact("educated_at", "r1", "school", triple.String("UW"))
+	e.AddRelFact("educated_at", "r1", "year", triple.Int(2005))
+	return e
+}
+
+func TestValidateAcceptsConformingEntity(t *testing.T) {
+	o := buildSmall(t)
+	if v := o.Validate(validHuman()); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestValidateViolations(t *testing.T) {
+	o := buildSmall(t)
+	cases := []struct {
+		name   string
+		mutate func(*triple.Entity)
+		substr string
+	}{
+		{"unknown predicate", func(e *triple.Entity) {
+			e.AddFact("ghost_pred", triple.String("x"))
+		}, "not in ontology"},
+		{"unknown type", func(e *triple.Entity) {
+			e.Triples[0].Object = triple.String("alien")
+		}, "unknown entity type"},
+		{"domain violation", func(e *triple.Entity) {
+			e.Triples[0].Object = triple.String("place")
+		}, "outside predicate domain"},
+		{"range violation", func(e *triple.Entity) {
+			e.AddFact("name", triple.Int(5))
+		}, "object kind"},
+		{"functional violation", func(e *triple.Entity) {
+			e.AddFact("name", triple.String("Second Name"))
+		}, "functional"},
+		{"composite as simple", func(e *triple.Entity) {
+			e.AddFact("educated_at", triple.String("UW"))
+		}, "simple fact on a composite"},
+		{"simple as composite", func(e *triple.Entity) {
+			e.AddRelFact("name", "r9", "x", triple.String("v"))
+		}, "non-composite predicate"},
+		{"unknown rel pred", func(e *triple.Entity) {
+			e.AddRelFact("educated_at", "r2", "ghost", triple.String("v"))
+		}, "unknown relationship predicate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e := validHuman()
+			c.mutate(e)
+			vs := o.Validate(e)
+			if len(vs) == 0 {
+				t.Fatal("expected violations")
+			}
+			found := false
+			for _, v := range vs {
+				if strings.Contains(v.String(), c.substr) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("violations %v missing %q", vs, c.substr)
+			}
+		})
+	}
+}
+
+func TestValidateFunctionalPerLocale(t *testing.T) {
+	o := buildSmall(t)
+	e := triple.NewEntity("kg:E1")
+	e.AddFact("type", triple.String("human"))
+	en := triple.New(e.ID, "name", triple.String("London")).WithLocale("en")
+	fr := triple.New(e.ID, "name", triple.String("Londres")).WithLocale("fr")
+	e.Add(en, fr)
+	if v := o.Validate(e); len(v) != 0 {
+		t.Errorf("locale-distinct functional facts rejected: %v", v)
+	}
+}
+
+func TestDefaultOntology(t *testing.T) {
+	o := Default()
+	for _, typ := range []string{"human", "music_artist", "song", "sports_game", "stock", "city"} {
+		if !o.HasType(typ) {
+			t.Errorf("default ontology missing type %q", typ)
+		}
+	}
+	if !o.IsA("music_artist", "human") || !o.IsA("song", "creative_work") {
+		t.Error("default hierarchy wrong")
+	}
+	for _, pred := range []string{"name", "educated_at", "performed_by", "home_score", "price"} {
+		if _, ok := o.Predicate(pred); !ok {
+			t.Errorf("default ontology missing predicate %q", pred)
+		}
+	}
+	vol := o.VolatilePredicates()
+	wantVolatile := map[string]bool{"popularity": true, "play_count": true, "home_score": true,
+		"away_score": true, "game_status": true, "price": true, "flight_status": true}
+	for _, p := range vol {
+		if !wantVolatile[p] {
+			t.Errorf("unexpected volatile predicate %q", p)
+		}
+		delete(wantVolatile, p)
+	}
+	for p := range wantVolatile {
+		t.Errorf("predicate %q should be volatile", p)
+	}
+	// Frozen: additions must fail.
+	if err := o.AddType(Type{Name: "late"}); err == nil {
+		t.Error("default ontology not frozen")
+	}
+	// A realistic entity validates.
+	e := triple.NewEntity("kg:A1")
+	e.AddFact("type", triple.String("music_artist"))
+	e.AddFact("name", triple.String("Billie"))
+	e.AddFact("genre", triple.String("pop"))
+	e.AddFact("popularity", triple.Float(0.97))
+	if v := o.Validate(e); len(v) != 0 {
+		t.Errorf("artist entity rejected: %v", v)
+	}
+}

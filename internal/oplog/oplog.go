@@ -1,0 +1,204 @@
+// Package oplog implements the durable shared operation log that coordinates
+// continuous ingest across the Graph Engine's storage engines (§3.1). The KG
+// construction pipeline is the sole producer: it stages data payloads in the
+// object store and appends ingest operations to the log. Orchestration agents
+// replay operations in order, so all stores eventually derive their views of
+// the KG from the same base data in the same order. Log sequence numbers
+// (LSNs) are the distributed synchronization primitive: an agent's replayed
+// LSN tells consumers how fresh that store is.
+//
+// The paper's log is a distributed service; this implementation is a
+// file-backed single-node log with CRC-framed records, which preserves the
+// properties the platform relies on: durability, total order, and replay
+// from an arbitrary LSN.
+package oplog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"saga/internal/triple"
+)
+
+// OpKind enumerates ingest operation types.
+type OpKind string
+
+// Operation kinds understood by orchestration agents.
+const (
+	// OpUpsert carries new or updated entity payloads.
+	OpUpsert OpKind = "upsert"
+	// OpDelete removes entities from all stores.
+	OpDelete OpKind = "delete"
+	// OpOverwritePartition atomically replaces a source's volatile-predicate
+	// partition (§2.4) without join-based fusion.
+	OpOverwritePartition OpKind = "overwrite_partition"
+	// OpCuration carries human curation hot fixes (§4.3).
+	OpCuration OpKind = "curation"
+	// OpCheckpoint marks a consistent point after a construction run; view
+	// maintenance triggers on checkpoints.
+	OpCheckpoint OpKind = "checkpoint"
+)
+
+// Op is one logged ingest operation. Large payloads live in the staging
+// object store; the op carries only the staging key and the affected entity
+// IDs, which incremental view maintenance consumes directly.
+type Op struct {
+	// LSN is the log sequence number, assigned by Append starting at 1.
+	LSN uint64 `json:"lsn"`
+	// Kind is the operation type.
+	Kind OpKind `json:"kind"`
+	// Source names the data source the operation originated from.
+	Source string `json:"source,omitempty"`
+	// StagingKey locates the payload in the staging object store.
+	StagingKey string `json:"staging_key,omitempty"`
+	// EntityIDs lists the entities the operation touches.
+	EntityIDs []triple.EntityID `json:"entity_ids,omitempty"`
+	// Time is the append timestamp (unix nanos) for freshness monitoring.
+	Time int64 `json:"time"`
+}
+
+// Log is a durable, append-only, totally ordered operation log. It is safe
+// for concurrent use: appends serialize, reads snapshot. A Log with an empty
+// path is memory-only (used by tests and examples); with a path it appends
+// CRC-framed records to the file and can recover after restart.
+type Log struct {
+	mu   sync.RWMutex
+	ops  []Op
+	file *os.File
+	path string
+	subs []chan uint64
+}
+
+// Open creates or recovers a log at path. An empty path yields a memory-only
+// log. Recovery replays the file and tolerates a truncated final record
+// (crash during append), dropping it.
+func Open(path string) (*Log, error) {
+	l := &Log{path: path}
+	if path == "" {
+		return l, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("oplog: open %s: %w", path, err)
+	}
+	// Replay existing records.
+	var offset int64
+	for {
+		payload, err := triple.ReadRecord(f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A torn or corrupt tail is expected after a crash: keep the
+			// prefix, truncate the rest.
+			break
+		}
+		var op Op
+		if err := json.Unmarshal(payload, &op); err != nil {
+			break
+		}
+		l.ops = append(l.ops, op)
+		pos, err := f.Seek(0, io.SeekCurrent)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("oplog: seek %s: %w", path, err)
+		}
+		offset = pos
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("oplog: truncate torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("oplog: seek %s: %w", path, err)
+	}
+	l.file = f
+	return l, nil
+}
+
+// Close releases the backing file. Append after Close fails.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	err := l.file.Close()
+	l.file = nil
+	l.path = "-closed-"
+	return err
+}
+
+// Append assigns the next LSN to op, makes it durable, and returns the LSN.
+func (l *Log) Append(op Op) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.path == "-closed-" {
+		return 0, fmt.Errorf("oplog: append to closed log")
+	}
+	op.LSN = uint64(len(l.ops)) + 1
+	if op.Time == 0 {
+		op.Time = time.Now().UnixNano()
+	}
+	if l.file != nil {
+		payload, err := json.Marshal(op)
+		if err != nil {
+			return 0, fmt.Errorf("oplog: encode op: %w", err)
+		}
+		if err := triple.WriteRecord(l.file, payload); err != nil {
+			return 0, fmt.Errorf("oplog: write op: %w", err)
+		}
+		if err := l.file.Sync(); err != nil {
+			return 0, fmt.Errorf("oplog: sync: %w", err)
+		}
+	}
+	l.ops = append(l.ops, op)
+	for _, ch := range l.subs {
+		select {
+		case ch <- op.LSN:
+		default: // subscriber is behind; it will catch up on its next poll
+		}
+	}
+	return op.LSN, nil
+}
+
+// LastLSN returns the LSN of the most recent operation, or 0 when empty.
+func (l *Log) LastLSN() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.ops))
+}
+
+// Read returns up to max operations with LSN > after, in order. max <= 0
+// means no limit.
+func (l *Log) Read(after uint64, max int) []Op {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if after >= uint64(len(l.ops)) {
+		return nil
+	}
+	rest := l.ops[after:]
+	if max > 0 && len(rest) > max {
+		rest = rest[:max]
+	}
+	out := make([]Op, len(rest))
+	copy(out, rest)
+	return out
+}
+
+// Subscribe returns a channel that receives the LSN of newly appended
+// operations. The channel has a small buffer; slow subscribers miss
+// notifications but never operations (they poll Read). Used by orchestration
+// agents to wake up promptly instead of busy-polling.
+func (l *Log) Subscribe() <-chan uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ch := make(chan uint64, 64)
+	l.subs = append(l.subs, ch)
+	return ch
+}

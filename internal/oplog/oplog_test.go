@@ -1,0 +1,170 @@
+package oplog
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"saga/internal/triple"
+)
+
+func TestAppendRead(t *testing.T) {
+	l, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append(Op{Kind: OpUpsert, Source: "src"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+	}
+	if got := l.LastLSN(); got != 5 {
+		t.Fatalf("LastLSN = %d, want 5", got)
+	}
+	ops := l.Read(2, 0)
+	if len(ops) != 3 || ops[0].LSN != 3 || ops[2].LSN != 5 {
+		t.Fatalf("Read(2) = %+v", ops)
+	}
+	if got := l.Read(2, 2); len(got) != 2 {
+		t.Fatalf("Read with max = %d ops", len(got))
+	}
+	if got := l.Read(5, 0); got != nil {
+		t.Fatalf("Read past end = %+v", got)
+	}
+}
+
+func TestDurabilityAndRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(Op{Kind: OpUpsert, Source: "s", EntityIDs: []triple.EntityID{"kg:E1"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.LastLSN(); got != 10 {
+		t.Fatalf("recovered LastLSN = %d, want 10", got)
+	}
+	ops := re.Read(0, 0)
+	if len(ops) != 10 || ops[9].EntityIDs[0] != "kg:E1" {
+		t.Fatalf("recovered ops = %d", len(ops))
+	}
+	// Appends continue with the next LSN.
+	lsn, err := re.Append(Op{Kind: OpCheckpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 11 {
+		t.Fatalf("post-recovery lsn = %d, want 11", lsn)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(Op{Kind: OpUpsert}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Simulate a crash mid-append: write garbage at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x01, 0x02, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.LastLSN(); got != 3 {
+		t.Fatalf("LastLSN after torn tail = %d, want 3", got)
+	}
+	// The torn bytes must be gone so future appends stay readable.
+	if _, err := re.Append(Op{Kind: OpUpsert}); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	re2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := re2.LastLSN(); got != 4 {
+		t.Fatalf("LastLSN after re-append = %d, want 4", got)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Append(Op{Kind: OpUpsert}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	l, _ := Open("")
+	ch := l.Subscribe()
+	if _, err := l.Append(Op{Kind: OpUpsert}); err != nil {
+		t.Fatal(err)
+	}
+	if lsn := <-ch; lsn != 1 {
+		t.Fatalf("notified lsn = %d, want 1", lsn)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	l, _ := Open("")
+	var wg sync.WaitGroup
+	const writers, each = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := l.Append(Op{Kind: OpUpsert}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.LastLSN(); got != writers*each {
+		t.Fatalf("LastLSN = %d, want %d", got, writers*each)
+	}
+	ops := l.Read(0, 0)
+	for i, op := range ops {
+		if op.LSN != uint64(i+1) {
+			t.Fatalf("ops out of order at %d: lsn %d", i, op.LSN)
+		}
+	}
+}

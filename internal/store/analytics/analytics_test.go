@@ -1,0 +1,256 @@
+package analytics
+
+import (
+	"fmt"
+	"testing"
+
+	"saga/internal/triple"
+)
+
+func musicGraph() *triple.Graph {
+	g := triple.NewGraph()
+	put := func(id string, facts func(e *triple.Entity)) {
+		e := triple.NewEntity(triple.EntityID(id))
+		facts(e)
+		g.Put(e)
+	}
+	put("kg:A1", func(e *triple.Entity) {
+		e.AddFact(triple.PredType, triple.String("music_artist"))
+		e.AddFact(triple.PredName, triple.String("Adele"))
+		e.AddFact("genre", triple.String("pop"))
+	})
+	put("kg:A2", func(e *triple.Entity) {
+		e.AddFact(triple.PredType, triple.String("music_artist"))
+		e.AddFact(triple.PredName, triple.String("Sia"))
+	})
+	put("kg:S1", func(e *triple.Entity) {
+		e.AddFact(triple.PredType, triple.String("song"))
+		e.AddFact(triple.PredName, triple.String("Hello"))
+		e.AddFact("performed_by", triple.Ref("kg:A1"))
+		e.AddFact("release_year", triple.Int(2015))
+	})
+	put("kg:S2", func(e *triple.Entity) {
+		e.AddFact(triple.PredType, triple.String("song"))
+		e.AddFact(triple.PredName, triple.String("Chandelier"))
+		e.AddFact("performed_by", triple.Ref("kg:A2"))
+	})
+	put("kg:P1", func(e *triple.Entity) {
+		e.AddFact(triple.PredType, triple.String("playlist"))
+		e.AddFact(triple.PredName, triple.String("Hits"))
+		e.AddFact("track", triple.Ref("kg:S1"))
+		e.AddFact("track", triple.Ref("kg:S2"))
+	})
+	return g
+}
+
+func TestPredicateRelation(t *testing.T) {
+	s := FromGraph(musicGraph())
+	r := s.PredicateRelation(triple.PredName)
+	if r.Len() != 5 {
+		t.Fatalf("name rows = %d, want 5", r.Len())
+	}
+	if r.Col("subj") != 0 || r.Col(triple.PredName) != 1 {
+		t.Fatalf("cols = %v", r.Cols)
+	}
+}
+
+func TestEntitiesOfType(t *testing.T) {
+	s := FromGraph(musicGraph())
+	r := s.EntitiesOfType("song")
+	if r.Len() != 2 {
+		t.Fatalf("songs = %d", r.Len())
+	}
+	if r.Rows[0][0].Str() != "kg:S1" || r.Rows[1][0].Str() != "kg:S2" {
+		t.Fatalf("rows = %v (should be sorted)", r.Rows)
+	}
+}
+
+func executorsAgree(t *testing.T, build func(Executor) *Relation) *Relation {
+	t.Helper()
+	hash := build(HashExecutor{})
+	legacy := build(LegacyExecutor{})
+	if hash.Len() != legacy.Len() {
+		t.Fatalf("row counts differ: hash=%d legacy=%d", hash.Len(), legacy.Len())
+	}
+	hash.SortBy(hash.Cols...)
+	legacy.SortBy(legacy.Cols...)
+	for i := range hash.Rows {
+		for j := range hash.Rows[i] {
+			if hash.Rows[i][j].Text() != legacy.Rows[i][j].Text() {
+				t.Fatalf("row %d col %d differs: %q vs %q", i, j, hash.Rows[i][j].Text(), legacy.Rows[i][j].Text())
+			}
+		}
+	}
+	return hash
+}
+
+func TestJoinExecutorsAgree(t *testing.T) {
+	s := FromGraph(musicGraph())
+	out := executorsAgree(t, func(exec Executor) *Relation {
+		songs := s.EntitiesOfType("song")
+		names := s.PredicateRelation(triple.PredName)
+		return exec.Join(songs, names, "subj", "subj")
+	})
+	if out.Len() != 2 {
+		t.Fatalf("join rows = %d", out.Len())
+	}
+}
+
+func TestLeftJoinKeepsUnmatched(t *testing.T) {
+	s := FromGraph(musicGraph())
+	out := executorsAgree(t, func(exec Executor) *Relation {
+		artists := s.EntitiesOfType("music_artist")
+		genres := s.PredicateRelation("genre")
+		return exec.LeftJoin(artists, genres, "subj", "subj")
+	})
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	// Sia has no genre: null column.
+	var siaRow []triple.Value
+	for _, row := range out.Rows {
+		if row[0].Str() == "kg:A2" {
+			siaRow = row
+		}
+	}
+	if siaRow == nil || !siaRow[1].IsNull() {
+		t.Fatalf("sia row = %v", siaRow)
+	}
+}
+
+func TestRefJoinsAcrossKinds(t *testing.T) {
+	// performed_by holds Ref values; artist subj holds String values. Joins
+	// must match them by text.
+	s := FromGraph(musicGraph())
+	out := executorsAgree(t, func(exec Executor) *Relation {
+		perf := s.PredicateRelation("performed_by")
+		names := s.PredicateRelation(triple.PredName)
+		return exec.Join(perf, names, "performed_by", "subj")
+	})
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+}
+
+func TestGroupCountAndDistinct(t *testing.T) {
+	s := FromGraph(musicGraph())
+	out := executorsAgree(t, func(exec Executor) *Relation {
+		tracks := s.PredicateRelation("track")
+		return exec.GroupCount(tracks, "subj")
+	})
+	if out.Len() != 1 || out.Rows[0][1].Int64() != 2 {
+		t.Fatalf("group count = %v", out.Rows)
+	}
+	dup := NewRelation("a")
+	dup.Append(triple.String("x"))
+	dup.Append(triple.String("x"))
+	dup.Append(triple.String("y"))
+	out2 := executorsAgree(t, func(exec Executor) *Relation { return exec.Distinct(dup) })
+	if out2.Len() != 2 {
+		t.Fatalf("distinct = %d", out2.Len())
+	}
+}
+
+func TestBuildEntityView(t *testing.T) {
+	s := FromGraph(musicGraph())
+	spec := EntityViewSpec{
+		Name:       "songs",
+		Type:       "song",
+		Predicates: []string{triple.PredName, "release_year"},
+		Enrich:     []Enrichment{{Path: []string{"performed_by", triple.PredName}, As: "artist_name"}},
+	}
+	if spec.JoinCount() != 4 {
+		t.Fatalf("join count = %d", spec.JoinCount())
+	}
+	view := executorsAgree(t, func(exec Executor) *Relation {
+		v, err := BuildEntityView(s, spec, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	})
+	if view.Len() != 2 {
+		t.Fatalf("view rows = %d", view.Len())
+	}
+	ai := view.MustCol("artist_name")
+	byID := map[string]string{}
+	for _, row := range view.Rows {
+		byID[row[0].Str()] = row[ai].Text()
+	}
+	if byID["kg:S1"] != "Adele" || byID["kg:S2"] != "Sia" {
+		t.Fatalf("artist enrichment = %v", byID)
+	}
+}
+
+func TestBuildEntityViewRelAttrs(t *testing.T) {
+	g := triple.NewGraph()
+	e := triple.NewEntity("kg:H1")
+	e.AddFact(triple.PredType, triple.String("human"))
+	e.AddFact(triple.PredName, triple.String("J. Smith"))
+	e.AddRelFact("educated_at", "r1", "school", triple.String("UW"))
+	e.AddRelFact("educated_at", "r1", "degree", triple.String("PhD"))
+	g.Put(e)
+	s := FromGraph(g)
+	spec := EntityViewSpec{
+		Name: "people", Type: "human",
+		Predicates: []string{triple.PredName},
+		RelAttrs:   map[string][]string{"educated_at": {"school", "degree"}},
+	}
+	view, err := BuildEntityView(s, spec, HashExecutor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 1 {
+		t.Fatalf("rows = %d", view.Len())
+	}
+	if got := view.Rows[0][view.MustCol("school")].Str(); got != "UW" {
+		t.Fatalf("school = %q", got)
+	}
+}
+
+func TestDegreeRelations(t *testing.T) {
+	s := FromGraph(musicGraph())
+	out := executorsAgree(t, func(exec Executor) *Relation { return s.DegreeRelation(exec) })
+	deg := map[string]int64{}
+	for _, row := range out.Rows {
+		deg[row[0].Text()] = row[1].Int64()
+	}
+	if deg["kg:P1"] != 2 || deg["kg:S1"] != 1 {
+		t.Fatalf("out degrees = %v", deg)
+	}
+	in := executorsAgree(t, func(exec Executor) *Relation { return s.InDegreeRelation(exec) })
+	indeg := map[string]int64{}
+	for _, row := range in.Rows {
+		indeg[row[0].Text()] = row[1].Int64()
+	}
+	if indeg["kg:A1"] != 1 || indeg["kg:S1"] != 1 {
+		t.Fatalf("in degrees = %v", indeg)
+	}
+}
+
+func TestHashFasterThanLegacyAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale comparison")
+	}
+	g := triple.NewGraph()
+	for i := 0; i < 800; i++ {
+		e := triple.NewEntity(triple.EntityID(fmt.Sprintf("kg:S%04d", i)))
+		e.AddFact(triple.PredType, triple.String("song"))
+		e.AddFact(triple.PredName, triple.String(fmt.Sprintf("song %d", i)))
+		e.AddFact("performed_by", triple.Ref(triple.EntityID(fmt.Sprintf("kg:A%03d", i%100))))
+		g.Put(e)
+	}
+	s := FromGraph(g)
+	spec := EntityViewSpec{Name: "songs", Type: "song", Predicates: []string{triple.PredName, "performed_by"}}
+	run := func(exec Executor) int64 {
+		start := nowNanos()
+		if _, err := BuildEntityView(s, spec, exec); err != nil {
+			t.Fatal(err)
+		}
+		return nowNanos() - start
+	}
+	hash, legacy := run(HashExecutor{}), run(LegacyExecutor{})
+	if hash >= legacy {
+		t.Errorf("hash executor (%dns) not faster than legacy (%dns) on 800 rows", hash, legacy)
+	}
+}

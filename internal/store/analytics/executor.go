@@ -1,0 +1,278 @@
+package analytics
+
+import (
+	"saga/internal/triple"
+)
+
+// Executor evaluates relational operators. Two implementations exist: the
+// optimized hash-based engine and the legacy row-at-a-time engine; view
+// definitions are written against this interface so the Figure 8 experiment
+// can swap executors without touching the views.
+type Executor interface {
+	// Filter keeps rows where pred(value of col) holds.
+	Filter(r *Relation, col string, pred func(triple.Value) bool) *Relation
+	// Join inner-joins l and r on l.lcol = r.rcol. Join columns from the
+	// right side keep their names; a duplicated name gets an "r_" prefix.
+	Join(l, r *Relation, lcol, rcol string) *Relation
+	// LeftJoin keeps unmatched left rows with null right columns. Multiple
+	// matches multiply rows, as in SQL.
+	LeftJoin(l, r *Relation, lcol, rcol string) *Relation
+	// GroupCount returns (key, count) rows grouping by col.
+	GroupCount(r *Relation, col string) *Relation
+	// Distinct removes duplicate rows.
+	Distinct(r *Relation) *Relation
+	// Name identifies the executor in benchmark output.
+	Name() string
+}
+
+// joinSchema computes the output columns of a join, prefixing right-side
+// duplicates.
+func joinSchema(l, r *Relation, rcol string) ([]string, []int) {
+	cols := append([]string(nil), l.Cols...)
+	taken := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		taken[c] = true
+	}
+	rIdx := make([]int, 0, len(r.Cols)-1)
+	for i, c := range r.Cols {
+		if c == rcol {
+			continue // the join key is already present from the left
+		}
+		name := c
+		if taken[name] {
+			name = "r_" + name
+		}
+		taken[name] = true
+		cols = append(cols, name)
+		rIdx = append(rIdx, i)
+	}
+	return cols, rIdx
+}
+
+// HashExecutor is the optimized engine: joins build a hash table on the
+// smaller input's key and probe with the larger; grouping and distinct use
+// hash aggregation. This is the "optimized join processing in the Analytics
+// Store" of Figure 8.
+type HashExecutor struct{}
+
+// Name implements Executor.
+func (HashExecutor) Name() string { return "graph-engine" }
+
+// Filter implements Executor.
+func (HashExecutor) Filter(r *Relation, col string, pred func(triple.Value) bool) *Relation {
+	i := r.MustCol(col)
+	out := NewRelation(r.Cols...)
+	for _, row := range r.Rows {
+		if pred(row[i]) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Join implements Executor with a build+probe hash join.
+func (HashExecutor) Join(l, r *Relation, lcol, rcol string) *Relation {
+	return hashJoin(l, r, lcol, rcol, false)
+}
+
+// LeftJoin implements Executor.
+func (HashExecutor) LeftJoin(l, r *Relation, lcol, rcol string) *Relation {
+	return hashJoin(l, r, lcol, rcol, true)
+}
+
+func hashJoin(l, r *Relation, lcol, rcol string, left bool) *Relation {
+	li, ri := l.MustCol(lcol), r.MustCol(rcol)
+	cols, rIdx := joinSchema(l, r, rcol)
+	out := NewRelation(cols...)
+	// Build on the right side (views join a big fact relation into a keyed
+	// entity list, so right is usually the smaller predicate relation).
+	// Join keys compare by text so reference values join entity-ID strings.
+	build := make(map[string][]int, len(r.Rows))
+	for i, row := range r.Rows {
+		k := row[ri].Text()
+		build[k] = append(build[k], i)
+	}
+	for _, lrow := range l.Rows {
+		matches := build[lrow[li].Text()]
+		if len(matches) == 0 {
+			if left {
+				row := make([]triple.Value, 0, len(cols))
+				row = append(row, lrow...)
+				for range rIdx {
+					row = append(row, triple.Null)
+				}
+				out.Rows = append(out.Rows, row)
+			}
+			continue
+		}
+		for _, mi := range matches {
+			row := make([]triple.Value, 0, len(cols))
+			row = append(row, lrow...)
+			for _, j := range rIdx {
+				row = append(row, r.Rows[mi][j])
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// GroupCount implements Executor with hash aggregation.
+func (HashExecutor) GroupCount(r *Relation, col string) *Relation {
+	i := r.MustCol(col)
+	counts := make(map[string]int64)
+	order := make([]triple.Value, 0)
+	for _, row := range r.Rows {
+		k := key(row[i])
+		if _, ok := counts[k]; !ok {
+			order = append(order, row[i])
+		}
+		counts[k]++
+	}
+	out := NewRelation(col, "count")
+	for _, v := range order {
+		out.Append(v, triple.Int(counts[key(v)]))
+	}
+	out.SortBy(col)
+	return out
+}
+
+// Distinct implements Executor with a hash set.
+func (HashExecutor) Distinct(r *Relation) *Relation {
+	out := NewRelation(r.Cols...)
+	seen := make(map[string]bool, len(r.Rows))
+	for _, row := range r.Rows {
+		k := rowKey(row)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// LegacyExecutor models the legacy view jobs: row-at-a-time evaluation with
+// nested-loop joins and scan-based grouping — the comparison system of
+// Figure 8. It computes identical results to HashExecutor.
+type LegacyExecutor struct{}
+
+// Name implements Executor.
+func (LegacyExecutor) Name() string { return "legacy" }
+
+// Filter implements Executor one row at a time.
+func (LegacyExecutor) Filter(r *Relation, col string, pred func(triple.Value) bool) *Relation {
+	i := r.MustCol(col)
+	out := NewRelation(r.Cols...)
+	for _, row := range r.Rows {
+		if pred(row[i]) {
+			out.Rows = append(out.Rows, append([]triple.Value(nil), row...))
+		}
+	}
+	return out
+}
+
+// Join implements Executor with a nested loop.
+func (LegacyExecutor) Join(l, r *Relation, lcol, rcol string) *Relation {
+	return nestedJoin(l, r, lcol, rcol, false)
+}
+
+// LeftJoin implements Executor with a nested loop.
+func (LegacyExecutor) LeftJoin(l, r *Relation, lcol, rcol string) *Relation {
+	return nestedJoin(l, r, lcol, rcol, true)
+}
+
+func nestedJoin(l, r *Relation, lcol, rcol string, left bool) *Relation {
+	li, ri := l.MustCol(lcol), r.MustCol(rcol)
+	cols, rIdx := joinSchema(l, r, rcol)
+	out := NewRelation(cols...)
+	for _, lrow := range l.Rows {
+		matched := false
+		for _, rrow := range r.Rows {
+			if !joinEqual(lrow[li], rrow[ri]) {
+				continue
+			}
+			matched = true
+			row := make([]triple.Value, 0, len(cols))
+			row = append(row, lrow...)
+			for _, j := range rIdx {
+				row = append(row, rrow[j])
+			}
+			out.Rows = append(out.Rows, row)
+		}
+		if !matched && left {
+			row := make([]triple.Value, 0, len(cols))
+			row = append(row, lrow...)
+			for range rIdx {
+				row = append(row, triple.Null)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// GroupCount implements Executor by scanning for each distinct key.
+func (LegacyExecutor) GroupCount(r *Relation, col string) *Relation {
+	i := r.MustCol(col)
+	out := NewRelation(col, "count")
+	for ri, row := range r.Rows {
+		// Emit on first occurrence, counting by re-scanning.
+		first := true
+		for _, prev := range r.Rows[:ri] {
+			if prev[i].Equal(row[i]) {
+				first = false
+				break
+			}
+		}
+		if !first {
+			continue
+		}
+		var n int64
+		for _, other := range r.Rows {
+			if other[i].Equal(row[i]) {
+				n++
+			}
+		}
+		out.Append(row[i], triple.Int(n))
+	}
+	out.SortBy(col)
+	return out
+}
+
+// Distinct implements Executor quadratically.
+func (LegacyExecutor) Distinct(r *Relation) *Relation {
+	out := NewRelation(r.Cols...)
+	for i, row := range r.Rows {
+		dup := false
+		for _, prev := range r.Rows[:i] {
+			if rowKey(prev) == rowKey(row) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// joinEqual compares join keys: same-kind values compare natively, and
+// cross-kind values (a Ref joining an entity-ID string) compare by text —
+// exactly the semantics of the hash join's text keys.
+func joinEqual(a, b triple.Value) bool {
+	if a.Kind() == b.Kind() {
+		return a.Equal(b)
+	}
+	return a.Text() == b.Text()
+}
+
+func key(v triple.Value) string { return string(rune('0'+v.Kind())) + v.Text() }
+
+func rowKey(row []triple.Value) string {
+	k := ""
+	for _, v := range row {
+		k += key(v) + "\x1f"
+	}
+	return k
+}

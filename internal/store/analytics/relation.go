@@ -1,0 +1,222 @@
+// Package analytics implements the Graph Engine's analytics store (§3.1.1):
+// a relational warehouse over the KG's extended triples that computes
+// schematized entity views, feature views, and aggregates. Two executors
+// implement the same relational operators: the optimized Executor uses hash
+// joins and hash aggregation (the engine behind Figure 8's speedups), and the
+// LegacyExecutor evaluates row-at-a-time with nested-loop joins, standing in
+// for the legacy Spark view jobs the paper compares against.
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"saga/internal/triple"
+)
+
+// Relation is a named-column table of values. Rows are row-major; operators
+// return new relations and never mutate inputs.
+type Relation struct {
+	Cols []string
+	Rows [][]triple.Value
+
+	colIdx map[string]int
+}
+
+// NewRelation constructs an empty relation with the given columns.
+func NewRelation(cols ...string) *Relation {
+	r := &Relation{Cols: append([]string(nil), cols...)}
+	r.reindex()
+	return r
+}
+
+func (r *Relation) reindex() {
+	r.colIdx = make(map[string]int, len(r.Cols))
+	for i, c := range r.Cols {
+		r.colIdx[c] = i
+	}
+}
+
+// Col returns the index of the named column, or -1.
+func (r *Relation) Col(name string) int {
+	if r.colIdx == nil {
+		r.reindex()
+	}
+	if i, ok := r.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustCol returns the index of the named column or panics; operators use it
+// for programming errors in view definitions.
+func (r *Relation) MustCol(name string) int {
+	i := r.Col(name)
+	if i < 0 {
+		panic(fmt.Sprintf("analytics: relation %v has no column %q", r.Cols, name))
+	}
+	return i
+}
+
+// Append adds a row. The row length must match the column count.
+func (r *Relation) Append(row ...triple.Value) {
+	if len(row) != len(r.Cols) {
+		panic(fmt.Sprintf("analytics: row width %d != %d columns", len(row), len(r.Cols)))
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Len returns the row count.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.Cols...)
+	out.Rows = make([][]triple.Value, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = append([]triple.Value(nil), row...)
+	}
+	return out
+}
+
+// SortBy orders rows by the given columns, in place, for deterministic output.
+func (r *Relation) SortBy(cols ...string) *Relation {
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		idxs[i] = r.MustCol(c)
+	}
+	sort.SliceStable(r.Rows, func(a, b int) bool {
+		for _, i := range idxs {
+			if c := r.Rows[a][i].Compare(r.Rows[b][i]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return r
+}
+
+// String renders a compact preview for debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d rows)", strings.Join(r.Cols, ","), len(r.Rows))
+	return b.String()
+}
+
+// Store holds the warehouse's base data: the extended-triples relation
+// refreshed from the KG by the orchestration agent. Updates are batched —
+// the store is read-optimized (§3.1.1) and rebuilt per checkpoint.
+type Store struct {
+	// Triples is the base relation with columns
+	// subj, pred, r_id, r_pred, obj, locale, trust.
+	Triples *Relation
+
+	// byPred indexes triple rows by predicate for fast predicate extraction.
+	byPred map[string][]int
+}
+
+// TripleCols is the schema of the base triples relation.
+var TripleCols = []string{"subj", "pred", "r_id", "r_pred", "obj", "locale", "trust"}
+
+// FromGraph snapshots a graph into the warehouse.
+func FromGraph(g *triple.Graph) *Store {
+	s := &Store{Triples: NewRelation(TripleCols...), byPred: make(map[string][]int)}
+	for _, t := range g.Triples() {
+		s.addTriple(t)
+	}
+	return s
+}
+
+// FromEntities loads a warehouse from entity payloads (used by incremental
+// refresh and tests).
+func FromEntities(entities []*triple.Entity) *Store {
+	s := &Store{Triples: NewRelation(TripleCols...), byPred: make(map[string][]int)}
+	for _, e := range entities {
+		for _, t := range e.Triples {
+			s.addTriple(t)
+		}
+	}
+	return s
+}
+
+func (s *Store) addTriple(t triple.Triple) {
+	s.byPred[t.Predicate] = append(s.byPred[t.Predicate], len(s.Triples.Rows))
+	s.Triples.Append(
+		triple.String(string(t.Subject)),
+		triple.String(t.Predicate),
+		triple.String(t.RelID),
+		triple.String(t.RelPred),
+		t.Object,
+		triple.String(t.Locale),
+		triple.Float(t.Confidence()),
+	)
+}
+
+// PredicateRelation extracts the (subj, obj) relation of one simple
+// predicate, the building block of schematized views. The obj column is
+// named after the predicate. A "pred.relpred" name addresses a composite
+// relationship attribute ("cast_member.actor").
+func (s *Store) PredicateRelation(pred string) *Relation {
+	if dot := strings.IndexByte(pred, '.'); dot >= 0 {
+		rel := s.RelPredicateRelation(pred[:dot], pred[dot+1:])
+		return rel.Project("subj", pred[dot+1:]).Rename(pred[dot+1:], pred)
+	}
+	out := NewRelation("subj", pred)
+	subjIdx, objIdx, relIdx := s.Triples.MustCol("subj"), s.Triples.MustCol("obj"), s.Triples.MustCol("r_id")
+	for _, i := range s.byPred[pred] {
+		row := s.Triples.Rows[i]
+		if row[relIdx].Str() != "" {
+			continue // composite rows are extracted by RelPredicateRelation
+		}
+		out.Append(row[subjIdx], row[objIdx])
+	}
+	return out
+}
+
+// RelPredicateRelation extracts (subj, r_id, <relPred>) rows of a composite
+// predicate's relationship attribute.
+func (s *Store) RelPredicateRelation(pred, relPred string) *Relation {
+	out := NewRelation("subj", "r_id", relPred)
+	subjIdx, objIdx := s.Triples.MustCol("subj"), s.Triples.MustCol("obj")
+	relIdx, relPredIdx := s.Triples.MustCol("r_id"), s.Triples.MustCol("r_pred")
+	for _, i := range s.byPred[pred] {
+		row := s.Triples.Rows[i]
+		if row[relPredIdx].Str() != relPred {
+			continue
+		}
+		out.Append(row[subjIdx], row[relIdx], row[objIdx])
+	}
+	return out
+}
+
+// EntitiesOfType returns the single-column (subj) relation of entities whose
+// type facts include typ.
+func (s *Store) EntitiesOfType(typ string) *Relation {
+	out := NewRelation("subj")
+	subjIdx, objIdx := s.Triples.MustCol("subj"), s.Triples.MustCol("obj")
+	seen := make(map[string]bool)
+	for _, i := range s.byPred[triple.PredType] {
+		row := s.Triples.Rows[i]
+		if row[objIdx].Text() != typ {
+			continue
+		}
+		id := row[subjIdx].Str()
+		if !seen[id] {
+			seen[id] = true
+			out.Append(row[subjIdx])
+		}
+	}
+	sort.Slice(out.Rows, func(a, b int) bool { return out.Rows[a][0].Str() < out.Rows[b][0].Str() })
+	return out
+}
+
+// Predicates returns the distinct predicates in the warehouse, sorted.
+func (s *Store) Predicates() []string {
+	out := make([]string, 0, len(s.byPred))
+	for p := range s.byPred {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

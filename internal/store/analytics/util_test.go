@@ -1,0 +1,5 @@
+package analytics
+
+import "time"
+
+func nowNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,126 @@
+package analytics
+
+import (
+	"fmt"
+
+	"saga/internal/triple"
+)
+
+// Project returns a relation with the selected columns, in order.
+func (r *Relation) Project(cols ...string) *Relation {
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		idxs[i] = r.MustCol(c)
+	}
+	out := NewRelation(cols...)
+	out.Rows = make([][]triple.Value, len(r.Rows))
+	for ri, row := range r.Rows {
+		nrow := make([]triple.Value, len(idxs))
+		for i, ci := range idxs {
+			nrow[i] = row[ci]
+		}
+		out.Rows[ri] = nrow
+	}
+	return out
+}
+
+// Rename returns the relation with one column renamed (shares row storage).
+func (r *Relation) Rename(old, new string) *Relation {
+	out := &Relation{Cols: append([]string(nil), r.Cols...), Rows: r.Rows}
+	out.Cols[r.MustCol(old)] = new
+	out.reindex()
+	return out
+}
+
+// Enrichment pulls an attribute reached through one or more reference hops
+// into an entity view: Path is a sequence of reference predicates ending in
+// a literal predicate, and As names the produced column. For example
+// Path=[performed_by, name], As=artist_name enriches songs with their
+// artists' names — the paper's source-based enrichment example (§2.4).
+type Enrichment struct {
+	Path []string
+	As   string
+}
+
+// EntityViewSpec is a schematized entity view definition: one row per entity
+// of Type, one column per projected predicate, plus relationship attributes
+// and multi-hop enrichments. These are the join-heavy view definitions
+// evaluated in Figure 8.
+type EntityViewSpec struct {
+	Name       string
+	Type       string
+	Predicates []string
+	// RelAttrs maps a composite predicate to the relationship attributes to
+	// flatten into the view (each node multiplies rows, as in SQL).
+	RelAttrs map[string][]string
+	// Enrich lists multi-hop attribute pulls.
+	Enrich []Enrichment
+}
+
+// JoinCount returns the number of joins the view evaluates, the cost driver
+// in the Figure 8 comparison.
+func (spec EntityViewSpec) JoinCount() int {
+	n := len(spec.Predicates)
+	for _, attrs := range spec.RelAttrs {
+		n += len(attrs)
+	}
+	for _, e := range spec.Enrich {
+		n += len(e.Path)
+	}
+	return n
+}
+
+// BuildEntityView evaluates the view definition on the warehouse with the
+// given executor. Both executors produce identical relations (up to row
+// order; the result is sorted by subject).
+func BuildEntityView(s *Store, spec EntityViewSpec, exec Executor) (*Relation, error) {
+	if spec.Type == "" {
+		return nil, fmt.Errorf("analytics: view %q has no entity type", spec.Name)
+	}
+	base := s.EntitiesOfType(spec.Type)
+	for _, pred := range spec.Predicates {
+		base = exec.LeftJoin(base, s.PredicateRelation(pred), "subj", "subj")
+	}
+	for pred, attrs := range spec.RelAttrs {
+		for _, attr := range attrs {
+			rel := s.RelPredicateRelation(pred, attr)
+			// Qualify the r_id column per predicate to avoid collisions.
+			rel = rel.Rename("r_id", pred+"_rid")
+			base = exec.LeftJoin(base, rel, "subj", "subj")
+		}
+	}
+	for _, e := range spec.Enrich {
+		if len(e.Path) == 0 || e.As == "" {
+			return nil, fmt.Errorf("analytics: view %q has an invalid enrichment", spec.Name)
+		}
+		cur := s.PredicateRelation(e.Path[0])
+		prev := e.Path[0]
+		for _, hop := range e.Path[1:] {
+			next := s.PredicateRelation(hop)
+			cur = exec.Join(cur, next, prev, "subj")
+			prev = hop
+		}
+		cur = cur.Project("subj", prev).Rename(prev, e.As)
+		base = exec.LeftJoin(base, cur, "subj", "subj")
+	}
+	base.SortBy(base.Cols...)
+	return base, nil
+}
+
+// DegreeRelation computes (subj, out_degree) over reference-valued facts,
+// used by the entity features view.
+func (s *Store) DegreeRelation(exec Executor) *Relation {
+	refs := exec.Filter(s.Triples, "obj", func(v triple.Value) bool { return v.IsRef() })
+	counts := exec.GroupCount(refs, "subj")
+	return counts.Rename("count", "out_degree")
+}
+
+// InDegreeRelation computes (subj, in_degree): how many reference facts point
+// at each entity.
+func (s *Store) InDegreeRelation(exec Executor) *Relation {
+	refs := exec.Filter(s.Triples, "obj", func(v triple.Value) bool { return v.IsRef() })
+	// Count by the referenced entity: project obj as the key.
+	projected := refs.Project("obj").Rename("obj", "subj")
+	counts := exec.GroupCount(projected, "subj")
+	return counts.Rename("count", "in_degree")
+}

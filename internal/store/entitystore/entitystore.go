@@ -1,0 +1,124 @@
+// Package entitystore implements the Graph Engine's entity index (§3.1): a
+// low-latency key-value store of serialized entity payloads supporting the
+// entity-retrieval workload (Entity Cards need the full payload of one entity
+// in microseconds). The store is sharded by entity ID hash so concurrent
+// readers on different shards never contend, and values are stored in the
+// compact binary codec of the triple package.
+package entitystore
+
+import (
+	"fmt"
+	"sync"
+
+	"saga/internal/triple"
+)
+
+const shardCount = 64
+
+type shard struct {
+	mu   sync.RWMutex
+	data map[triple.EntityID][]byte
+}
+
+// Store is a sharded in-memory entity KV store. The zero value is not usable;
+// call New.
+type Store struct {
+	shards [shardCount]*shard
+}
+
+// New constructs an empty store.
+func New() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i] = &shard{data: make(map[triple.EntityID][]byte)}
+	}
+	return s
+}
+
+func (s *Store) shardFor(id triple.EntityID) *shard {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	var h uint64 = offset64
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return s.shards[h%shardCount]
+}
+
+// Put stores (replacing) an entity payload.
+func (s *Store) Put(e *triple.Entity) error {
+	data, err := e.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("entitystore: encode %s: %w", e.ID, err)
+	}
+	sh := s.shardFor(e.ID)
+	sh.mu.Lock()
+	sh.data[e.ID] = data
+	sh.mu.Unlock()
+	return nil
+}
+
+// Get retrieves an entity, or nil when absent.
+func (s *Store) Get(id triple.EntityID) (*triple.Entity, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	data, ok := sh.data[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, nil
+	}
+	var e triple.Entity
+	if err := e.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("entitystore: decode %s: %w", id, err)
+	}
+	return &e, nil
+}
+
+// MultiGet retrieves several entities in one call; absent IDs are skipped.
+func (s *Store) MultiGet(ids []triple.EntityID) ([]*triple.Entity, error) {
+	out := make([]*triple.Entity, 0, len(ids))
+	for _, id := range ids {
+		e, err := s.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// Delete removes an entity, reporting whether it existed.
+func (s *Store) Delete(id triple.EntityID) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.data[id]
+	delete(sh.data, id)
+	return ok
+}
+
+// Len returns the number of stored entities.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.data)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Bytes returns the total serialized payload size, for capacity monitoring.
+func (s *Store) Bytes() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, d := range sh.data {
+			n += len(d)
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}

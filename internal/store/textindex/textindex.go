@@ -1,0 +1,176 @@
+// Package textindex implements the Graph Engine's full-text search store
+// (§3.1): a BM25-ranked inverted index over entity text (names, aliases,
+// descriptions) supporting the "full-text search with ranking" workload and
+// the ranked entity index view of Figure 7. The index supports incremental
+// Put/Delete so orchestration agents can replay KG updates.
+package textindex
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"saga/internal/strsim"
+)
+
+// Doc is one indexed document: an entity's searchable text plus a static
+// rank boost (entity importance).
+type Doc struct {
+	// ID identifies the document (the entity ID).
+	ID string
+	// Text is the searchable content.
+	Text string
+	// Boost multiplies the BM25 score at query time; 0 means 1. Entity
+	// importance feeds in here to favour important entities on ties.
+	Boost float64
+}
+
+// Hit is one search result.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// Index is a BM25 inverted index, safe for concurrent use.
+type Index struct {
+	// K1 and B are the BM25 parameters; zero values default to 1.2 / 0.75.
+	K1, B float64
+
+	mu       sync.RWMutex
+	postings map[string]map[string]int // term -> docID -> term frequency
+	docLen   map[string]int
+	docTerms map[string][]string // for deletion
+	boost    map[string]float64
+	totalLen int
+}
+
+// New constructs an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[string]map[string]int),
+		docLen:   make(map[string]int),
+		docTerms: make(map[string][]string),
+		boost:    make(map[string]float64),
+	}
+}
+
+// Tokenize normalizes and splits text into index terms.
+func Tokenize(text string) []string {
+	return strings.Fields(strsim.Normalize(text))
+}
+
+// Put indexes (replacing) a document.
+func (ix *Index) Put(d Doc) {
+	terms := Tokenize(d.Text)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.deleteLocked(d.ID)
+	freq := make(map[string]int, len(terms))
+	for _, t := range terms {
+		freq[t]++
+	}
+	termList := make([]string, 0, len(freq))
+	for t, f := range freq {
+		m := ix.postings[t]
+		if m == nil {
+			m = make(map[string]int)
+			ix.postings[t] = m
+		}
+		m[d.ID] = f
+		termList = append(termList, t)
+	}
+	ix.docTerms[d.ID] = termList
+	ix.docLen[d.ID] = len(terms)
+	ix.totalLen += len(terms)
+	b := d.Boost
+	if b == 0 {
+		b = 1
+	}
+	ix.boost[d.ID] = b
+}
+
+// Delete removes a document, reporting whether it existed.
+func (ix *Index) Delete(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.deleteLocked(id)
+}
+
+func (ix *Index) deleteLocked(id string) bool {
+	terms, ok := ix.docTerms[id]
+	if !ok {
+		return false
+	}
+	for _, t := range terms {
+		if m := ix.postings[t]; m != nil {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(ix.postings, t)
+			}
+		}
+	}
+	ix.totalLen -= ix.docLen[id]
+	delete(ix.docTerms, id)
+	delete(ix.docLen, id)
+	delete(ix.boost, id)
+	return true
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docTerms)
+}
+
+// Search returns the top-k documents by boosted BM25 score for the query.
+// Ties break by ID for determinism.
+func (ix *Index) Search(query string, k int) []Hit {
+	terms := Tokenize(query)
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := len(ix.docTerms)
+	if n == 0 {
+		return nil
+	}
+	k1, b := ix.K1, ix.B
+	if k1 == 0 {
+		k1 = 1.2
+	}
+	if b == 0 {
+		b = 0.75
+	}
+	avgLen := float64(ix.totalLen) / float64(n)
+	scores := make(map[string]float64)
+	for _, t := range terms {
+		m := ix.postings[t]
+		if len(m) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (float64(n)-float64(len(m))+0.5)/(float64(len(m))+0.5))
+		for id, tf := range m {
+			dl := float64(ix.docLen[id])
+			num := float64(tf) * (k1 + 1)
+			den := float64(tf) + k1*(1-b+b*dl/avgLen)
+			scores[id] += idf * num / den
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		hits = append(hits, Hit{ID: id, Score: s * ix.boost[id]})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}

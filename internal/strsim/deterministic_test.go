@@ -1,0 +1,194 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"  Hello   World ", "hello world"},
+		{"BILLIE\tEilish", "billie eilish"},
+		{"", ""},
+		{"   ", ""},
+		{"a", "a"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"a", "b", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	triangle := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+func TestHamming(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "abcdef", 3},
+		{"karolin", "kathrin", 3},
+	}
+	for _, c := range cases {
+		if got := Hamming(c.a, c.b); got != c.want {
+			t.Errorf("Hamming(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaro(t *testing.T) {
+	if got := Jaro("martha", "marhta"); math.Abs(got-0.944444) > 1e-4 {
+		t.Errorf("Jaro(martha,marhta) = %f, want 0.9444", got)
+	}
+	if got := Jaro("dixon", "dicksonx"); math.Abs(got-0.766667) > 1e-4 {
+		t.Errorf("Jaro(dixon,dicksonx) = %f, want 0.7667", got)
+	}
+	if got := Jaro("", ""); got != 1 {
+		t.Errorf("Jaro of empties = %f, want 1", got)
+	}
+	if got := Jaro("abc", ""); got != 0 {
+		t.Errorf("Jaro vs empty = %f, want 0", got)
+	}
+	if got := Jaro("abc", "xyz"); got != 0 {
+		t.Errorf("Jaro disjoint = %f, want 0", got)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if got := JaroWinkler("martha", "marhta"); math.Abs(got-0.961111) > 1e-4 {
+		t.Errorf("JaroWinkler(martha,marhta) = %f, want 0.9611", got)
+	}
+	// Winkler boost must never lower the score.
+	f := func(a, b string) bool { return JaroWinkler(a, b) >= Jaro(a, b)-1e-12 }
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("winkler >= jaro: %v", err)
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	g := QGrams("abab", 2)
+	if g["ab"] != 2 || g["ba"] != 1 || len(g) != 2 {
+		t.Errorf("QGrams(abab,2) = %v", g)
+	}
+	if g := QGrams("a", 3); g["a"] != 1 || len(g) != 1 {
+		t.Errorf("short string grams = %v", g)
+	}
+	if g := QGrams("", 2); len(g) != 0 {
+		t.Errorf("empty string grams = %v", g)
+	}
+}
+
+func TestJaccardQGram(t *testing.T) {
+	if got := JaccardQGram("night", "night", 2); got != 1 {
+		t.Errorf("identical = %f", got)
+	}
+	if got := JaccardQGram("abc", "xyz", 2); got != 0 {
+		t.Errorf("disjoint = %f", got)
+	}
+	if got := JaccardQGram("", "", 2); got != 1 {
+		t.Errorf("both empty = %f", got)
+	}
+	got := JaccardQGram("nacht", "night", 2) // grams {na,ac,ch,ht} vs {ni,ig,gh,ht}
+	if math.Abs(got-1.0/7.0) > 1e-9 {
+		t.Errorf("nacht/night = %f, want %f", got, 1.0/7.0)
+	}
+}
+
+func TestTokenSims(t *testing.T) {
+	if got := JaccardToken("the big cat", "the small cat"); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("JaccardToken = %f, want 0.5", got)
+	}
+	if got := CosineToken("a a b", "a b b"); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("CosineToken = %f, want 0.8", got)
+	}
+	if got := CosineToken("", ""); got != 1 {
+		t.Errorf("CosineToken empties = %f", got)
+	}
+	if got := CosineToken("a", ""); got != 0 {
+		t.Errorf("CosineToken vs empty = %f", got)
+	}
+}
+
+func TestPrefixSim(t *testing.T) {
+	if got := PrefixSim("abcdef", "abcxyz"); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("PrefixSim = %f, want 0.5", got)
+	}
+	if got := PrefixSim("", ""); got != 1 {
+		t.Errorf("PrefixSim empties = %f", got)
+	}
+	if got := PrefixSim("", "abc"); got != 0 {
+		t.Errorf("PrefixSim empty vs nonempty = %f", got)
+	}
+}
+
+func TestFeatureVector(t *testing.T) {
+	fv := FeatureVector("Billie Eilish", "billie  eilish")
+	if len(fv) != len(FeatureNames) {
+		t.Fatalf("feature vector length %d, want %d", len(fv), len(FeatureNames))
+	}
+	for i, v := range fv {
+		if math.Abs(v-1) > 1e-9 {
+			t.Errorf("feature %s of equal-after-normalize strings = %f, want 1", FeatureNames[i], v)
+		}
+	}
+	fv = FeatureVector("completely different", "nothing alike zz")
+	for i, v := range fv {
+		if v < 0 || v > 1 {
+			t.Errorf("feature %s out of range: %f", FeatureNames[i], v)
+		}
+	}
+}
+
+func TestSimilaritiesBoundedQuick(t *testing.T) {
+	bounded := func(a, b string) bool {
+		for _, v := range FeatureVector(a, b) {
+			if math.IsNaN(v) || v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(bounded, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("features bounded: %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package strsim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// This file implements the distant-supervision data pipeline of §5.1: the KG
+// itself is bootstrapped to produce training triplets for the string
+// encoders. Aliases of the same entity give positive pairs, typo augmentation
+// adds surface-form noise, and names of unlinked entities give negatives.
+
+// AliasGroup is the alias set of one entity: any two members are a positive
+// pair, and members of different groups are negative pairs.
+type AliasGroup struct {
+	// Entity identifies the group for debugging; it does not affect training.
+	Entity string
+	// Aliases lists the entity's names in first-seen order.
+	Aliases []string
+}
+
+// TypoOptions controls typo augmentation.
+type TypoOptions struct {
+	// Rate is the per-rune probability of corruption; default 0.08.
+	Rate float64
+}
+
+// Typo corrupts s with random single-rune edits (substitution, deletion,
+// insertion, transposition), simulating the typo noise the learned
+// similarities must absorb. The result is never empty for non-empty input.
+func Typo(s string, rng *rand.Rand, opts TypoOptions) string {
+	if opts.Rate == 0 {
+		opts.Rate = 0.08
+	}
+	r := []rune(s)
+	if len(r) == 0 {
+		return s
+	}
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	out := make([]rune, 0, len(r)+2)
+	for i := 0; i < len(r); i++ {
+		if rng.Float64() >= opts.Rate {
+			out = append(out, r[i])
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0: // substitute
+			out = append(out, rune(letters[rng.Intn(len(letters))]))
+		case 1: // delete
+		case 2: // insert
+			out = append(out, r[i], rune(letters[rng.Intn(len(letters))]))
+		case 3: // transpose with the next rune
+			if i+1 < len(r) {
+				out = append(out, r[i+1], r[i])
+				i++
+			} else {
+				out = append(out, r[i])
+			}
+		}
+	}
+	if len(out) == 0 {
+		return string(r[:1])
+	}
+	return string(out)
+}
+
+// TripletOptions controls distant-supervision triplet generation.
+type TripletOptions struct {
+	// PerGroup is the number of triplets generated per alias group; default 4.
+	PerGroup int
+	// TypoAugment adds typo-corrupted variants as extra positives when true.
+	TypoAugment bool
+	// Seed drives sampling.
+	Seed int64
+}
+
+// BuildTriplets generates training triplets from entity alias groups using
+// distant supervision: positives are drawn within a group (optionally
+// augmented with typos), negatives from other groups. Generation is
+// deterministic for a fixed seed. Groups with no usable alias are skipped.
+func BuildTriplets(groups []AliasGroup, opts TripletOptions) []Triplet {
+	if opts.PerGroup == 0 {
+		opts.PerGroup = 4
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// Stable order regardless of caller's map iteration.
+	idx := make([]int, 0, len(groups))
+	for i, g := range groups {
+		if len(g.Aliases) > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return groups[idx[a]].Entity < groups[idx[b]].Entity })
+	if len(idx) < 2 {
+		return nil
+	}
+	var out []Triplet
+	for _, i := range idx {
+		g := groups[i]
+		for k := 0; k < opts.PerGroup; k++ {
+			anchor := g.Aliases[rng.Intn(len(g.Aliases))]
+			var positive string
+			if len(g.Aliases) > 1 {
+				positive = g.Aliases[rng.Intn(len(g.Aliases))]
+				for tries := 0; positive == anchor && tries < 4; tries++ {
+					positive = g.Aliases[rng.Intn(len(g.Aliases))]
+				}
+			}
+			if positive == "" || positive == anchor {
+				if !opts.TypoAugment {
+					continue
+				}
+				positive = Typo(anchor, rng, TypoOptions{})
+			} else if opts.TypoAugment && rng.Float64() < 0.3 {
+				positive = Typo(positive, rng, TypoOptions{})
+			}
+			// Negative: an alias of a different group.
+			oi := idx[rng.Intn(len(idx))]
+			for tries := 0; oi == i && tries < 8; tries++ {
+				oi = idx[rng.Intn(len(idx))]
+			}
+			if oi == i {
+				continue
+			}
+			og := groups[oi]
+			negative := og.Aliases[rng.Intn(len(og.Aliases))]
+			out = append(out, Triplet{Anchor: anchor, Positive: positive, Negative: negative})
+		}
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package strsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Encoder is a learned string encoder: a bag-of-character-n-grams embedding
+// model (fastText-style) that maps a string to a dense unit vector. Strings
+// with similar learned representations are semantically similar even when
+// their surface forms differ; with appropriate training data the encoder
+// captures synonyms ("Robert"/"Bob") that edit distances miss. One encoder is
+// trained per string type (human names, song titles, ...) to capture the
+// structural differences across entity-name distributions (§5.1).
+type Encoder struct {
+	// Dim is the embedding dimensionality.
+	Dim int
+	// Buckets is the size of the hashed n-gram vocabulary.
+	Buckets int
+	// MinN and MaxN bound the character n-gram sizes.
+	MinN, MaxN int
+	// Emb is the embedding table, Buckets rows of Dim values.
+	Emb [][]float64
+}
+
+// NewEncoder constructs an encoder with small random initial embeddings drawn
+// from the given source, so training runs are reproducible.
+func NewEncoder(dim, buckets, minN, maxN int, rng *rand.Rand) *Encoder {
+	if minN < 1 || maxN < minN {
+		panic(fmt.Sprintf("strsim: invalid n-gram range [%d,%d]", minN, maxN))
+	}
+	e := &Encoder{Dim: dim, Buckets: buckets, MinN: minN, MaxN: maxN}
+	e.Emb = make([][]float64, buckets)
+	scale := 1 / math.Sqrt(float64(dim))
+	for i := range e.Emb {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = (rng.Float64()*2 - 1) * scale
+		}
+		e.Emb[i] = row
+	}
+	return e
+}
+
+// grams returns the hashed n-gram bucket IDs of s, with '<' and '>' boundary
+// markers so prefixes and suffixes are distinguishable from interior grams.
+func (e *Encoder) grams(s string) []int {
+	r := []rune("<" + Normalize(s) + ">")
+	var out []int
+	for n := e.MinN; n <= e.MaxN; n++ {
+		for i := 0; i+n <= len(r); i++ {
+			out = append(out, e.bucket(r[i:i+n]))
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, 0)
+	}
+	return out
+}
+
+func (e *Encoder) bucket(gram []rune) int {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	var h uint64 = offset64
+	for _, r := range gram {
+		h ^= uint64(r)
+		h *= prime64
+	}
+	return int(h % uint64(e.Buckets))
+}
+
+// Encode maps a string to its L2-normalized embedding: the mean of its n-gram
+// embeddings projected onto the unit sphere.
+func (e *Encoder) Encode(s string) []float64 {
+	v, _ := e.encodeRaw(s)
+	return v
+}
+
+// encodeRaw returns the normalized embedding and the pre-normalization mean
+// vector's norm (needed by backprop).
+func (e *Encoder) encodeRaw(s string) ([]float64, float64) {
+	ids := e.grams(s)
+	u := make([]float64, e.Dim)
+	for _, id := range ids {
+		row := e.Emb[id]
+		for j := range u {
+			u[j] += row[j]
+		}
+	}
+	inv := 1 / float64(len(ids))
+	var norm float64
+	for j := range u {
+		u[j] *= inv
+		norm += u[j] * u[j]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		norm = 1e-12
+	}
+	for j := range u {
+		u[j] /= norm
+	}
+	return u, norm
+}
+
+// Similarity returns the cosine similarity of the learned representations of
+// a and b, in [-1,1].
+func (e *Encoder) Similarity(a, b string) float64 {
+	return Dot(e.Encode(a), e.Encode(b))
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Triplet is one training example: Anchor and Positive should encode close
+// together, Anchor and Negative far apart.
+type Triplet struct {
+	Anchor, Positive, Negative string
+}
+
+// TrainOptions controls triplet training.
+type TrainOptions struct {
+	Epochs int     // passes over the triplet set; default 5
+	LR     float64 // SGD learning rate; default 0.05
+	Margin float64 // triplet margin on cosine similarity; default 0.4
+	Seed   int64   // shuffling seed
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 5
+	}
+	if o.LR == 0 {
+		o.LR = 0.05
+	}
+	if o.Margin == 0 {
+		o.Margin = 0.4
+	}
+	return o
+}
+
+// TrainStats reports the outcome of a training run.
+type TrainStats struct {
+	Triplets   int     // examples per epoch
+	Epochs     int     // epochs run
+	ActiveLast int     // triplets with non-zero loss in the final epoch
+	LossLast   float64 // mean loss over the final epoch
+}
+
+// Train fits the encoder on the triplet set with SGD, minimizing
+// max(0, margin - cos(anchor,positive) + cos(anchor,negative)).
+// Training is deterministic for a fixed option seed.
+func (e *Encoder) Train(triplets []Triplet, opts TrainOptions) TrainStats {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	order := make([]int, len(triplets))
+	for i := range order {
+		order[i] = i
+	}
+	stats := TrainStats{Triplets: len(triplets), Epochs: opts.Epochs}
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		active, loss := 0, 0.0
+		for _, idx := range order {
+			l := e.step(triplets[idx], opts)
+			if l > 0 {
+				active++
+			}
+			loss += l
+		}
+		stats.ActiveLast = active
+		if len(triplets) > 0 {
+			stats.LossLast = loss / float64(len(triplets))
+		}
+	}
+	return stats
+}
+
+// step applies one SGD update and returns the triplet loss before the update.
+func (e *Encoder) step(t Triplet, opts TrainOptions) float64 {
+	gA, gP, gN := e.grams(t.Anchor), e.grams(t.Positive), e.grams(t.Negative)
+	vA, nA := e.encodeRawIDs(gA)
+	vP, nP := e.encodeRawIDs(gP)
+	vN, nN := e.encodeRawIDs(gN)
+	cAP := Dot(vA, vP)
+	cAN := Dot(vA, vN)
+	loss := opts.Margin - cAP + cAN
+	if loss <= 0 {
+		return 0
+	}
+	// dL/dcAP = -1, dL/dcAN = +1. For v = u/|u|,
+	// d cos(v, w)/du = (w - cos(v,w)·v) / |u|.
+	dim := e.Dim
+	gradA := make([]float64, dim)
+	gradP := make([]float64, dim)
+	gradN := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		gradA[j] = (-(vP[j] - cAP*vA[j]) + (vN[j] - cAN*vA[j])) / nA
+		gradP[j] = -(vA[j] - cAP*vP[j]) / nP
+		gradN[j] = (vA[j] - cAN*vN[j]) / nN
+	}
+	e.applyGrad(gA, gradA, opts.LR)
+	e.applyGrad(gP, gradP, opts.LR)
+	e.applyGrad(gN, gradN, opts.LR)
+	return loss
+}
+
+func (e *Encoder) encodeRawIDs(ids []int) ([]float64, float64) {
+	u := make([]float64, e.Dim)
+	for _, id := range ids {
+		row := e.Emb[id]
+		for j := range u {
+			u[j] += row[j]
+		}
+	}
+	inv := 1 / float64(len(ids))
+	var norm float64
+	for j := range u {
+		u[j] *= inv
+		norm += u[j] * u[j]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		norm = 1e-12
+	}
+	for j := range u {
+		u[j] /= norm
+	}
+	return u, norm
+}
+
+// applyGrad distributes the pooled gradient to each contributing n-gram
+// embedding (mean pooling spreads it with weight 1/len(ids)).
+func (e *Encoder) applyGrad(ids []int, grad []float64, lr float64) {
+	scale := lr / float64(len(ids))
+	for _, id := range ids {
+		row := e.Emb[id]
+		for j := range row {
+			row[j] -= scale * grad[j]
+		}
+	}
+}
+
+// EncoderSet holds one trained encoder per string type, mirroring the paper's
+// per-type learned similarity functions (human names, location names, album
+// titles, ...). Lookups for unknown types fall back to the "" default encoder
+// when registered.
+type EncoderSet struct {
+	byType map[string]*Encoder
+}
+
+// NewEncoderSet constructs an empty set.
+func NewEncoderSet() *EncoderSet { return &EncoderSet{byType: make(map[string]*Encoder)} }
+
+// Register installs the encoder for a string type. Type "" is the fallback.
+func (s *EncoderSet) Register(stringType string, e *Encoder) { s.byType[stringType] = e }
+
+// For returns the encoder for the string type, falling back to the default,
+// or nil when neither is registered.
+func (s *EncoderSet) For(stringType string) *Encoder {
+	if e, ok := s.byType[stringType]; ok {
+		return e
+	}
+	return s.byType[""]
+}
+
+// Similarity scores two strings with the type-appropriate encoder; it returns
+// 0 and false when no encoder covers the type.
+func (s *EncoderSet) Similarity(stringType, a, b string) (float64, bool) {
+	e := s.For(stringType)
+	if e == nil {
+		return 0, false
+	}
+	return e.Similarity(a, b), true
+}

@@ -1,0 +1,173 @@
+package strsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testEncoder(t *testing.T) *Encoder {
+	t.Helper()
+	return NewEncoder(16, 512, 2, 3, rand.New(rand.NewSource(1)))
+}
+
+func TestEncodeUnitNorm(t *testing.T) {
+	e := testEncoder(t)
+	for _, s := range []string{"billie eilish", "a", "", "the rolling stones"} {
+		v := e.Encode(s)
+		if len(v) != e.Dim {
+			t.Fatalf("Encode(%q) dim = %d, want %d", s, len(v), e.Dim)
+		}
+		var n float64
+		for _, x := range v {
+			n += x * x
+		}
+		if math.Abs(n-1) > 1e-6 {
+			t.Errorf("Encode(%q) norm² = %f, want 1", s, n)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := NewEncoder(16, 512, 2, 3, rand.New(rand.NewSource(7)))
+	b := NewEncoder(16, 512, 2, 3, rand.New(rand.NewSource(7)))
+	va, vb := a.Encode("hello world"), b.Encode("hello world")
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatal("same seed encoders disagree")
+		}
+	}
+}
+
+func TestEncoderSelfSimilarity(t *testing.T) {
+	e := testEncoder(t)
+	if got := e.Similarity("some name", "some name"); math.Abs(got-1) > 1e-6 {
+		t.Errorf("self similarity = %f, want 1", got)
+	}
+	// Case and whitespace insensitive through normalization.
+	if got := e.Similarity("Some  NAME", "some name"); math.Abs(got-1) > 1e-6 {
+		t.Errorf("normalized similarity = %f, want 1", got)
+	}
+}
+
+// TestTrainingSeparatesSynonyms is the core learned-similarity property: after
+// triplet training on alias groups, synonym pairs that share almost no
+// n-grams ("robert"/"bob") score higher than cross-entity pairs, which edit
+// distance cannot achieve.
+func TestTrainingSeparatesSynonyms(t *testing.T) {
+	groups := []AliasGroup{
+		{Entity: "p1", Aliases: []string{"robert", "bob", "rob", "bobby"}},
+		{Entity: "p2", Aliases: []string{"william", "bill", "will", "billy"}},
+		{Entity: "p3", Aliases: []string{"elizabeth", "liz", "beth", "eliza"}},
+		{Entity: "p4", Aliases: []string{"margaret", "peggy", "meg", "maggie"}},
+		{Entity: "p5", Aliases: []string{"john", "jack", "johnny"}},
+		{Entity: "p6", Aliases: []string{"richard", "dick", "rick", "richie"}},
+	}
+	triplets := BuildTriplets(groups, TripletOptions{PerGroup: 40, Seed: 3})
+	e := NewEncoder(24, 1024, 2, 3, rand.New(rand.NewSource(5)))
+	before := e.Similarity("robert", "bob")
+	stats := e.Train(triplets, TrainOptions{Epochs: 30, LR: 0.08, Seed: 9})
+	if stats.Triplets == 0 {
+		t.Fatal("no triplets generated")
+	}
+	after := e.Similarity("robert", "bob")
+	if after <= before {
+		t.Errorf("training did not raise synonym similarity: before=%f after=%f", before, after)
+	}
+	pos := e.Similarity("robert", "bob")
+	neg := e.Similarity("robert", "william")
+	if pos <= neg {
+		t.Errorf("synonym pair (%f) should outscore cross-entity pair (%f)", pos, neg)
+	}
+	// Edit distance, by contrast, cannot see the synonymy.
+	if LevenshteinSim("robert", "bob") > 0.5 {
+		t.Errorf("test premise broken: edit distance already high for robert/bob")
+	}
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	groups := []AliasGroup{
+		{Entity: "a", Aliases: []string{"alpha", "alfa"}},
+		{Entity: "b", Aliases: []string{"bravo", "brawo"}},
+		{Entity: "c", Aliases: []string{"charlie", "charly"}},
+	}
+	triplets := BuildTriplets(groups, TripletOptions{PerGroup: 20, Seed: 1, TypoAugment: true})
+	e := NewEncoder(16, 512, 2, 3, rand.New(rand.NewSource(2)))
+	s1 := e.Train(triplets, TrainOptions{Epochs: 1, Seed: 4})
+	s20 := e.Train(triplets, TrainOptions{Epochs: 20, Seed: 4})
+	if s20.LossLast >= s1.LossLast {
+		t.Errorf("loss did not decrease: first-epoch %f, after-20 %f", s1.LossLast, s20.LossLast)
+	}
+}
+
+func TestTypo(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	changed := 0
+	for i := 0; i < 200; i++ {
+		out := Typo("jonathan smith", rng, TypoOptions{Rate: 0.2})
+		if out == "" {
+			t.Fatal("typo produced empty string")
+		}
+		if out != "jonathan smith" {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("typo never changed the input at rate 0.2")
+	}
+	if got := Typo("", rng, TypoOptions{}); got != "" {
+		t.Errorf("typo of empty = %q", got)
+	}
+}
+
+func TestBuildTripletsDeterministic(t *testing.T) {
+	groups := []AliasGroup{
+		{Entity: "x", Aliases: []string{"xx", "xy"}},
+		{Entity: "y", Aliases: []string{"yy", "yx"}},
+	}
+	a := BuildTriplets(groups, TripletOptions{PerGroup: 5, Seed: 42})
+	b := BuildTriplets(groups, TripletOptions{PerGroup: 5, Seed: 42})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triplet %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	for _, tr := range a {
+		if tr.Anchor == "" || tr.Positive == "" || tr.Negative == "" {
+			t.Errorf("incomplete triplet %v", tr)
+		}
+	}
+}
+
+func TestBuildTripletsSkipsDegenerate(t *testing.T) {
+	if got := BuildTriplets(nil, TripletOptions{Seed: 1}); got != nil {
+		t.Errorf("nil groups should yield nil, got %d triplets", len(got))
+	}
+	one := []AliasGroup{{Entity: "only", Aliases: []string{"solo"}}}
+	if got := BuildTriplets(one, TripletOptions{Seed: 1}); got != nil {
+		t.Errorf("single group should yield nil (no negatives), got %d", len(got))
+	}
+}
+
+func TestEncoderSet(t *testing.T) {
+	set := NewEncoderSet()
+	if _, ok := set.Similarity("human_name", "a", "b"); ok {
+		t.Error("empty set claimed coverage")
+	}
+	def := NewEncoder(8, 128, 2, 2, rand.New(rand.NewSource(1)))
+	named := NewEncoder(8, 128, 2, 2, rand.New(rand.NewSource(2)))
+	set.Register("", def)
+	set.Register("human_name", named)
+	if set.For("human_name") != named {
+		t.Error("typed lookup returned wrong encoder")
+	}
+	if set.For("song_title") != def {
+		t.Error("fallback lookup failed")
+	}
+	if _, ok := set.Similarity("song_title", "a", "b"); !ok {
+		t.Error("fallback similarity unavailable")
+	}
+}

@@ -1,0 +1,275 @@
+package triple
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// WriteJSONL writes entities as newline-delimited JSON, the interchange
+// format of ingestion exports (the paper's analogue of JSON-LD dumps).
+func WriteJSONL(w io.Writer, entities []*Entity) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range entities {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("triple: encode entity %s: %w", e.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads newline-delimited JSON entities until EOF.
+func ReadJSONL(r io.Reader) ([]*Entity, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []*Entity
+	for {
+		var e Entity
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("triple: decode entity %d: %w", len(out), err)
+		}
+		out = append(out, &e)
+	}
+}
+
+// Binary encoding. Records are length-prefixed and CRC-protected so the
+// operation log can detect torn writes. Layout:
+//
+//	uint32 payloadLen | uint32 crc32(payload) | payload
+//
+// The payload encodes one entity with varint-prefixed strings.
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+type binWriter struct {
+	buf []byte
+}
+
+func (w *binWriter) str(s string) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *binWriter) u64(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *binWriter) i64(v int64)  { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *binWriter) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+func (w *binWriter) byteVal(b byte) { w.buf = append(w.buf, b) }
+
+type binReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("triple: truncated binary record reading %s at offset %d", what, r.off)
+	}
+}
+
+func (r *binReader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *binReader) i64(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *binReader) str(what string) string {
+	n := int(r.u64(what))
+	if r.err != nil {
+		return ""
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *binReader) f64(what string) float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail(what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *binReader) byteVal(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail(what)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func appendValue(w *binWriter, v Value) {
+	w.byteVal(byte(v.kind))
+	switch v.kind {
+	case KindString, KindRef:
+		w.str(v.str)
+	case KindInt, KindBool, KindTime:
+		w.i64(v.num)
+	case KindFloat:
+		w.f64(v.flt)
+	}
+}
+
+func readValue(r *binReader) Value {
+	kind := Kind(r.byteVal("value kind"))
+	v := Value{kind: kind}
+	switch kind {
+	case KindString, KindRef:
+		v.str = r.str("value string")
+	case KindInt, KindBool, KindTime:
+		v.num = r.i64("value int")
+	case KindFloat:
+		v.flt = r.f64("value float")
+	case KindNull:
+	default:
+		r.fail(fmt.Sprintf("value kind %d", kind))
+	}
+	return v
+}
+
+// MarshalBinary encodes the entity into the compact binary record format.
+func (e *Entity) MarshalBinary() ([]byte, error) {
+	w := &binWriter{buf: make([]byte, 0, 64+32*len(e.Triples))}
+	w.str(string(e.ID))
+	w.u64(uint64(len(e.Triples)))
+	for _, t := range e.Triples {
+		w.str(string(t.Subject))
+		w.str(t.Predicate)
+		w.str(t.RelID)
+		w.str(t.RelPred)
+		appendValue(w, t.Object)
+		w.str(t.Locale)
+		w.u64(uint64(len(t.Sources)))
+		for _, s := range t.Sources {
+			w.str(s)
+		}
+		w.u64(uint64(len(t.Trust)))
+		for _, f := range t.Trust {
+			w.f64(f)
+		}
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes an entity encoded by MarshalBinary.
+func (e *Entity) UnmarshalBinary(data []byte) error {
+	r := &binReader{buf: data}
+	e.ID = EntityID(r.str("entity id"))
+	n := int(r.u64("triple count"))
+	if r.err != nil {
+		return r.err
+	}
+	if n < 0 || n > len(data) {
+		return fmt.Errorf("triple: implausible triple count %d in %d-byte record", n, len(data))
+	}
+	e.Triples = make([]Triple, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var t Triple
+		t.Subject = EntityID(r.str("subject"))
+		t.Predicate = r.str("predicate")
+		t.RelID = r.str("rel id")
+		t.RelPred = r.str("rel pred")
+		t.Object = readValue(r)
+		t.Locale = r.str("locale")
+		ns := int(r.u64("source count"))
+		if ns > 0 && r.err == nil {
+			t.Sources = make([]string, 0, ns)
+			for j := 0; j < ns; j++ {
+				t.Sources = append(t.Sources, r.str("source"))
+			}
+		}
+		nt := int(r.u64("trust count"))
+		if nt > 0 && r.err == nil {
+			t.Trust = make([]float64, 0, nt)
+			for j := 0; j < nt; j++ {
+				t.Trust = append(t.Trust, r.f64("trust"))
+			}
+		}
+		e.Triples = append(e.Triples, t)
+	}
+	if r.err == nil && r.off != len(data) {
+		return fmt.Errorf("triple: %d trailing bytes after entity record", len(data)-r.off)
+	}
+	return r.err
+}
+
+// WriteRecord frames and writes one binary payload with length and CRC.
+func WriteRecord(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ErrCorruptRecord is returned when a framed record fails its CRC check.
+var ErrCorruptRecord = fmt.Errorf("triple: record checksum mismatch")
+
+// ReadRecord reads one framed binary payload, verifying its CRC. io.EOF is
+// returned at a clean end of stream; io.ErrUnexpectedEOF on a torn record.
+func ReadRecord(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, ErrCorruptRecord
+	}
+	return payload, nil
+}

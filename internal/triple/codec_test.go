@@ -1,0 +1,168 @@
+package triple
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomEntity(r *rand.Rand, id EntityID) *Entity {
+	e := NewEntity(id)
+	n := r.Intn(12)
+	for i := 0; i < n; i++ {
+		tr := Triple{
+			Subject:   id,
+			Predicate: "p" + randString(r),
+		}
+		if tr.Predicate == "p" {
+			tr.Predicate = "pred"
+		}
+		if r.Intn(3) == 0 {
+			tr.RelID = "r" + randString(r) + "x"
+			tr.RelPred = "a" + randString(r) + "y"
+		}
+		tr.Object = randomValue(r)
+		if r.Intn(2) == 0 {
+			tr.Locale = []string{"en", "fr", "ja"}[r.Intn(3)]
+		}
+		ns := r.Intn(3)
+		for j := 0; j < ns; j++ {
+			tr.Sources = append(tr.Sources, "src"+randString(r))
+			tr.Trust = append(tr.Trust, float64(r.Intn(100))/100)
+		}
+		e.Triples = append(e.Triples, tr)
+	}
+	return e
+}
+
+func entitiesEqual(a, b *Entity) bool {
+	if a.ID != b.ID || len(a.Triples) != len(b.Triples) {
+		return false
+	}
+	for i := range a.Triples {
+		x, y := a.Triples[i], b.Triples[i]
+		if x.Subject != y.Subject || x.Predicate != y.Predicate ||
+			x.RelID != y.RelID || x.RelPred != y.RelPred ||
+			x.Locale != y.Locale || !x.Object.Equal(y.Object) {
+			return false
+		}
+		if !reflect.DeepEqual(x.Sources, y.Sources) {
+			return false
+		}
+		if len(x.Trust) != len(y.Trust) {
+			return false
+		}
+		for j := range x.Trust {
+			if x.Trust[j] != y.Trust[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		e := randomEntity(r, EntityID("kg:E"+randString(r)+"z"))
+		data, err := e.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var got Entity
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal: %v (entity %+v)", err, e)
+		}
+		if !entitiesEqual(e, &got) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", e, &got)
+		}
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	e := paperEntity()
+	data, _ := e.MarshalBinary()
+	for cut := 1; cut < len(data); cut += 3 {
+		var got Entity
+		if err := got.UnmarshalBinary(data[:len(data)-cut]); err == nil {
+			t.Fatalf("truncation by %d bytes accepted", cut)
+		}
+	}
+	var got Entity
+	if err := got.UnmarshalBinary(append(data, 0x00)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	var in []*Entity
+	for i := 0; i < 20; i++ {
+		in = append(in, randomEntity(r, EntityID("kg:J"+randString(r)+"q")))
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d entities, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !entitiesEqual(in[i], out[i]) {
+			t.Fatalf("entity %d mismatch", i)
+		}
+	}
+}
+
+func TestRecordFraming(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, []byte("a longer payload with bytes \x00\x01\x02")}
+	for _, p := range payloads {
+		if err := WriteRecord(&buf, p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range payloads {
+		got, err := ReadRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := ReadRecord(r); err != io.EOF {
+		t.Fatalf("expected io.EOF at end, got %v", err)
+	}
+}
+
+func TestRecordDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip a payload byte: CRC must catch it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if _, err := ReadRecord(bytes.NewReader(corrupt)); err != ErrCorruptRecord {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+
+	// Torn write: header promises more bytes than present.
+	if _, err := ReadRecord(bytes.NewReader(data[:len(data)-2])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn record: %v", err)
+	}
+	// Torn header.
+	if _, err := ReadRecord(bytes.NewReader(data[:3])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn header: %v", err)
+	}
+}

@@ -1,0 +1,247 @@
+package triple
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Graph is an in-memory knowledge graph: the entity repository that
+// construction fuses into and the storage engines derive their views from.
+// It is safe for concurrent use; reads take a shared lock.
+type Graph struct {
+	mu       sync.RWMutex
+	entities map[EntityID]*Entity
+	byType   map[string]map[EntityID]bool // type -> ids, maintained on write
+	nextID   uint64
+}
+
+// NewGraph constructs an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		entities: make(map[EntityID]*Entity),
+		byType:   make(map[string]map[EntityID]bool),
+	}
+}
+
+// Len returns the number of entities in the graph.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entities)
+}
+
+// FactCount returns the total number of triples in the graph.
+func (g *Graph) FactCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, e := range g.entities {
+		n += len(e.Triples)
+	}
+	return n
+}
+
+// NewID mints a fresh canonical KG entity ID.
+func (g *Graph) NewID() EntityID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextID++
+	return EntityID(fmt.Sprintf("%sE%08d", KGNamespace, g.nextID))
+}
+
+// Get returns a deep copy of the entity with the given ID, or nil when the
+// graph has no such entity. Callers may freely mutate the copy.
+func (g *Graph) Get(id EntityID) *Entity {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.entities[id]
+	if !ok {
+		return nil
+	}
+	return e.Clone()
+}
+
+// Has reports whether the entity exists.
+func (g *Graph) Has(id EntityID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.entities[id]
+	return ok
+}
+
+// Put stores (replacing) an entity payload. The payload is cloned; the caller
+// keeps ownership of its argument.
+func (g *Graph) Put(e *Entity) {
+	clone := e.Clone()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.removeTypeIndexLocked(g.entities[clone.ID])
+	g.entities[clone.ID] = clone
+	g.addTypeIndexLocked(clone)
+}
+
+// Delete removes an entity, reporting whether it existed.
+func (g *Graph) Delete(id EntityID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.entities[id]
+	if !ok {
+		return false
+	}
+	g.removeTypeIndexLocked(e)
+	delete(g.entities, id)
+	return true
+}
+
+func (g *Graph) addTypeIndexLocked(e *Entity) {
+	for _, typ := range e.Types() {
+		set := g.byType[typ]
+		if set == nil {
+			set = make(map[EntityID]bool)
+			g.byType[typ] = set
+		}
+		set[e.ID] = true
+	}
+}
+
+func (g *Graph) removeTypeIndexLocked(e *Entity) {
+	if e == nil {
+		return
+	}
+	for _, typ := range e.Types() {
+		if set := g.byType[typ]; set != nil {
+			delete(set, e.ID)
+			if len(set) == 0 {
+				delete(g.byType, typ)
+			}
+		}
+	}
+}
+
+// IDs returns all entity IDs in sorted order.
+func (g *Graph) IDs() []EntityID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]EntityID, 0, len(g.entities))
+	for id := range g.entities {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IDsByType returns the IDs of entities carrying the given ontology type, in
+// sorted order. Linking extracts its per-type KG views through this index.
+func (g *Graph) IDsByType(typ string) []EntityID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	set := g.byType[typ]
+	out := make([]EntityID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Types returns the distinct entity types present in the graph, sorted.
+func (g *Graph) Types() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.byType))
+	for t := range g.byType {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Range calls fn for every entity until fn returns false. The callback
+// receives the live entity and must not mutate or retain it; Range holds the
+// read lock for the duration.
+func (g *Graph) Range(fn func(*Entity) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, e := range g.entities {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Update applies fn to a copy of the entity with the given ID (creating an
+// empty payload when absent) and stores the result atomically under the
+// graph's write lock.
+func (g *Graph) Update(id EntityID, fn func(*Entity)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.entities[id]
+	if !ok {
+		e = NewEntity(id)
+	} else {
+		g.removeTypeIndexLocked(e)
+		e = e.Clone()
+	}
+	fn(e)
+	g.entities[id] = e
+	g.addTypeIndexLocked(e)
+}
+
+// Snapshot returns a deep copy of the whole graph. Analytics jobs that need a
+// stable view across a long computation operate on snapshots.
+func (g *Graph) Snapshot() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := NewGraph()
+	out.nextID = g.nextID
+	for id, e := range g.entities {
+		clone := e.Clone()
+		out.entities[id] = clone
+		out.addTypeIndexLocked(clone)
+	}
+	return out
+}
+
+// Triples returns every triple in the graph in deterministic order. Intended
+// for tests and small exports; large consumers should use Range.
+func (g *Graph) Triples() []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Triple
+	for _, e := range g.entities {
+		out = append(out, e.Triples...)
+	}
+	SortTriples(out)
+	return out
+}
+
+// Stats summarizes the graph for monitoring and the growth experiment.
+type Stats struct {
+	Entities int
+	Facts    int
+	Types    int
+	Sources  int
+}
+
+// Stats computes summary statistics under a single read lock.
+func (g *Graph) Stats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	sources := make(map[string]bool)
+	facts := 0
+	for _, e := range g.entities {
+		facts += len(e.Triples)
+		for _, t := range e.Triples {
+			for _, s := range t.Sources {
+				sources[s] = true
+			}
+		}
+	}
+	return Stats{
+		Entities: len(g.entities),
+		Facts:    facts,
+		Types:    len(g.byType),
+		Sources:  len(sources),
+	}
+}

@@ -1,0 +1,194 @@
+package triple
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestGraphCRUD(t *testing.T) {
+	g := NewGraph()
+	if g.Len() != 0 || g.FactCount() != 0 {
+		t.Fatal("new graph not empty")
+	}
+	e := paperEntity()
+	g.Put(e)
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.Has("kg:E1") || g.Has("kg:E2") {
+		t.Error("Has misreports")
+	}
+	got := g.Get("kg:E1")
+	if got == nil || got.Name() != "J. Smith" {
+		t.Fatalf("Get returned %+v", got)
+	}
+	// The returned copy must not alias the stored entity.
+	got.Triples[0].Object = String("mutated")
+	if g.Get("kg:E1").Name() == "mutated" {
+		t.Error("Get returned aliased entity")
+	}
+	// Put clones its argument too.
+	e.Triples[0].Object = String("mutated-src")
+	if g.Get("kg:E1").Name() == "mutated-src" {
+		t.Error("Put retained caller's entity")
+	}
+	if !g.Delete("kg:E1") || g.Delete("kg:E1") {
+		t.Error("Delete misreports")
+	}
+	if g.Get("kg:E1") != nil {
+		t.Error("entity survived Delete")
+	}
+}
+
+func TestGraphTypeIndex(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 5; i++ {
+		e := NewEntity(EntityID(fmt.Sprintf("kg:H%d", i)))
+		e.AddFact(PredType, String("human"))
+		g.Put(e)
+	}
+	song := NewEntity("kg:S1")
+	song.AddFact(PredType, String("song"))
+	g.Put(song)
+
+	if got := len(g.IDsByType("human")); got != 5 {
+		t.Errorf("humans = %d", got)
+	}
+	if got := g.IDsByType("song"); !reflect.DeepEqual(got, []EntityID{"kg:S1"}) {
+		t.Errorf("songs = %v", got)
+	}
+	if got := g.Types(); !reflect.DeepEqual(got, []string{"human", "song"}) {
+		t.Errorf("Types() = %v", got)
+	}
+
+	// Retyping an entity moves it between index buckets.
+	g.Update("kg:S1", func(e *Entity) {
+		e.Triples = nil
+		e.AddFact(PredType, String("album"))
+	})
+	if len(g.IDsByType("song")) != 0 {
+		t.Error("stale type index after Update")
+	}
+	if got := g.IDsByType("album"); !reflect.DeepEqual(got, []EntityID{"kg:S1"}) {
+		t.Errorf("albums = %v", got)
+	}
+	g.Delete("kg:S1")
+	if len(g.IDsByType("album")) != 0 {
+		t.Error("stale type index after Delete")
+	}
+}
+
+func TestGraphNewIDUnique(t *testing.T) {
+	g := NewGraph()
+	seen := make(map[EntityID]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := g.NewID()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate id %s", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 800 {
+		t.Errorf("minted %d ids", len(seen))
+	}
+	for id := range seen {
+		if !id.IsKG() {
+			t.Fatalf("minted non-KG id %s", id)
+		}
+	}
+}
+
+func TestGraphUpdateCreatesWhenAbsent(t *testing.T) {
+	g := NewGraph()
+	g.Update("kg:E1", func(e *Entity) {
+		e.AddFact(PredName, String("created"))
+	})
+	if got := g.Get("kg:E1"); got == nil || got.Name() != "created" {
+		t.Fatalf("Update did not create entity: %+v", got)
+	}
+}
+
+func TestGraphSnapshotIsolation(t *testing.T) {
+	g := NewGraph()
+	g.Put(paperEntity())
+	snap := g.Snapshot()
+	g.Update("kg:E1", func(e *Entity) { e.AddFact("alias", String("new")) })
+	if len(snap.Get("kg:E1").Get("alias")) != 0 {
+		t.Error("snapshot saw later write")
+	}
+	if snap.Len() != 1 || g.Len() != 1 {
+		t.Error("unexpected sizes")
+	}
+	// IDs minted by the snapshot must not collide with the original's.
+	a, b := g.NewID(), snap.NewID()
+	if a != b {
+		// Different graphs may mint the same sequence; what matters is that
+		// each graph's own sequence stays unique, checked elsewhere. Nothing
+		// to assert here beyond no panic.
+		_ = a
+	}
+}
+
+func TestGraphStats(t *testing.T) {
+	g := NewGraph()
+	g.Put(paperEntity())
+	e2 := NewEntity("kg:E2")
+	e2.AddFact(PredType, String("school"))
+	e2.Add(New("kg:E2", PredName, String("UW")).WithSource("src3", 0.9))
+	g.Put(e2)
+
+	st := g.Stats()
+	if st.Entities != 2 {
+		t.Errorf("Entities = %d", st.Entities)
+	}
+	if st.Facts != g.FactCount() {
+		t.Errorf("Facts = %d, FactCount = %d", st.Facts, g.FactCount())
+	}
+	if st.Sources != 3 { // src1, src2, src3
+		t.Errorf("Sources = %d", st.Sources)
+	}
+	if st.Types != 2 {
+		t.Errorf("Types = %d", st.Types)
+	}
+}
+
+func TestGraphConcurrentReadersAndWriters(t *testing.T) {
+	g := NewGraph()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				e := NewEntity(EntityID(fmt.Sprintf("kg:W%d-%d", w, i)))
+				e.AddFact(PredType, String("human"))
+				g.Put(e)
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g.IDsByType("human")
+				g.Stats()
+				g.Range(func(e *Entity) bool { return true })
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Len() != 200 {
+		t.Errorf("Len = %d, want 200", g.Len())
+	}
+}

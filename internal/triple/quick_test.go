@@ -1,0 +1,187 @@
+package triple
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomEntity generates an arbitrary valid entity for property tests.
+func quickRandomEntity(r *rand.Rand) *Entity {
+	e := NewEntity(EntityID("kg:E" + randWord(r)))
+	n := r.Intn(12)
+	preds := []string{PredName, PredAlias, "genre", "occupation", "spouse"}
+	sources := []string{"s1", "s2", "s3"}
+	for i := 0; i < n; i++ {
+		t := New(e.ID, preds[r.Intn(len(preds))], String(randWord(r)))
+		for k := 0; k <= r.Intn(2); k++ {
+			t = t.MergeProvenance(Triple{Sources: []string{sources[r.Intn(len(sources))]}, Trust: []float64{r.Float64()}})
+		}
+		e.Triples = append(e.Triples, t)
+	}
+	return e
+}
+
+func randWord(r *rand.Rand) string {
+	const letters = "abcdefg"
+	n := 1 + r.Intn(6)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letters[r.Intn(len(letters))]
+	}
+	return string(out)
+}
+
+// entityGen adapts randomEntity for testing/quick.
+type entityGen struct{ e *Entity }
+
+func (entityGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(entityGen{e: quickRandomEntity(r)})
+}
+
+// TestQuickDedupIdempotent: Dedup applied twice equals Dedup applied once.
+func TestQuickDedupIdempotent(t *testing.T) {
+	f := func(g entityGen) bool {
+		a := g.e.Clone()
+		a.Dedup()
+		b := a.Clone()
+		b.Dedup()
+		if len(a.Triples) != len(b.Triples) {
+			return false
+		}
+		for i := range a.Triples {
+			if a.Triples[i].Key() != b.Triples[i].Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDedupPreservesFactSet: Dedup never loses or invents facts (by
+// key), and never loses provenance.
+func TestQuickDedupPreservesFactSet(t *testing.T) {
+	f := func(g entityGen) bool {
+		before := make(map[string]map[string]bool) // key -> source set
+		for _, tr := range g.e.Triples {
+			set := before[tr.Key()]
+			if set == nil {
+				set = make(map[string]bool)
+				before[tr.Key()] = set
+			}
+			for _, s := range tr.Sources {
+				set[s] = true
+			}
+		}
+		d := g.e.Clone()
+		d.Dedup()
+		after := make(map[string]map[string]bool)
+		for _, tr := range d.Triples {
+			if after[tr.Key()] != nil {
+				return false // duplicate key survived
+			}
+			set := make(map[string]bool)
+			for _, s := range tr.Sources {
+				set[s] = true
+			}
+			after[tr.Key()] = set
+		}
+		if len(after) != len(before) {
+			return false
+		}
+		for k, want := range before {
+			got := after[k]
+			if got == nil || len(got) != len(want) {
+				return false
+			}
+			for s := range want {
+				if !got[s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFingerprintOrderInvariant: the fingerprint ignores triple order.
+func TestQuickFingerprintOrderInvariant(t *testing.T) {
+	f := func(g entityGen, seed int64) bool {
+		a := g.e.Clone()
+		b := g.e.Clone()
+		r := rand.New(rand.NewSource(seed))
+		r.Shuffle(len(b.Triples), func(i, j int) { b.Triples[i], b.Triples[j] = b.Triples[j], b.Triples[i] })
+		return a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeProvenanceCommutes: merging provenance is commutative on the
+// source set and keeps the maximum trust per source.
+func TestQuickMergeProvenanceCommutes(t *testing.T) {
+	f := func(s1, s2 uint8, t1, t2 float64) bool {
+		sources := []string{"a", "b", "c", "d"}
+		x := New("kg:E1", "p", String("v")).WithSource(sources[int(s1)%len(sources)], clamp01(t1))
+		y := New("kg:E1", "p", String("v")).WithSource(sources[int(s2)%len(sources)], clamp01(t2))
+		xy := x.MergeProvenance(y)
+		yx := y.MergeProvenance(x)
+		if len(xy.Sources) != len(yx.Sources) {
+			return false
+		}
+		for i := range xy.Sources {
+			if xy.Sources[i] != yx.Sources[i] || xy.Trust[i] != yx.Trust[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	for x > 1 {
+		x /= 10
+	}
+	return x
+}
+
+// TestQuickBinaryRoundTrip: binary encode/decode is the identity on valid
+// entities.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(g entityGen) bool {
+		data, err := g.e.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Entity
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if back.ID != g.e.ID || len(back.Triples) != len(g.e.Triples) {
+			return false
+		}
+		for i := range back.Triples {
+			if back.Triples[i].Key() != g.e.Triples[i].Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+package triple
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	ts := time.Date(2005, 6, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    Value
+		kind Kind
+		text string
+	}{
+		{"null", Null, KindNull, ""},
+		{"string", String("J. Smith"), KindString, "J. Smith"},
+		{"int", Int(42), KindInt, "42"},
+		{"float", Float(2.5), KindFloat, "2.5"},
+		{"bool true", Bool(true), KindBool, "true"},
+		{"bool false", Bool(false), KindBool, "false"},
+		{"time", Time(ts), KindTime, "2005-06-01T12:00:00Z"},
+		{"ref", Ref("kg:E1"), KindRef, "kg:E1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.v.Kind() != c.kind {
+				t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+			}
+			if got := c.v.Text(); got != c.text {
+				t.Errorf("Text() = %q, want %q", got, c.text)
+			}
+		})
+	}
+	if got := String("x").Str(); got != "x" {
+		t.Errorf("Str() = %q", got)
+	}
+	if got := Int(7).Int64(); got != 7 {
+		t.Errorf("Int64() = %d", got)
+	}
+	if got := Float(1.5).Float64(); got != 1.5 {
+		t.Errorf("Float64() = %v", got)
+	}
+	if got := Int(7).Float64(); got != 7 {
+		t.Errorf("Int widened Float64() = %v", got)
+	}
+	if !Bool(true).Bool() || Bool(false).Bool() {
+		t.Error("Bool() round trip failed")
+	}
+	if got := Time(ts).Time(); !got.Equal(ts) {
+		t.Errorf("Time() = %v, want %v", got, ts)
+	}
+	if got := Ref("kg:E9").Ref(); got != "kg:E9" {
+		t.Errorf("Ref() = %q", got)
+	}
+	if String("a").Ref() != "" || Int(1).Str() != "" {
+		t.Error("cross-kind accessors must return zero values")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Float(math.NaN()).Equal(Float(math.NaN())) {
+		t.Error("NaN values of the same kind should be Equal for dedup stability")
+	}
+	if String("a").Equal(Ref("a")) {
+		t.Error("string and ref with same payload must differ")
+	}
+	if !Null.Equal(Value{}) {
+		t.Error("zero value must equal Null")
+	}
+}
+
+func TestEntityIDHelpers(t *testing.T) {
+	id := EntityID("musicdb:artist-17")
+	if id.IsKG() {
+		t.Error("source id reported as KG")
+	}
+	if got := id.Namespace(); got != "musicdb" {
+		t.Errorf("Namespace() = %q", got)
+	}
+	if got := id.Local(); got != "artist-17" {
+		t.Errorf("Local() = %q", got)
+	}
+	kg := EntityID("kg:E00000001")
+	if !kg.IsKG() {
+		t.Error("kg id not reported as KG")
+	}
+	bare := EntityID("plain")
+	if bare.Namespace() != "" || bare.Local() != "plain" {
+		t.Errorf("bare id helpers: ns=%q local=%q", bare.Namespace(), bare.Local())
+	}
+}
+
+// randomValue generates an arbitrary Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(7) {
+	case 0:
+		return Null
+	case 1:
+		return String(randString(r))
+	case 2:
+		return Int(r.Int63() - r.Int63())
+	case 3:
+		return Float(r.NormFloat64())
+	case 4:
+		return Bool(r.Intn(2) == 0)
+	case 5:
+		return Time(time.Unix(0, r.Int63()).UTC())
+	default:
+		return Ref(EntityID("kg:" + randString(r)))
+	}
+}
+
+func randString(r *rand.Rand) string {
+	n := r.Intn(12)
+	b := make([]rune, n)
+	letters := []rune("abcdefghijklmnopqrstuvwxyzABCDE éüñ日本語-'.")
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func TestValueCompareIsTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("antisymmetry violated for %v vs %v", a, b)
+		}
+		if a.Compare(a) != 0 {
+			t.Fatalf("reflexivity violated for %v", a)
+		}
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("transitivity violated for %v %v %v", a, b, c)
+		}
+		if (a.Compare(b) == 0) != a.Equal(b) {
+			// NaN floats are the one exception: Equal treats NaN==NaN.
+			if a.Kind() == KindFloat && math.IsNaN(a.Float64()) {
+				continue
+			}
+			t.Fatalf("Compare/Equal disagree for %v vs %v", a, b)
+		}
+	}
+}
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		v := randomValue(r)
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got Value
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !got.Equal(v) && !(v.Kind() == KindFloat && math.IsNaN(v.Float64())) {
+			t.Fatalf("round trip %v -> %s -> %v", v, data, got)
+		}
+	}
+}
+
+func TestValueJSONRejectsUnknownKind(t *testing.T) {
+	var v Value
+	if err := json.Unmarshal([]byte(`{"kind":"blob"}`), &v); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestValueCompareQuick(t *testing.T) {
+	// testing/quick over the string subset: Compare must agree with the
+	// underlying string order for same-kind values.
+	f := func(a, b string) bool {
+		c := String(a).Compare(String(b))
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueZeroIsUsable(t *testing.T) {
+	var v Value
+	if !v.IsNull() || v.Kind() != KindNull || v.Text() != "" {
+		t.Error("zero Value must behave as Null")
+	}
+	if !reflect.DeepEqual(v, Null) {
+		t.Error("zero Value differs from Null")
+	}
+}

@@ -1,0 +1,102 @@
+package truth
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"saga/internal/triple"
+)
+
+// claimsGen generates arbitrary claim sets for property tests.
+type claimsGen struct{ claims []Claim }
+
+func (claimsGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	slots := []string{"s1", "s2", "s3"}
+	sources := []string{"a", "b", "c", "d", "e"}
+	values := []triple.Value{triple.String("x"), triple.String("y"), triple.Int(1), triple.Bool(true)}
+	n := 1 + r.Intn(20)
+	out := make([]Claim, n)
+	for i := range out {
+		out[i] = Claim{
+			Slot:   slots[r.Intn(len(slots))],
+			Source: sources[r.Intn(len(sources))],
+			Value:  values[r.Intn(len(values))],
+		}
+	}
+	return reflect.ValueOf(claimsGen{claims: out})
+}
+
+// TestQuickBeliefsAreDistributions: for any claim set, every slot's beliefs
+// form a probability distribution and are sorted descending.
+func TestQuickBeliefsAreDistributions(t *testing.T) {
+	f := func(g claimsGen) bool {
+		res := Estimate(g.claims, Options{})
+		for _, vbs := range res.Slots {
+			sum := 0.0
+			prev := math.Inf(1)
+			for _, vb := range vbs {
+				if vb.Belief < -1e-9 || vb.Belief > 1+1e-9 {
+					return false
+				}
+				if vb.Belief > prev+1e-9 {
+					return false
+				}
+				prev = vb.Belief
+				sum += vb.Belief
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAccuraciesBounded: estimated source accuracies stay in the
+// configured clamp range for any input.
+func TestQuickAccuraciesBounded(t *testing.T) {
+	f := func(g claimsGen) bool {
+		res := Estimate(g.claims, Options{})
+		for _, a := range res.SourceAccuracy {
+			if a < 0.05-1e-9 || a > 0.99+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEstimateOrderInvariant: claim order never changes the result.
+func TestQuickEstimateOrderInvariant(t *testing.T) {
+	f := func(g claimsGen, seed int64) bool {
+		shuffled := append([]Claim(nil), g.claims...)
+		r := rand.New(rand.NewSource(seed))
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		a := Estimate(g.claims, Options{})
+		b := Estimate(shuffled, Options{})
+		for slot, vbs := range a.Slots {
+			other := b.Slots[slot]
+			if len(other) != len(vbs) {
+				return false
+			}
+			for i := range vbs {
+				if !vbs[i].Value.Equal(other[i].Value) || math.Abs(vbs[i].Belief-other[i].Belief) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package truth implements the truth-discovery and source-reliability methods
+// fusion relies on (§2.3): given conflicting observations of the same fact
+// slot from sources of unknown reliability, estimate the probability of
+// correctness of each value and the accuracy of each source. The estimator is
+// an iterative EM-style algorithm in the spirit of SLiMFast and
+// Knowledge-Based Trust: fact beliefs are computed from source accuracies,
+// source accuracies are re-estimated from fact beliefs, and the fixed point
+// provides per-fact confidence scores that are stored in the KG's trust
+// metadata and drive fact-auditing decisions.
+package truth
+
+import (
+	"math"
+	"sort"
+
+	"saga/internal/triple"
+)
+
+// Claim is one observation: a source asserting a value for a fact slot.
+// Slots group claims that compete for the same functional fact, typically
+// triple.FactKey().
+type Claim struct {
+	// Slot identifies the fact slot ("subject+predicate+...").
+	Slot string
+	// Source names the asserting source.
+	Source string
+	// Value is the asserted object.
+	Value triple.Value
+}
+
+// Options tunes the estimator.
+type Options struct {
+	// Iterations bounds the EM loop; default 10.
+	Iterations int
+	// PriorAccuracy initializes unknown sources; default 0.8.
+	PriorAccuracy float64
+	// MinAccuracy and MaxAccuracy clamp estimates away from 0 and 1 so a
+	// source can never be infinitely trusted or distrusted; defaults 0.05
+	// and 0.99.
+	MinAccuracy, MaxAccuracy float64
+	// Violation, when set, reports whether a value is inadmissible for its
+	// slot under ontological constraints; inadmissible values get zero
+	// belief regardless of support.
+	Violation func(slot string, v triple.Value) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 10
+	}
+	if o.PriorAccuracy == 0 {
+		o.PriorAccuracy = 0.8
+	}
+	if o.MinAccuracy == 0 {
+		o.MinAccuracy = 0.05
+	}
+	if o.MaxAccuracy == 0 {
+		o.MaxAccuracy = 0.99
+	}
+	return o
+}
+
+// ValueBelief is one candidate value of a slot with its posterior probability
+// of being the true value.
+type ValueBelief struct {
+	Value   triple.Value
+	Belief  float64
+	Sources []string // sources asserting this value, sorted
+}
+
+// Result is the estimator output.
+type Result struct {
+	// Slots maps each fact slot to its candidate values, sorted by
+	// decreasing belief (ties broken by value order for determinism).
+	Slots map[string][]ValueBelief
+	// SourceAccuracy is the estimated reliability of each observed source.
+	SourceAccuracy map[string]float64
+}
+
+// Best returns the highest-belief value for a slot, or Null when the slot is
+// unknown or all of its values are inadmissible.
+func (r Result) Best(slot string) (triple.Value, float64) {
+	vs := r.Slots[slot]
+	if len(vs) == 0 {
+		return triple.Null, 0
+	}
+	return vs[0].Value, vs[0].Belief
+}
+
+// Estimate runs iterative truth discovery over the claims. The algorithm:
+//
+//  1. Initialize every source's accuracy to the prior.
+//  2. E-step: for each slot, score every candidate value by the log-odds sum
+//     of its supporters (a source with accuracy a contributes ln(a/(1-a))),
+//     then normalize scores into beliefs with a softmax over candidates.
+//  3. M-step: each source's accuracy becomes the mean belief of the values
+//     it asserted, clamped into [MinAccuracy, MaxAccuracy].
+//  4. Repeat; the loop converges quickly in practice.
+//
+// Reliable sources therefore dominate conflicts even when outnumbered by
+// coordinated unreliable sources, which is the property fusion needs.
+func Estimate(claims []Claim, opts Options) Result {
+	opts = opts.withDefaults()
+	type cand struct {
+		value   triple.Value
+		sources []string
+	}
+	slots := make(map[string][]*cand)
+	sources := make(map[string]float64)
+	for _, c := range claims {
+		sources[c.Source] = opts.PriorAccuracy
+		cs := slots[c.Slot]
+		var cur *cand
+		for _, cd := range cs {
+			if cd.value.Equal(c.Value) {
+				cur = cd
+				break
+			}
+		}
+		if cur == nil {
+			cur = &cand{value: c.Value}
+			slots[c.Slot] = append(slots[c.Slot], cur)
+		}
+		cur.sources = append(cur.sources, c.Source)
+	}
+	beliefs := make(map[string][]float64, len(slots))
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		// E-step: slot beliefs from source accuracies.
+		for slot, cs := range slots {
+			scores := make([]float64, len(cs))
+			for i, cd := range cs {
+				if opts.Violation != nil && opts.Violation(slot, cd.value) {
+					scores[i] = math.Inf(-1)
+					continue
+				}
+				s := 0.0
+				for _, src := range cd.sources {
+					a := sources[src]
+					s += math.Log(a / (1 - a))
+				}
+				scores[i] = s
+			}
+			beliefs[slot] = softmax(scores)
+		}
+		// M-step: source accuracies from beliefs.
+		sums := make(map[string]float64, len(sources))
+		counts := make(map[string]int, len(sources))
+		for slot, cs := range slots {
+			b := beliefs[slot]
+			for i, cd := range cs {
+				for _, src := range cd.sources {
+					sums[src] += b[i]
+					counts[src]++
+				}
+			}
+		}
+		for src := range sources {
+			if counts[src] == 0 {
+				continue
+			}
+			a := sums[src] / float64(counts[src])
+			if a < opts.MinAccuracy {
+				a = opts.MinAccuracy
+			} else if a > opts.MaxAccuracy {
+				a = opts.MaxAccuracy
+			}
+			sources[src] = a
+		}
+	}
+
+	out := Result{
+		Slots:          make(map[string][]ValueBelief, len(slots)),
+		SourceAccuracy: sources,
+	}
+	for slot, cs := range slots {
+		b := beliefs[slot]
+		vbs := make([]ValueBelief, len(cs))
+		for i, cd := range cs {
+			srcs := append([]string(nil), cd.sources...)
+			sort.Strings(srcs)
+			vbs[i] = ValueBelief{Value: cd.value, Belief: b[i], Sources: srcs}
+		}
+		sort.Slice(vbs, func(i, j int) bool {
+			if vbs[i].Belief != vbs[j].Belief {
+				return vbs[i].Belief > vbs[j].Belief
+			}
+			return vbs[i].Value.Compare(vbs[j].Value) < 0
+		})
+		out.Slots[slot] = vbs
+	}
+	return out
+}
+
+// softmax maps scores to a probability distribution; -Inf scores get exactly
+// zero mass (used for constraint violations).
+func softmax(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	maxS := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if math.IsInf(maxS, -1) {
+		return out // every candidate inadmissible
+	}
+	var sum float64
+	for i, s := range scores {
+		if math.IsInf(s, -1) {
+			continue
+		}
+		out[i] = math.Exp(s - maxS)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Vote is the majority-vote baseline: each value's belief is the fraction of
+// its slot's claims supporting it, ignoring source reliability. It is the
+// ablation comparator for Estimate.
+func Vote(claims []Claim) Result {
+	type cand struct {
+		value   triple.Value
+		sources []string
+	}
+	slots := make(map[string][]*cand)
+	sourceSet := make(map[string]float64)
+	for _, c := range claims {
+		sourceSet[c.Source] = 1
+		cs := slots[c.Slot]
+		var cur *cand
+		for _, cd := range cs {
+			if cd.value.Equal(c.Value) {
+				cur = cd
+				break
+			}
+		}
+		if cur == nil {
+			cur = &cand{value: c.Value}
+			slots[c.Slot] = append(slots[c.Slot], cur)
+		}
+		cur.sources = append(cur.sources, c.Source)
+	}
+	out := Result{Slots: make(map[string][]ValueBelief, len(slots)), SourceAccuracy: sourceSet}
+	for slot, cs := range slots {
+		total := 0
+		for _, cd := range cs {
+			total += len(cd.sources)
+		}
+		vbs := make([]ValueBelief, len(cs))
+		for i, cd := range cs {
+			srcs := append([]string(nil), cd.sources...)
+			sort.Strings(srcs)
+			vbs[i] = ValueBelief{Value: cd.value, Belief: float64(len(cd.sources)) / float64(total), Sources: srcs}
+		}
+		sort.Slice(vbs, func(i, j int) bool {
+			if vbs[i].Belief != vbs[j].Belief {
+				return vbs[i].Belief > vbs[j].Belief
+			}
+			return vbs[i].Value.Compare(vbs[j].Value) < 0
+		})
+		out.Slots[slot] = vbs
+	}
+	return out
+}

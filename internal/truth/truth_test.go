@@ -1,0 +1,144 @@
+package truth
+
+import (
+	"math"
+	"testing"
+
+	"saga/internal/triple"
+)
+
+func TestEstimateUnanimous(t *testing.T) {
+	claims := []Claim{
+		{Slot: "e1|birth", Source: "s1", Value: triple.String("1988")},
+		{Slot: "e1|birth", Source: "s2", Value: triple.String("1988")},
+	}
+	res := Estimate(claims, Options{})
+	v, b := res.Best("e1|birth")
+	if v.Str() != "1988" || b < 0.99 {
+		t.Fatalf("best = %v belief %f", v, b)
+	}
+}
+
+func TestEstimateReliableMinorityWins(t *testing.T) {
+	// Two sources (good1, good2) agree on many slots and are right; three
+	// spam sources each assert one wrong value on the contested slot but are
+	// inconsistent elsewhere. Reliability estimation should let the reliable
+	// minority win the contested slot against the unreliable majority.
+	var claims []Claim
+	for i := 0; i < 20; i++ {
+		slot := "fact" + string(rune('A'+i))
+		truth := triple.String("v" + string(rune('A'+i)))
+		claims = append(claims,
+			Claim{Slot: slot, Source: "good1", Value: truth},
+			Claim{Slot: slot, Source: "good2", Value: truth},
+			Claim{Slot: slot, Source: "spam1", Value: triple.String("x1" + slot)},
+			Claim{Slot: slot, Source: "spam2", Value: triple.String("x2" + slot)},
+			Claim{Slot: slot, Source: "spam3", Value: triple.String("x3" + slot)},
+		)
+	}
+	// Contested slot: spam sources coordinate on the same wrong value.
+	claims = append(claims,
+		Claim{Slot: "contested", Source: "good1", Value: triple.String("right")},
+		Claim{Slot: "contested", Source: "good2", Value: triple.String("right")},
+		Claim{Slot: "contested", Source: "spam1", Value: triple.String("wrong")},
+		Claim{Slot: "contested", Source: "spam2", Value: triple.String("wrong")},
+		Claim{Slot: "contested", Source: "spam3", Value: triple.String("wrong")},
+	)
+	res := Estimate(claims, Options{Iterations: 20})
+	if res.SourceAccuracy["good1"] <= res.SourceAccuracy["spam1"] {
+		t.Fatalf("accuracy: good1=%f spam1=%f", res.SourceAccuracy["good1"], res.SourceAccuracy["spam1"])
+	}
+	v, _ := res.Best("contested")
+	if v.Str() != "right" {
+		t.Fatalf("contested slot resolved to %q", v.Str())
+	}
+	// Majority vote, by contrast, picks the coordinated wrong value.
+	vote := Vote(claims)
+	vv, _ := vote.Best("contested")
+	if vv.Str() != "wrong" {
+		t.Fatalf("vote baseline should lose here, picked %q", vv.Str())
+	}
+}
+
+func TestEstimateConstraintViolation(t *testing.T) {
+	claims := []Claim{
+		{Slot: "e1|age", Source: "s1", Value: triple.Int(-5)},
+		{Slot: "e1|age", Source: "s2", Value: triple.Int(-5)},
+		{Slot: "e1|age", Source: "s3", Value: triple.Int(34)},
+	}
+	res := Estimate(claims, Options{
+		Violation: func(slot string, v triple.Value) bool { return v.Int64() < 0 },
+	})
+	v, b := res.Best("e1|age")
+	if v.Int64() != 34 || b < 0.99 {
+		t.Fatalf("constraint-violating majority won: %v %f", v, b)
+	}
+}
+
+func TestEstimateAllInadmissible(t *testing.T) {
+	claims := []Claim{{Slot: "s", Source: "x", Value: triple.Int(-1)}}
+	res := Estimate(claims, Options{
+		Violation: func(string, triple.Value) bool { return true },
+	})
+	_, b := res.Best("s")
+	if b != 0 {
+		t.Fatalf("belief for all-inadmissible slot = %f, want 0", b)
+	}
+}
+
+func TestBeliefsSumToOne(t *testing.T) {
+	claims := []Claim{
+		{Slot: "s", Source: "a", Value: triple.String("x")},
+		{Slot: "s", Source: "b", Value: triple.String("y")},
+		{Slot: "s", Source: "c", Value: triple.String("z")},
+	}
+	res := Estimate(claims, Options{})
+	sum := 0.0
+	for _, vb := range res.Slots["s"] {
+		if vb.Belief < 0 || vb.Belief > 1 {
+			t.Fatalf("belief out of range: %f", vb.Belief)
+		}
+		sum += vb.Belief
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("beliefs sum to %f", sum)
+	}
+}
+
+func TestBestUnknownSlot(t *testing.T) {
+	res := Estimate(nil, Options{})
+	v, b := res.Best("missing")
+	if !v.IsNull() || b != 0 {
+		t.Fatalf("Best(missing) = %v, %f", v, b)
+	}
+}
+
+func TestVoteMajority(t *testing.T) {
+	claims := []Claim{
+		{Slot: "s", Source: "a", Value: triple.String("x")},
+		{Slot: "s", Source: "b", Value: triple.String("x")},
+		{Slot: "s", Source: "c", Value: triple.String("y")},
+	}
+	res := Vote(claims)
+	v, b := res.Best("s")
+	if v.Str() != "x" || math.Abs(b-2.0/3.0) > 1e-9 {
+		t.Fatalf("vote best = %v %f", v, b)
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	claims := []Claim{
+		{Slot: "s", Source: "a", Value: triple.String("x")},
+		{Slot: "s", Source: "b", Value: triple.String("y")},
+		{Slot: "t", Source: "a", Value: triple.String("z")},
+	}
+	r1 := Estimate(claims, Options{})
+	r2 := Estimate(claims, Options{})
+	for slot, vbs := range r1.Slots {
+		for i, vb := range vbs {
+			if r2.Slots[slot][i].Belief != vb.Belief || !r2.Slots[slot][i].Value.Equal(vb.Value) {
+				t.Fatalf("non-deterministic result for %s", slot)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package views
+
+import (
+	"fmt"
+	"testing"
+
+	"saga/internal/triple"
+)
+
+// countingDef builds a definition that increments a counter on Create and
+// publishes its run count as its artifact.
+func countingDef(name string, deps []string, runs *map[string]int) Definition {
+	return Definition{
+		Name:      name,
+		DependsOn: deps,
+		Create: func(ctx *Context) error {
+			(*runs)[name]++
+			ctx.SetArtifact(name, (*runs)[name])
+			return nil
+		},
+	}
+}
+
+func fig7Catalog(t *testing.T, runs *map[string]int) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	// The Figure 7 DAG: entity features feeds both the ranked entity index
+	// and the entity neighbourhood view; embeddings build on the
+	// neighbourhood; people embeddings filter the embeddings.
+	for _, def := range []Definition{
+		countingDef("entity-features", nil, runs),
+		countingDef("ranked-entity-index", []string{"entity-features"}, runs),
+		countingDef("entity-neighbourhood", []string{"entity-features"}, runs),
+		countingDef("graph-embeddings", []string{"entity-neighbourhood"}, runs),
+		countingDef("people-embeddings", []string{"graph-embeddings"}, runs),
+	} {
+		if err := c.Register(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Register(Definition{Name: "", Create: func(*Context) error { return nil }}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := c.Register(Definition{Name: "x"}); err == nil {
+		t.Error("nil Create accepted")
+	}
+	if err := c.Register(Definition{Name: "x", DependsOn: []string{"ghost"},
+		Create: func(*Context) error { return nil }}); err == nil {
+		t.Error("unknown dependency accepted")
+	}
+	ok := Definition{Name: "x", Create: func(*Context) error { return nil }}
+	if err := c.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(ok); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestMaterializeSharesDependencies(t *testing.T) {
+	runs := map[string]int{}
+	c := fig7Catalog(t, &runs)
+	m := NewManager(c)
+	ctx := NewContext(triple.NewGraph())
+	stats, err := m.Materialize(ctx, "ranked-entity-index", "people-embeddings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entity-features is shared: it must run exactly once.
+	if runs["entity-features"] != 1 {
+		t.Fatalf("entity-features ran %d times", runs["entity-features"])
+	}
+	if len(stats.Materialized) != 5 {
+		t.Fatalf("materialized = %v", stats.Materialized)
+	}
+	if stats.Reused != 1 {
+		t.Fatalf("reused = %d, want 1", stats.Reused)
+	}
+	// Dependencies execute before dependents.
+	pos := map[string]int{}
+	for i, n := range stats.Materialized {
+		pos[n] = i
+	}
+	if pos["entity-features"] > pos["ranked-entity-index"] ||
+		pos["entity-neighbourhood"] > pos["graph-embeddings"] ||
+		pos["graph-embeddings"] > pos["people-embeddings"] {
+		t.Fatalf("order = %v", stats.Materialized)
+	}
+}
+
+func TestMaterializeNoReuseRecomputes(t *testing.T) {
+	runs := map[string]int{}
+	c := fig7Catalog(t, &runs)
+	m := NewManager(c)
+	ctx := NewContext(triple.NewGraph())
+	if _, err := m.MaterializeNoReuse(ctx, "ranked-entity-index", "people-embeddings"); err != nil {
+		t.Fatal(err)
+	}
+	if runs["entity-features"] != 2 {
+		t.Fatalf("no-reuse baseline ran entity-features %d times, want 2", runs["entity-features"])
+	}
+}
+
+func TestRefreshUsesUpdate(t *testing.T) {
+	c := NewCatalog()
+	var updates, creates int
+	def := Definition{
+		Name:   "v",
+		Create: func(*Context) error { creates++; return nil },
+		Update: func(_ *Context, changed []triple.EntityID) error {
+			updates += len(changed)
+			return nil
+		},
+	}
+	if err := c.Register(def); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(c)
+	ctx := NewContext(triple.NewGraph())
+	if _, err := m.Refresh(ctx, []triple.EntityID{"kg:E1", "kg:E2"}, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if updates != 2 || creates != 0 {
+		t.Fatalf("updates=%d creates=%d", updates, creates)
+	}
+}
+
+func TestRefreshFallsBackToCreate(t *testing.T) {
+	c := NewCatalog()
+	creates := 0
+	if err := c.Register(Definition{Name: "v", Create: func(*Context) error { creates++; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(c)
+	if _, err := m.Refresh(NewContext(triple.NewGraph()), nil, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if creates != 1 {
+		t.Fatalf("creates = %d", creates)
+	}
+}
+
+func TestCreateErrorPropagates(t *testing.T) {
+	c := NewCatalog()
+	boom := fmt.Errorf("boom")
+	c.Register(Definition{Name: "bad", Create: func(*Context) error { return boom }})
+	m := NewManager(c)
+	if _, err := m.Materialize(NewContext(triple.NewGraph()), "bad"); err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func TestDropClearsArtifact(t *testing.T) {
+	c := NewCatalog()
+	dropped := false
+	c.Register(Definition{
+		Name:   "v",
+		Create: func(ctx *Context) error { ctx.SetArtifact("v", 42); return nil },
+		Drop:   func(*Context) error { dropped = true; return nil },
+	})
+	m := NewManager(c)
+	ctx := NewContext(triple.NewGraph())
+	if _, err := m.Materialize(ctx, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctx.Artifact("v"); !ok {
+		t.Fatal("artifact missing after materialize")
+	}
+	if err := m.Drop(ctx, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if !dropped {
+		t.Fatal("drop procedure not called")
+	}
+	if _, ok := ctx.Artifact("v"); ok {
+		t.Fatal("artifact survives drop")
+	}
+	if err := m.Drop(ctx, "ghost"); err == nil {
+		t.Fatal("dropping unknown view succeeded")
+	}
+}
+
+func TestUnknownViewErrors(t *testing.T) {
+	m := NewManager(NewCatalog())
+	if _, err := m.Materialize(NewContext(triple.NewGraph()), "ghost"); err == nil {
+		t.Fatal("unknown view accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"saga/internal/importance"
+	"saga/internal/triple"
+)
+
+// MentionSpec sizes the NERD evaluation corpus (Figure 14). The corpus has
+// ambiguous surface forms: groups of entities share a name and are only
+// distinguishable through relational context, with Zipf-skewed popularity so
+// one member of each group is the head entity and the rest are tails.
+type MentionSpec struct {
+	// Groups is the number of ambiguous name groups.
+	Groups int
+	// PerGroup is the number of entities sharing each name.
+	PerGroup int
+	// Mentions is the corpus size.
+	Mentions int
+	// TailBias is the probability a mention refers to a non-head member;
+	// higher values stress context reasoning. Default 0.5.
+	TailBias float64
+	// ContextDropout is the fraction of mentions whose context carries no
+	// discriminating anchor (generic text), bounding any context model's
+	// achievable high-confidence recall.
+	ContextDropout float64
+	Seed           int64
+}
+
+// LabeledMention is one corpus entry with its ground-truth entity.
+type LabeledMention struct {
+	Text     string
+	Context  string
+	TypeHint string
+	Truth    triple.EntityID
+}
+
+// MentionWorld is the generated evaluation universe: the KG, its importance
+// scores, and the labeled corpus.
+type MentionWorld struct {
+	Graph  *triple.Graph
+	Scores map[triple.EntityID]importance.Scores
+	Corpus []LabeledMention
+	// TypedCorpus mirrors Corpus with ontology type hints set (the object-
+	// resolution workload of Figure 14(b)).
+	TypedCorpus []LabeledMention
+}
+
+// Generate builds the world. Each group g has entities sharing the name
+// "N(g)"; member 0 is the head (many in-links, popular), members 1..k are
+// tails. Every member has a distinct discriminating neighbour entity
+// ("anchor"), and mention contexts quote the true member's anchor name, so
+// context identifies the referent while surface form alone cannot.
+func (m MentionSpec) Generate() *MentionWorld {
+	if m.TailBias == 0 {
+		m.TailBias = 0.5
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	g := triple.NewGraph()
+	add := func(id, typ, name, desc string) *triple.Entity {
+		e := triple.NewEntity(triple.EntityID(id))
+		a := func(p string, v triple.Value) { e.Add(triple.New("", p, v).WithSource("wiki", 0.9)) }
+		a(triple.PredType, triple.String(typ))
+		a(triple.PredName, triple.String(name))
+		if desc != "" {
+			a("description", triple.String(desc))
+		}
+		return e
+	}
+	types := []string{"city", "human", "school", "sports_team"}
+	memberID := func(grp, member int) triple.EntityID {
+		return triple.EntityID(fmt.Sprintf("kg:G%03dM%d", grp, member))
+	}
+	anchorID := func(grp, member int) triple.EntityID {
+		return triple.EntityID(fmt.Sprintf("kg:G%03dA%d", grp, member))
+	}
+	anchorName := func(grp, member int) string {
+		return fmt.Sprintf("%s %s institute", SongTitle(grp*7+member), lastNames[(grp+member)%len(lastNames)])
+	}
+	for grp := 0; grp < m.Groups; grp++ {
+		name := CityName(grp)
+		typ := types[grp%len(types)]
+		for member := 0; member < m.PerGroup; member++ {
+			ent := add(string(memberID(grp, member)), typ, name,
+				fmt.Sprintf("the %s number %d", typ, member))
+			// Discriminating anchor neighbour.
+			anchor := add(string(anchorID(grp, member)), "organization", anchorName(grp, member), "")
+			anchor.Add(triple.New("", "located_in", triple.Ref(memberID(grp, member))).WithSource("wiki", 0.9))
+			g.Put(anchor)
+			// Head member gets popularity: extra in-links, varying across
+			// groups so head importance (and hence popularity-model
+			// confidence) spreads rather than saturating.
+			if member == 0 {
+				for f := 0; f < 2+(8+grp)%9; f++ {
+					fan := add(fmt.Sprintf("kg:G%03dF%d", grp, f), "organization",
+						fmt.Sprintf("fan org %d of %d", f, grp), "")
+					fan.Add(triple.New("", "located_in", triple.Ref(memberID(grp, 0))).WithSource("wiki", 0.9))
+					g.Put(fan)
+				}
+			}
+			g.Put(ent)
+		}
+	}
+	scores := importance.Compute(g, importance.Options{})
+
+	world := &MentionWorld{Graph: g, Scores: scores}
+	zipf := NewZipf(rng, 1.4, m.Groups)
+	for i := 0; i < m.Mentions; i++ {
+		grp := zipf.Draw()
+		member := 0
+		if rng.Float64() < m.TailBias {
+			member = 1 + rng.Intn(m.PerGroup-1)
+		}
+		truth := memberID(grp, member)
+		ctx := fmt.Sprintf("we stopped by %s on the way to the %s downtown",
+			CityName(grp), anchorName(grp, member))
+		if rng.Float64() < m.ContextDropout {
+			ctx = fmt.Sprintf("thinking about a trip to %s sometime soon", CityName(grp))
+		}
+		lm := LabeledMention{Text: CityName(grp), Context: ctx, Truth: truth}
+		world.Corpus = append(world.Corpus, lm)
+		lm.TypeHint = types[grp%len(types)]
+		world.TypedCorpus = append(world.TypedCorpus, lm)
+	}
+	return world
+}

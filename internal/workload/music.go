@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"saga/internal/triple"
+)
+
+// MusicSpec sizes the music+people KG used by the view-computation
+// experiment (Figure 8 evaluates entity-centric views over People, Artists,
+// Playlists, Playlist Artists, Songs, and Media People).
+type MusicSpec struct {
+	Artists        int
+	SongsPerArtist int
+	Playlists      int
+	TracksPerList  int
+	People         int // non-artist people (media people reference them)
+	MediaPeople    int
+	Seed           int64
+}
+
+// Graph materializes the music world directly as a canonical KG (entities in
+// the kg: namespace), bypassing construction — the Figure 8 experiment
+// evaluates the analytics store, not linking.
+func (m MusicSpec) Graph() *triple.Graph {
+	rng := rand.New(rand.NewSource(m.Seed))
+	g := triple.NewGraph()
+	add := func(id, typ, name string) *triple.Entity {
+		e := triple.NewEntity(triple.EntityID(id))
+		a := func(p string, v triple.Value) { e.Add(triple.New("", p, v).WithSource("musicdb", 0.9)) }
+		a(triple.PredType, triple.String(typ))
+		a(triple.PredName, triple.String(name))
+		return e
+	}
+	commit := func(e *triple.Entity) { g.Put(e) }
+
+	for i := 0; i < m.People; i++ {
+		p := add(fmt.Sprintf("kg:P%05d", i), "human", PersonName(i))
+		p.Add(triple.New("", "occupation", triple.String(genres[i%len(genres)]+" journalist")).WithSource("peopledb", 0.8))
+		p.Add(triple.New("", "birth_place", triple.Ref(triple.EntityID(fmt.Sprintf("kg:C%03d", i%40)))).WithSource("peopledb", 0.8))
+		commit(p)
+	}
+	for c := 0; c < 40; c++ {
+		commit(add(fmt.Sprintf("kg:C%03d", c), "city", CityName(c)))
+	}
+	for i := 0; i < m.Artists; i++ {
+		art := add(fmt.Sprintf("kg:A%05d", i), "music_artist", ArtistName(i))
+		art.Add(triple.New("", "genre", triple.String(genres[i%len(genres)])).WithSource("musicdb", 0.9))
+		art.Add(triple.New("", "popularity", triple.Float(rng.Float64())).WithSource("musicdb", 0.9))
+		commit(art)
+		for s := 0; s < m.SongsPerArtist; s++ {
+			idx := i*m.SongsPerArtist + s
+			song := add(fmt.Sprintf("kg:S%06d", idx), "song", SongTitle(idx))
+			song.Add(triple.New("", "performed_by", triple.Ref(triple.EntityID(fmt.Sprintf("kg:A%05d", i)))).WithSource("musicdb", 0.9))
+			song.Add(triple.New("", "release_year", triple.Int(int64(1990+idx%35))).WithSource("musicdb", 0.9))
+			song.Add(triple.New("", "duration_sec", triple.Int(int64(120+rng.Intn(300)))).WithSource("musicdb", 0.9))
+			commit(song)
+		}
+	}
+	totalSongs := m.Artists * m.SongsPerArtist
+	for i := 0; i < m.Playlists; i++ {
+		pl := add(fmt.Sprintf("kg:L%05d", i), "playlist", fmt.Sprintf("%s mix %d", genres[i%len(genres)], i))
+		for t := 0; t < m.TracksPerList && totalSongs > 0; t++ {
+			song := rng.Intn(totalSongs)
+			pl.Add(triple.New("", "track", triple.Ref(triple.EntityID(fmt.Sprintf("kg:S%06d", song)))).WithSource("musicdb", 0.9))
+		}
+		if m.People > 0 {
+			pl.Add(triple.New("", "curated_by", triple.Ref(triple.EntityID(fmt.Sprintf("kg:P%05d", i%m.People)))).WithSource("musicdb", 0.9))
+		}
+		commit(pl)
+	}
+	// Media people: humans attached to creative works (cast members).
+	for i := 0; i < m.MediaPeople; i++ {
+		mv := add(fmt.Sprintf("kg:M%05d", i), "movie", "the "+SongTitle(i*3)+" picture")
+		if m.People > 0 {
+			relID := fmt.Sprintf("cast%d", i)
+			mv.Add(triple.NewRel("", "cast_member", relID, "actor",
+				triple.Ref(triple.EntityID(fmt.Sprintf("kg:P%05d", i%m.People)))).WithSource("moviedb", 0.85))
+			mv.Add(triple.NewRel("", "cast_member", relID, "character",
+				triple.String(PersonName(i+13))).WithSource("moviedb", 0.85))
+		}
+		mv.Add(triple.New("", "release_year", triple.Int(int64(1980+i%45))).WithSource("moviedb", 0.85))
+		commit(mv)
+	}
+	return g
+}

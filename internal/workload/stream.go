@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"saga/internal/live"
+	"saga/internal/triple"
+)
+
+// StreamSpec sizes a synthetic sports-score stream: Games games, each
+// emitting Updates score updates referencing two stable teams by name.
+type StreamSpec struct {
+	Games   int
+	Updates int
+	Teams   []string // stable team names mentioned by events
+	Seed    int64
+}
+
+// Events generates the update stream in arrival order.
+func (s StreamSpec) Events() []live.Event {
+	rng := rand.New(rand.NewSource(s.Seed))
+	teams := s.Teams
+	if len(teams) < 2 {
+		teams = []string{"Northfield Comets", "Lakewood Pilots", "Eastport Giants", "Redcliff Bears"}
+	}
+	var out []live.Event
+	type gameState struct {
+		home, away string
+		hs, as     int
+	}
+	games := make([]gameState, s.Games)
+	for i := range games {
+		h := rng.Intn(len(teams))
+		a := (h + 1 + rng.Intn(len(teams)-1)) % len(teams)
+		games[i] = gameState{home: teams[h], away: teams[a]}
+	}
+	for u := 0; u < s.Updates; u++ {
+		gi := rng.Intn(len(games))
+		gm := &games[gi]
+		if rng.Intn(2) == 0 {
+			gm.hs += 2 + rng.Intn(2)
+		} else {
+			gm.as += 2 + rng.Intn(2)
+		}
+		status := fmt.Sprintf("Q%d", 1+u*4/s.Updates)
+		out = append(out, live.Event{
+			Source: "sportsfeed",
+			Type:   "sports_game",
+			ID:     fmt.Sprintf("game%d", gi),
+			Facts: map[string]triple.Value{
+				"home_score":  triple.Int(int64(gm.hs)),
+				"away_score":  triple.Int(int64(gm.as)),
+				"game_status": triple.String(status),
+			},
+			Mentions: map[string]live.Mention{
+				"home_team": {Text: gm.home, TypeHint: "sports_team"},
+				"away_team": {Text: gm.away, TypeHint: "sports_team"},
+			},
+		})
+	}
+	return out
+}
+
+// TeamsGraph materializes stable team entities for the stream's mentions.
+func TeamsGraph(names []string) []*triple.Entity {
+	var out []*triple.Entity
+	for i, name := range names {
+		e := triple.NewEntity(triple.EntityID(fmt.Sprintf("kg:T%03d", i)))
+		a := func(p string, v triple.Value) { e.Add(triple.New("", p, v).WithSource("sportsdb", 0.9)) }
+		a(triple.PredType, triple.String("sports_team"))
+		a(triple.PredName, triple.String(name))
+		out = append(out, e)
+	}
+	return out
+}
