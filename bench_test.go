@@ -144,19 +144,24 @@ func BenchmarkEmbeddingTraining(b *testing.B) {
 }
 
 // BenchmarkConstructionPipeline regenerates the §2.4 design claims:
-// delta-based construction vs full rebuild, and parallel vs sequential
-// source pipelines.
+// delta-based construction vs full rebuild, parallel vs sequential source
+// pipelines, and intra-delta workers=1 vs workers=N (which must produce an
+// identical KG).
 func BenchmarkConstructionPipeline(b *testing.B) {
 	var last experiments.ConstructionResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.ConstructionPipeline()
+		res, err := experiments.ConstructionPipeline(0)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if !res.IntraIdentical {
+			b.Fatal("intra-delta parallel KG diverged from sequential")
 		}
 		last = res
 	}
 	b.ReportMetric(last.DeltaSpeedup, "delta-speedup-x")
 	b.ReportMetric(last.ParallelSpeedup, "parallel-speedup-x")
+	b.ReportMetric(last.IntraSpeedup, "intra-delta-speedup-x")
 	b.Logf("\n%s", last)
 }
 
@@ -173,14 +178,19 @@ func BenchmarkBlockingAblation(b *testing.B) {
 }
 
 // BenchmarkResolutionAblation measures correlation clustering vs greedy
-// transitive closure: pair F1 and the ≤1-KG-entity constraint violations.
+// transitive closure (pair F1 and the ≤1-KG-entity constraint violations)
+// plus sharded parallel resolution with workers=1 vs workers=N.
 func BenchmarkResolutionAblation(b *testing.B) {
 	var last experiments.ResolutionResult
 	for i := 0; i < b.N; i++ {
-		last = experiments.ResolutionAblation()
+		last = experiments.ResolutionAblation(0)
+		if !last.ResolveIdentical {
+			b.Fatal("parallel resolution diverged from sequential")
+		}
 	}
 	b.ReportMetric(last.CorrelationF1, "correlation-f1")
 	b.ReportMetric(float64(last.ClosureViolations), "closure-violations")
+	b.ReportMetric(last.ResolveSpeedup, "resolve-speedup-x")
 	b.Logf("\n%s", last)
 }
 

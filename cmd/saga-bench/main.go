@@ -16,6 +16,7 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run only the named experiment (fig8, reuse, fig12, fig14a, fig14b, latency, simrecall, embedding, construction, blocking, resolution, volatile, pruning)")
+	workers := flag.Int("workers", 0, "worker count for the construction/resolution ablations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	runs := []struct {
@@ -30,9 +31,9 @@ func main() {
 		{"latency", func() (fmt.Stringer, error) { return experiments.LiveLatency(0, 0) }},
 		{"simrecall", func() (fmt.Stringer, error) { return experiments.LearnedSimilarityRecall(), nil }},
 		{"embedding", func() (fmt.Stringer, error) { return experiments.EmbeddingTraining() }},
-		{"construction", func() (fmt.Stringer, error) { return experiments.ConstructionPipeline() }},
+		{"construction", func() (fmt.Stringer, error) { return experiments.ConstructionPipeline(*workers) }},
 		{"blocking", func() (fmt.Stringer, error) { return experiments.BlockingAblation(), nil }},
-		{"resolution", func() (fmt.Stringer, error) { return experiments.ResolutionAblation(), nil }},
+		{"resolution", func() (fmt.Stringer, error) { return experiments.ResolutionAblation(*workers), nil }},
 		{"volatile", func() (fmt.Stringer, error) { return experiments.VolatileOverwrite() }},
 		{"pruning", func() (fmt.Stringer, error) { return experiments.CandidatePruning(), nil }},
 	}

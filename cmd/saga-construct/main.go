@@ -20,9 +20,10 @@ func main() {
 	perSource := flag.Int("entities", 200, "entities per source")
 	overlap := flag.Int("overlap", 100, "universe overlap between consecutive sources")
 	oplogPath := flag.String("oplog", "", "durable operation log path (empty = memory)")
+	workers := flag.Int("workers", 0, "intra-delta construction workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	p, err := core.New(core.Options{OplogPath: *oplogPath})
+	p, err := core.New(core.Options{OplogPath: *oplogPath, Workers: *workers})
 	if err != nil {
 		log.Fatalf("saga-construct: %v", err)
 	}

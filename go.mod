@@ -1,0 +1,3 @@
+module saga
+
+go 1.24

@@ -102,6 +102,17 @@ func MentionFromID(id triple.EntityID) string {
 	return strings.TrimSpace(local)
 }
 
+// stubRef is a dangling reference discovered during object resolution: no
+// batch assignment, link-index entry, or resolver candidate exists for the
+// target. The commit phase mints one stub per distinct target (deduplicated
+// across the entities that reported it), in canonical order, so stub
+// identifiers are reproducible run to run.
+type stubRef struct {
+	target  triple.EntityID
+	mention string
+	typ     string
+}
+
 // resolveObjects rewrites the entity's reference-valued objects to KG
 // identifiers (OBR):
 //
@@ -112,13 +123,18 @@ func MentionFromID(id triple.EntityID) string {
 //     KG link index;
 //  4. remaining references resolve by mention through the ObjectResolver,
 //     with the ontology's RefType as the type hint;
-//  5. unresolved references create a new stub KG entity (name + type) so the
-//     fact is never dropped — the paper's "resolve or create" rule.
+//  5. still-unresolved references are returned as stubRefs: the caller mints
+//     a stub KG entity (name + type) per distinct target and applies the
+//     rewrites, so the fact is never dropped — the paper's
+//     "resolve or create" rule.
 //
-// makeStub mints the stub and records its link; it runs under the fusion
-// lock, so resolveObjects itself takes no locks.
-func resolveObjects(e *triple.Entity, assignment map[triple.EntityID]triple.EntityID, kg *KG, resolver ObjectResolver, ont *ontology.Ontology, makeStub func(src triple.EntityID, mention, typ string) triple.EntityID) {
+// resolveObjects itself is read-only with respect to the KG (it mutates only
+// e), so entities can be resolved concurrently; stub creation is the caller's
+// sequential, deterministic step.
+func resolveObjects(e *triple.Entity, assignment map[triple.EntityID]triple.EntityID, kg *KG, resolver ObjectResolver, ont *ontology.Ontology) []stubRef {
 	refs := make(map[triple.EntityID]triple.EntityID)
+	pendingSet := make(map[triple.EntityID]bool)
+	var pending []stubRef
 	for _, t := range e.Triples {
 		if !t.Object.IsRef() {
 			continue
@@ -128,6 +144,9 @@ func resolveObjects(e *triple.Entity, assignment map[triple.EntityID]triple.Enti
 			continue
 		}
 		if _, done := refs[target]; done {
+			continue
+		}
+		if pendingSet[target] {
 			continue
 		}
 		if kgID, ok := assignment[target]; ok {
@@ -151,11 +170,13 @@ func resolveObjects(e *triple.Entity, assignment map[triple.EntityID]triple.Enti
 				continue
 			}
 		}
-		refs[target] = makeStub(target, mention, typeHint)
+		pendingSet[target] = true
+		pending = append(pending, stubRef{target: target, mention: mention, typ: typeHint})
 	}
 	if len(refs) > 0 {
 		e.Rewrite(e.ID, refs)
 	}
+	return pending
 }
 
 // relevantPredicate names the ontology predicate governing a triple's object:

@@ -1,0 +1,199 @@
+package construct
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"saga/internal/triple"
+)
+
+// This file is the intra-delta work-scheduling layer (§2.4): within one
+// source delta the blocking candidate graph is sharded into independent
+// connected components, candidate pairs are scored and components are
+// clustered on a bounded worker pool, and results merge back in a canonical
+// order. Parallel and sequential runs therefore produce byte-identical KGs;
+// workers only change wall-clock time, never output.
+
+// effectiveWorkers resolves a configured worker count: values > 0 are taken
+// as-is, anything else defaults to GOMAXPROCS.
+func effectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runIndexed executes fn(i) for every i in [0, n) on a bounded pool of
+// workers. With one worker (or one task) it runs inline, which is the
+// sequential reference path; results must be written to index i so output
+// order never depends on scheduling.
+func runIndexed(workers, n int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	workers = effectiveWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// PairShard is one independent unit of matching-plus-clustering work: a
+// connected component of the candidate graph. Entities in different shards
+// share no candidate pair, so pivot clustering can never merge them —
+// resolving shards concurrently is exact, not approximate.
+type PairShard struct {
+	Nodes []triple.EntityID
+	Pairs []ScoredPair
+}
+
+// ShardScored partitions the candidate graph into connected components via
+// union-find over the scored pairs. Nodes touched by no pair are gathered
+// into a single trailing shard (each resolves to its own singleton cluster).
+// Shards are ordered by their smallest node for reproducible scheduling.
+func ShardScored(nodes []triple.EntityID, scored []ScoredPair) []PairShard {
+	parent := make(map[triple.EntityID]triple.EntityID, len(nodes))
+	var find func(x triple.EntityID) triple.EntityID
+	find = func(x triple.EntityID) triple.EntityID {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	for _, sp := range scored {
+		ra, rb := find(sp.A), find(sp.B)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	byRoot := make(map[triple.EntityID]int)
+	var shards []PairShard
+	var singles PairShard
+	for _, n := range nodes {
+		if _, paired := parent[n]; !paired {
+			singles.Nodes = append(singles.Nodes, n)
+			continue
+		}
+		root := find(n)
+		si, ok := byRoot[root]
+		if !ok {
+			si = len(shards)
+			byRoot[root] = si
+			shards = append(shards, PairShard{})
+		}
+		shards[si].Nodes = append(shards[si].Nodes, n)
+	}
+	for _, sp := range scored {
+		si := byRoot[find(sp.A)]
+		shards[si].Pairs = append(shards[si].Pairs, sp)
+	}
+	sort.Slice(shards, func(i, j int) bool { return minNode(shards[i]) < minNode(shards[j]) })
+	if len(singles.Nodes) > 0 {
+		shards = append(shards, singles)
+	}
+	return shards
+}
+
+func minNode(s PairShard) triple.EntityID {
+	min := s.Nodes[0]
+	for _, n := range s.Nodes[1:] {
+		if n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// scoreChunk bounds per-task scheduling overhead when scoring pairs.
+const scoreChunk = 128
+
+// ScorePairsParallel evaluates the matcher over candidate pairs on a bounded
+// worker pool; the output is exactly ScorePairs' (pair order preserved,
+// unknown entities skipped). The matcher must be safe for concurrent use —
+// all built-in matchers are, as scoring is read-only.
+func ScorePairsParallel(pairs []Pair, byID map[triple.EntityID]*triple.Entity, m Matcher, workers int) []ScoredPair {
+	if effectiveWorkers(workers) <= 1 || len(pairs) <= scoreChunk {
+		return ScorePairs(pairs, byID, m)
+	}
+	scored := make([]ScoredPair, len(pairs))
+	valid := make([]bool, len(pairs))
+	chunks := (len(pairs) + scoreChunk - 1) / scoreChunk
+	runIndexed(workers, chunks, func(ci int) {
+		lo := ci * scoreChunk
+		hi := lo + scoreChunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		for i := lo; i < hi; i++ {
+			a, b := byID[pairs[i].A], byID[pairs[i].B]
+			if a == nil || b == nil {
+				continue
+			}
+			scored[i] = ScoredPair{Pair: pairs[i], Score: m.Score(a, b)}
+			valid[i] = true
+		}
+	})
+	out := make([]ScoredPair, 0, len(pairs))
+	for i := range scored {
+		if valid[i] {
+			out = append(out, scored[i])
+		}
+	}
+	return out
+}
+
+// ResolveParallel shards the candidate graph into connected components and
+// runs pivot-based correlation clustering per component on the worker pool.
+// The merged result is byte-identical to Resolve over the whole graph: a
+// pivot only ever absorbs neighbors connected by a candidate pair (always in
+// its own component), and both paths order clusters by smallest member.
+func ResolveParallel(nodes []triple.EntityID, scored []ScoredPair, params ClusterParams, workers int) []Cluster {
+	if effectiveWorkers(workers) <= 1 || len(nodes) < 2 {
+		return Resolve(nodes, scored, params)
+	}
+	shards := ShardScored(nodes, scored)
+	if len(shards) <= 1 {
+		return Resolve(nodes, scored, params)
+	}
+	per := make([][]Cluster, len(shards))
+	runIndexed(workers, len(shards), func(i int) {
+		per[i] = Resolve(shards[i].Nodes, shards[i].Pairs, params)
+	})
+	var out []Cluster
+	for _, cs := range per {
+		out = append(out, cs...)
+	}
+	// Cluster member sets are disjoint, so Members[0] is a unique, total key.
+	sort.Slice(out, func(i, j int) bool { return out[i].Members[0] < out[j].Members[0] })
+	return out
+}

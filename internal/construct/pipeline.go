@@ -13,9 +13,12 @@ import (
 // Pipeline is the continuously running, delta-based knowledge construction
 // framework (§2.4, Figure 5). It always operates on source diffs: a brand-new
 // source arrives as a full Added payload. Source pipelines run in parallel;
-// within a source, the Added, Updated, and Deleted payloads are processed in
-// parallel; and the only cross-source synchronization point is fusion, which
-// consumes source payloads one at a time.
+// within a source, type groups, candidate-pair scoring, and the independent
+// components of the candidate graph are processed on a bounded worker pool;
+// and the only cross-source synchronization point is the commit phase
+// (identifier minting, object resolution, fusion), which consumes source
+// payloads one at a time in a canonical order — so a parallel run writes a
+// KG byte-identical to a sequential one.
 type Pipeline struct {
 	// KG is the graph under construction.
 	KG *KG
@@ -28,10 +31,22 @@ type Pipeline struct {
 	// Resolver performs object resolution. Nil builds an AliasResolver over
 	// the current graph per consumed delta.
 	Resolver ObjectResolver
+	// Workers bounds intra-delta parallelism (and Consume's cross-delta
+	// preparation): 0 means GOMAXPROCS, 1 forces the sequential reference
+	// path. The produced KG is identical for every value.
+	Workers int
 
 	fuseMu      sync.Mutex
 	conflictsMu sync.Mutex
 	conflicts   []Conflict
+}
+
+// workers resolves the pipeline's effective worker count.
+func (p *Pipeline) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return effectiveWorkers(p.Link.Workers)
 }
 
 // NewPipeline wires a construction pipeline over the given KG and ontology
@@ -63,135 +78,183 @@ func (s SourceStats) String() string {
 		s.Source, s.LinkedAdds, s.NewEntities, s.Updated, s.Deleted, s.Volatile, s.Conflicts, s.Comparisons)
 }
 
-// ConsumeDelta runs one source's payload through the construction pipeline:
-// ToAdd links fully (blocking, matching, resolution); ToUpdate and ToDelete
-// look up their existing links; volatile payloads overwrite their partition
-// after everything else fuses.
-func (p *Pipeline) ConsumeDelta(d ingest.Delta) (SourceStats, error) {
-	stats := SourceStats{Source: d.Source}
+// linkedUpdate pairs an updated source entity with its existing KG link.
+type linkedUpdate struct {
+	kgID triple.EntityID
+	ent  *triple.Entity
+}
+
+// deleteLink pairs a deleted source entity with its existing KG link.
+type deleteLink struct {
+	src  triple.EntityID
+	kgID triple.EntityID
+}
+
+// preparedDelta is the result of the compute-heavy, read-only half of
+// consuming a delta: payloads grouped, links looked up, and every type group
+// blocked, matched, and clustered — with no KG identifiers minted and no
+// graph state written. Preparations of several deltas can run concurrently;
+// commitDelta then applies them one at a time in a canonical order.
+type preparedDelta struct {
+	delta       ingest.Delta
+	updates     []linkedUpdate
+	deleteLinks []deleteLink
+	addGroups   map[string][]*triple.Entity
+	addTypes    []string
+	resolutions []typeResolution // one per addTypes entry, same order
+}
+
+// prepareDelta runs the read-only half of the pipeline: grouping, link
+// lookups, and per-type blocking/matching/clustering on the worker pool.
+func (p *Pipeline) prepareDelta(d ingest.Delta) (*preparedDelta, error) {
 	if p.KG == nil || p.Ont == nil {
-		return stats, fmt.Errorf("construct: pipeline missing KG or ontology")
+		return nil, fmt.Errorf("construct: pipeline missing KG or ontology")
 	}
+	pd := &preparedDelta{delta: d}
+
+	// Updated entities that lost their link (for example after an on-demand
+	// deletion) re-enter through the full linking path.
+	adds := append([]*triple.Entity(nil), d.Added...)
+	for _, e := range d.Updated {
+		if kgID, ok := p.KG.Lookup(e.ID); ok {
+			pd.updates = append(pd.updates, linkedUpdate{kgID: kgID, ent: e})
+		} else {
+			adds = append(adds, e)
+		}
+	}
+	seenDel := make(map[triple.EntityID]bool, len(d.Deleted))
+	for _, src := range d.Deleted {
+		if seenDel[src] {
+			continue
+		}
+		seenDel[src] = true
+		if kgID, ok := p.KG.Lookup(src); ok {
+			pd.deleteLinks = append(pd.deleteLinks, deleteLink{src: src, kgID: kgID})
+		}
+	}
+
+	// Intra-delta parallelism: type groups resolve concurrently, and each
+	// group's pair scoring and component clustering fan out further on the
+	// same worker budget.
+	pd.addGroups, pd.addTypes = GroupByType(adds)
+	pd.resolutions = make([]typeResolution, len(pd.addTypes))
+	params := p.Link
+	if params.Workers == 0 {
+		params.Workers = p.workers()
+	}
+	runIndexed(p.workers(), len(pd.addTypes), func(i int) {
+		typ := pd.addTypes[i]
+		pd.resolutions[i] = resolveTypeGroup(pd.addGroups[typ], p.KG.KGView(typ), typ, params)
+	})
+	return pd, nil
+}
+
+// commitDelta applies a prepared delta to the KG under the fusion lock: KG
+// identifiers are minted in canonical type-then-cluster order, object
+// resolution runs (parallel over entities, with stub minting deferred to a
+// sequential canonical pass), and payloads fuse. Because every write happens
+// here, in an order fixed by the input alone, parallel and sequential runs
+// produce byte-identical KGs.
+func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
+	d := pd.delta
+	stats := SourceStats{Source: d.Source}
 	fuser := p.Fuser
 	if fuser == nil {
 		fuser = &Fuser{Ont: p.Ont}
 	}
+
+	p.fuseMu.Lock()
+	defer p.fuseMu.Unlock()
+
 	resolver := p.Resolver
 	if resolver == nil {
 		resolver = NewAliasResolver(p.KG.Graph.Snapshot(), p.Ont)
 	}
 
-	// Updated entities that lost their link (for example after an on-demand
-	// deletion) re-enter through the full linking path.
-	adds := append([]*triple.Entity(nil), d.Added...)
-	type linkedUpdate struct {
-		kgID triple.EntityID
-		ent  *triple.Entity
-	}
-	var updates []linkedUpdate
-	for _, e := range d.Updated {
-		if kgID, ok := p.KG.Lookup(e.ID); ok {
-			updates = append(updates, linkedUpdate{kgID: kgID, ent: e})
-		} else {
-			adds = append(adds, e)
-		}
-	}
-
-	// Intra-source parallelism: linking of adds, lookup of deletes, and
-	// object resolution of updates proceed concurrently.
-	var (
-		wg          sync.WaitGroup
-		outcomes    []LinkOutcome
-		addGroups   map[string][]*triple.Entity
-		addTypes    []string
-		deleteLinks = make(map[triple.EntityID]triple.EntityID)
-	)
-	assignment := make(map[triple.EntityID]triple.EntityID)
-	makeStub := func(src triple.EntityID, mention, typ string) triple.EntityID {
-		id := p.KG.Graph.NewID()
-		stub := triple.NewEntity(id)
-		stub.Add(triple.New(id, triple.PredType, triple.String(orDefault(typ, "entity"))).WithSource(d.Source, 0.5))
-		stub.Add(triple.New(id, triple.PredName, triple.String(mention)).WithSource(d.Source, 0.5))
-		p.KG.Graph.Put(stub)
-		p.KG.Link(src, id)
-		return id
-	}
-
-	wg.Add(2)
-	go func() { // link adds, grouped by entity type
-		defer wg.Done()
-		addGroups, addTypes = GroupByType(adds)
-		for _, typ := range addTypes {
-			group := addGroups[typ]
-			kgView := p.KG.KGView(typ)
-			outcome := LinkEntities(group, kgView, typ, p.KG.Graph.NewID, p.Link)
-			outcomes = append(outcomes, outcome)
-			stats.LinkedAdds += len(group)
-			stats.NewEntities += outcome.NewEntities
-			stats.Comparisons += outcome.Blocking.Comparisons
-		}
-	}()
-	go func() { // look up links of deleted entities
-		defer wg.Done()
-		for _, src := range d.Deleted {
-			if kgID, ok := p.KG.Lookup(src); ok {
-				deleteLinks[src] = kgID
-			}
-		}
-	}()
-	wg.Wait()
-
 	// Record links and collect the batch-wide assignment before OBR so that
-	// intra-batch references resolve.
-	for _, outcome := range outcomes {
+	// intra-batch references resolve; minting happens inside assign, in
+	// sorted type order.
+	assignment := make(map[triple.EntityID]triple.EntityID)
+	outcomes := make([]LinkOutcome, len(pd.resolutions))
+	for i, tr := range pd.resolutions {
+		outcome := tr.assign(p.KG.Graph.NewID)
+		outcomes[i] = outcome
 		for src, kgID := range outcome.Assignment {
 			assignment[src] = kgID
 			p.KG.Link(src, kgID)
 		}
+		stats.LinkedAdds += len(tr.src)
+		stats.NewEntities += outcome.NewEntities
+		stats.Comparisons += outcome.Blocking.Comparisons
 	}
-	for _, u := range updates {
+	for _, u := range pd.updates {
 		assignment[u.ent.ID] = u.kgID
 	}
 
-	// Object resolution over adds and updates, parallel per entity group.
-	var obrWG sync.WaitGroup
-	for _, typ := range addTypes {
-		group := addGroups[typ]
-		obrWG.Add(1)
-		go func(group []*triple.Entity) {
-			defer obrWG.Done()
-			for _, e := range group {
-				resolveObjects(e, assignment, p.KG, resolver, p.Ont, makeStub)
-			}
-		}(group)
+	// Object resolution over adds and updates, parallel per entity; dangling
+	// references come back as deferred stub requests.
+	entities := make([]*triple.Entity, 0, len(assignment))
+	for _, typ := range pd.addTypes {
+		entities = append(entities, pd.addGroups[typ]...)
 	}
-	obrWG.Add(1)
-	go func() {
-		defer obrWG.Done()
-		for _, u := range updates {
-			resolveObjects(u.ent, assignment, p.KG, resolver, p.Ont, makeStub)
+	for _, u := range pd.updates {
+		entities = append(entities, u.ent)
+	}
+	pending := make([][]stubRef, len(entities))
+	runIndexed(p.workers(), len(entities), func(i int) {
+		pending[i] = resolveObjects(entities[i], assignment, p.KG, resolver, p.Ont)
+	})
+	// Mint one stub per distinct dangling target, in canonical entity order,
+	// then apply the deferred rewrites. (Deduplicating across entities also
+	// means two payload entities dangling on the same target now share one
+	// stub instead of racing to create two.)
+	stubs := make(map[triple.EntityID]triple.EntityID)
+	var stubIDs []triple.EntityID
+	for _, refs := range pending {
+		for _, ref := range refs {
+			if _, ok := stubs[ref.target]; ok {
+				continue
+			}
+			id := p.KG.Graph.NewID()
+			stub := triple.NewEntity(id)
+			stub.Add(triple.New(id, triple.PredType, triple.String(orDefault(ref.typ, "entity"))).WithSource(d.Source, 0.5))
+			stub.Add(triple.New(id, triple.PredName, triple.String(ref.mention)).WithSource(d.Source, 0.5))
+			p.KG.Graph.Put(stub)
+			p.KG.Link(ref.target, id)
+			stubs[ref.target] = id
+			stubIDs = append(stubIDs, id)
 		}
-	}()
-	obrWG.Wait()
+	}
+	for i, refs := range pending {
+		if len(refs) == 0 {
+			continue
+		}
+		rw := make(map[triple.EntityID]triple.EntityID, len(refs))
+		for _, ref := range refs {
+			rw[ref.target] = stubs[ref.target]
+		}
+		entities[i].Rewrite(entities[i].ID, rw)
+	}
 
-	// Fusion: the cross-source synchronization point.
-	p.fuseMu.Lock()
-	defer p.fuseMu.Unlock()
+	// Fusion: payloads merge into the graph in canonical order.
 	var conflicts []Conflict
 	for _, outcome := range outcomes {
-		// same_as provenance facts fuse alongside the payloads.
-		sameAsBySubject := make(map[triple.EntityID][]triple.Triple)
-		for _, t := range outcome.SameAs {
-			sameAsBySubject[t.Subject] = append(sameAsBySubject[t.Subject], t)
-		}
-		for kgID, facts := range sameAsBySubject {
-			carrier := triple.NewEntity(kgID)
-			carrier.Add(facts...)
+		// same_as provenance facts fuse alongside the payloads. SameAs is
+		// sorted, so consecutive runs share a subject and carriers fuse in
+		// subject order.
+		for lo := 0; lo < len(outcome.SameAs); {
+			hi := lo + 1
+			for hi < len(outcome.SameAs) && outcome.SameAs[hi].Subject == outcome.SameAs[lo].Subject {
+				hi++
+			}
+			carrier := triple.NewEntity(outcome.SameAs[lo].Subject)
+			carrier.Add(outcome.SameAs[lo:hi]...)
 			conflicts = append(conflicts, fuser.FuseEntity(p.KG.Graph, carrier)...)
+			lo = hi
 		}
 	}
-	for _, typ := range addTypes {
-		for _, e := range addGroups[typ] {
+	for _, typ := range pd.addTypes {
+		for _, e := range pd.addGroups[typ] {
 			kgID, ok := assignment[e.ID]
 			if !ok {
 				continue
@@ -201,7 +264,7 @@ func (p *Pipeline) ConsumeDelta(d ingest.Delta) (SourceStats, error) {
 			conflicts = append(conflicts, fuser.FuseEntity(p.KG.Graph, linked)...)
 		}
 	}
-	for _, u := range updates {
+	for _, u := range pd.updates {
 		// Replace this source's stable contribution: drop, then re-fuse.
 		removeSourceStable(p.KG.Graph, u.kgID, d.Source, p.Ont)
 		linked := u.ent.Clone()
@@ -213,14 +276,17 @@ func (p *Pipeline) ConsumeDelta(d ingest.Delta) (SourceStats, error) {
 	for _, kgID := range assignment {
 		touched[kgID] = true
 	}
-	for src, kgID := range deleteLinks {
-		if RemoveSource(p.KG.Graph, kgID, d.Source) {
-			stats.Removed = append(stats.Removed, kgID)
-			delete(touched, kgID)
+	for _, id := range stubIDs {
+		touched[id] = true
+	}
+	for _, dl := range pd.deleteLinks {
+		if RemoveSource(p.KG.Graph, dl.kgID, d.Source) {
+			stats.Removed = append(stats.Removed, dl.kgID)
+			delete(touched, dl.kgID)
 		} else {
-			touched[kgID] = true
+			touched[dl.kgID] = true
 		}
-		p.KG.Unlink(src)
+		p.KG.Unlink(dl.src)
 		stats.Deleted++
 	}
 	// Volatile partition overwrite runs after the stable payloads fused.
@@ -249,25 +315,45 @@ func (p *Pipeline) ConsumeDelta(d ingest.Delta) (SourceStats, error) {
 	return stats, nil
 }
 
-// Consume processes multiple source deltas through parallel per-source
-// pipelines (inter-source parallelism); fusion inside ConsumeDelta is the
-// synchronization point. Results are ordered as the input.
-func (p *Pipeline) Consume(deltas []ingest.Delta) ([]SourceStats, error) {
-	stats := make([]SourceStats, len(deltas))
-	errs := make([]error, len(deltas))
-	var wg sync.WaitGroup
-	for i := range deltas {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			stats[i], errs[i] = p.ConsumeDelta(deltas[i])
-		}(i)
+// ConsumeDelta runs one source's payload through the construction pipeline:
+// ToAdd links fully (blocking, matching, resolution); ToUpdate and ToDelete
+// look up their existing links; volatile payloads overwrite their partition
+// after everything else fuses. Preparation (blocking, matching, clustering)
+// runs on the pipeline's worker pool; the commit phase serializes under the
+// fusion lock.
+func (p *Pipeline) ConsumeDelta(d ingest.Delta) (SourceStats, error) {
+	pd, err := p.prepareDelta(d)
+	if err != nil {
+		return SourceStats{Source: d.Source}, err
 	}
-	wg.Wait()
-	for _, err := range errs {
+	return p.commitDelta(pd)
+}
+
+// Consume processes multiple source deltas: the compute-heavy preparation of
+// every delta (blocking, matching, clustering) runs concurrently on the
+// worker pool, and the deltas then commit — minting, object resolution,
+// fusion — one at a time in input order. Commit order is therefore fixed by
+// the input, never by goroutine scheduling, so a Consume over independent
+// deltas produces exactly the KG of ConsumeSequential over the same slice.
+// (Each delta of a batch links against the KG state at batch start; deltas
+// of one batch never link against each other's output.) Results are ordered
+// as the input.
+func (p *Pipeline) Consume(deltas []ingest.Delta) ([]SourceStats, error) {
+	prepared := make([]*preparedDelta, len(deltas))
+	errs := make([]error, len(deltas))
+	runIndexed(p.workers(), len(deltas), func(i int) {
+		prepared[i], errs[i] = p.prepareDelta(deltas[i])
+	})
+	stats := make([]SourceStats, len(deltas))
+	for i := range prepared {
+		if errs[i] != nil {
+			return stats, errs[i]
+		}
+		s, err := p.commitDelta(prepared[i])
 		if err != nil {
 			return stats, err
 		}
+		stats[i] = s
 	}
 	return stats, nil
 }

@@ -34,6 +34,11 @@ type Options struct {
 	OplogPath string
 	// LinkParams tunes the construction linking stage.
 	LinkParams construct.LinkParams
+	// Workers bounds the construction pipeline's intra-delta parallelism
+	// (pair scoring, component clustering, object resolution). 0 means
+	// GOMAXPROCS; 1 forces the sequential reference path. The constructed KG
+	// is identical for every value — workers only change wall-clock time.
+	Workers int
 }
 
 // Platform is the assembled knowledge platform.
@@ -93,6 +98,7 @@ func New(opts Options) (*Platform, error) {
 	}
 	p.Pipeline = construct.NewPipeline(p.KG, ont)
 	p.Pipeline.Link = opts.LinkParams
+	p.Pipeline.Workers = opts.Workers
 	p.ViewManager = views.NewManager(p.ViewCatalog)
 	p.Engine.RegisterAgent(graphengine.EntityStoreAgent{Store: p.EntityStore})
 	p.Engine.RegisterAgent(graphengine.TextIndexAgent{Index: p.TextIndex})
@@ -128,7 +134,13 @@ func (p *Platform) ConsumeDelta(d ingest.Delta) (construct.SourceStats, error) {
 	return stats, nil
 }
 
-// ConsumeDeltas consumes several sources in parallel, then publishes.
+// ConsumeDeltas consumes several sources in parallel, then publishes. Every
+// delta of the batch links against the KG state at batch start (that is what
+// makes the batch deterministic), so two sources in one batch that describe
+// the same real-world entity each mint their own KG entity — and resolution
+// never merges two existing KG entities afterwards (≤1 graph entity per
+// cluster). Batch only independent sources; consume related sources in
+// separate calls so the later one links against the earlier one's output.
 func (p *Platform) ConsumeDeltas(deltas []ingest.Delta) ([]construct.SourceStats, error) {
 	all, err := p.Pipeline.Consume(deltas)
 	if err != nil {

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
 	"time"
 
 	"saga/internal/construct"
@@ -12,8 +14,10 @@ import (
 )
 
 // ConstructionResult reproduces the §2.4 design claims: delta-based
-// construction beats full rebuilds, and parallel source pipelines beat
-// sequential consumption.
+// construction beats full rebuilds, parallel source pipelines beat
+// sequential consumption, and intra-delta parallelism (workers > 1) beats
+// the single-worker reference path on one large source while producing an
+// identical KG.
 type ConstructionResult struct {
 	FullRebuildMS   float64
 	DeltaMS         float64
@@ -22,23 +26,39 @@ type ConstructionResult struct {
 	ParallelMS      float64
 	ParallelSpeedup float64
 	Sources         int
+
+	// Intra-delta ablation: one large delta consumed with 1 vs N workers.
+	Workers        int
+	IntraSeqMS     float64
+	IntraParMS     float64
+	IntraSpeedup   float64
+	IntraIdentical bool // the two runs wrote byte-identical KGs
 }
 
 // String renders the comparison.
 func (r ConstructionResult) String() string {
-	return fmt.Sprintf("Incremental construction (§2.4): full-rebuild=%.1fms delta=%.1fms (%.1fx); sequential=%.1fms parallel=%.1fms (%.2fx) over %d sources\n",
+	return fmt.Sprintf("Incremental construction (§2.4): full-rebuild=%.1fms delta=%.1fms (%.1fx); sequential=%.1fms parallel=%.1fms (%.2fx) over %d sources; intra-delta workers=1 %.1fms vs workers=%d %.1fms (%.2fx, identical=%v)\n",
 		r.FullRebuildMS, r.DeltaMS, r.DeltaSpeedup,
-		r.SequentialMS, r.ParallelMS, r.ParallelSpeedup, r.Sources)
+		r.SequentialMS, r.ParallelMS, r.ParallelSpeedup, r.Sources,
+		r.IntraSeqMS, r.Workers, r.IntraParMS, r.IntraSpeedup, r.IntraIdentical)
 }
 
-// ConstructionPipeline measures delta-vs-rebuild and parallel-vs-sequential.
-func ConstructionPipeline() (ConstructionResult, error) {
+// ConstructionPipeline measures delta-vs-rebuild, parallel-vs-sequential
+// source consumption, and the intra-delta worker-pool ablation. workers
+// sizes the parallel side of the intra-delta comparison; 0 means GOMAXPROCS.
+func ConstructionPipeline(workers int) (ConstructionResult, error) {
 	ont := ontology.Default()
 	const sources, perSource = 6, 150
+	// Each source feeds its own entity type so every delta's linking does the
+	// same work under Consume (which prepares against the batch-start KG) and
+	// ConsumeSequential (whose later deltas see earlier sources' output):
+	// the speedup then measures parallelism, not skipped cross-source
+	// blocking.
 	specs := make([]workload.SourceSpec, sources)
 	for s := range specs {
 		specs[s] = workload.SourceSpec{
-			Name: fmt.Sprintf("src%d", s), Offset: s * perSource, Count: perSource,
+			Name: fmt.Sprintf("src%d", s), Type: fmt.Sprintf("human%d", s),
+			Offset: s * perSource, Count: perSource,
 			Seed: int64(s), DupRate: 0.05,
 		}
 	}
@@ -92,11 +112,48 @@ func ConstructionPipeline() (ConstructionResult, error) {
 	if err != nil {
 		return ConstructionResult{}, err
 	}
+
+	// Intra-delta ablation: one large, duplicate-heavy source whose
+	// blocking/matching/clustering dominate, consumed with 1 vs N workers.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	bigSpec := workload.SourceSpec{
+		Name: "big", Count: 4 * perSource, DupRate: 0.15, TypoRate: 0.2,
+		RichFacts: 2, Seed: 77,
+	}
+	intra := func(w int) (float64, *construct.KG, error) {
+		kg := construct.NewKG()
+		p := construct.NewPipeline(kg, ont)
+		p.Workers = w
+		delta := bigSpec.Delta()
+		start := time.Now()
+		_, err := p.ConsumeDelta(delta)
+		return float64(time.Since(start).Microseconds()) / 1000, kg, err
+	}
+	intraSeqMS, kgSeq, err := intra(1)
+	if err != nil {
+		return ConstructionResult{}, err
+	}
+	intraParMS, kgPar, err := intra(workers)
+	if err != nil {
+		return ConstructionResult{}, err
+	}
+
 	return ConstructionResult{
 		FullRebuildMS: rebuildMS, DeltaMS: deltaMS, DeltaSpeedup: rebuildMS / deltaMS,
 		SequentialMS: seqMS, ParallelMS: parMS, ParallelSpeedup: seqMS / parMS,
 		Sources: sources,
+		Workers: workers, IntraSeqMS: intraSeqMS, IntraParMS: intraParMS,
+		IntraSpeedup:   intraSeqMS / intraParMS,
+		IntraIdentical: graphsIdentical(kgSeq, kgPar),
 	}, nil
+}
+
+// graphsIdentical compares two KGs triple for triple; Graph.Triples already
+// returns a canonically sorted slice.
+func graphsIdentical(a, b *construct.KG) bool {
+	return reflect.DeepEqual(a.Graph.Triples(), b.Graph.Triples())
 }
 
 // BlockingResult is the blocking ablation: comparisons and wall time of
@@ -189,19 +246,30 @@ type ResolutionResult struct {
 	ClosureF1                                          float64
 	CorrelationClusters, ClosureClusters, TrueClusters int
 	CorrelationViolations, ClosureViolations           int
+
+	// Worker-pool ablation: component-sharded clustering with workers=N vs
+	// the single-worker reference, on the same scored candidate graph.
+	Workers          int
+	ResolveSeqMS     float64
+	ResolveParMS     float64
+	ResolveSpeedup   float64
+	ResolveIdentical bool
 }
 
 // String renders the ablation.
 func (r ResolutionResult) String() string {
-	return fmt.Sprintf("Resolution ablation: correlation clustering F1=%.3f (%d clusters, %d KG-constraint violations) vs transitive closure F1=%.3f (%d clusters, %d violations), truth=%d\n",
+	return fmt.Sprintf("Resolution ablation: correlation clustering F1=%.3f (%d clusters, %d KG-constraint violations) vs transitive closure F1=%.3f (%d clusters, %d violations), truth=%d; resolve workers=1 %.2fms vs workers=%d %.2fms (%.2fx, identical=%v)\n",
 		r.CorrelationF1, r.CorrelationClusters, r.CorrelationViolations,
-		r.ClosureF1, r.ClosureClusters, r.ClosureViolations, r.TrueClusters)
+		r.ClosureF1, r.ClosureClusters, r.ClosureViolations, r.TrueClusters,
+		r.ResolveSeqMS, r.Workers, r.ResolveParMS, r.ResolveSpeedup, r.ResolveIdentical)
 }
 
 // ResolutionAblation compares the clustering strategies on a noisy feed that
 // also contains pairs of confusable canonical KG entities (distinct
 // real-world entities sharing a name), the case where closure over-merges.
-func ResolutionAblation() ResolutionResult {
+// workers sizes the parallel side of the sharded-resolution comparison;
+// 0 means GOMAXPROCS.
+func ResolutionAblation(workers int) ResolutionResult {
 	a := workload.SourceSpec{Name: "sa", Offset: 0, Count: 150, TypoRate: 0.35, DupRate: 0.2, Seed: 3}.Entities()
 	b := workload.SourceSpec{Name: "sb", Offset: 0, Count: 150, TypoRate: 0.35, DupRate: 0.2, Seed: 4}.Entities()
 	var combined []*triple.Entity
@@ -277,7 +345,15 @@ func ResolutionAblation() ResolutionResult {
 		}
 		return n
 	}
+	startSeq := time.Now()
 	cc := construct.Resolve(nodes, scored, construct.ClusterParams{})
+	seqMS := float64(time.Since(startSeq).Microseconds()) / 1000
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	startPar := time.Now()
+	ccPar := construct.ResolveParallel(nodes, scored, construct.ClusterParams{}, workers)
+	parMS := float64(time.Since(startPar).Microseconds()) / 1000
 	tc := construct.TransitiveClosure(nodes, scored, 0.85)
 	trueClusters := make(map[string]bool)
 	for _, n := range nodes {
@@ -289,6 +365,11 @@ func ResolutionAblation() ResolutionResult {
 		TrueClusters:          len(trueClusters),
 		CorrelationViolations: violations(cc),
 		ClosureViolations:     violations(tc),
+		Workers:               workers,
+		ResolveSeqMS:          seqMS,
+		ResolveParMS:          parMS,
+		ResolveSpeedup:        seqMS / parMS,
+		ResolveIdentical:      reflect.DeepEqual(cc, ccPar),
 	}
 }
 

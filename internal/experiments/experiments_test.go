@@ -185,12 +185,15 @@ func TestEmbeddingTrainingShape(t *testing.T) {
 }
 
 func TestConstructionPipelineShape(t *testing.T) {
-	res, err := ConstructionPipeline()
+	res, err := ConstructionPipeline(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.DeltaSpeedup < 2 {
 		t.Fatalf("delta speedup %.1fx too small vs rebuild", res.DeltaSpeedup)
+	}
+	if !res.IntraIdentical {
+		t.Fatal("intra-delta parallel run produced a different KG than the sequential run")
 	}
 }
 
@@ -205,9 +208,12 @@ func TestBlockingAblationShape(t *testing.T) {
 }
 
 func TestResolutionAblationShape(t *testing.T) {
-	res := ResolutionAblation()
+	res := ResolutionAblation(0)
 	if res.CorrelationF1 < res.ClosureF1 {
 		t.Fatalf("correlation clustering F1 %.3f below closure %.3f", res.CorrelationF1, res.ClosureF1)
+	}
+	if !res.ResolveIdentical {
+		t.Fatal("sharded parallel resolution diverged from the sequential reference")
 	}
 }
 

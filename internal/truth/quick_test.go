@@ -16,7 +16,8 @@ type claimsGen struct{ claims []Claim }
 func (claimsGen) Generate(r *rand.Rand, _ int) reflect.Value {
 	slots := []string{"s1", "s2", "s3"}
 	sources := []string{"a", "b", "c", "d", "e"}
-	values := []triple.Value{triple.String("x"), triple.String("y"), triple.Int(1), triple.Bool(true)}
+	values := []triple.Value{triple.String("x"), triple.String("y"), triple.Int(1), triple.Bool(true),
+		triple.Float(2.5), triple.Float(math.NaN())}
 	n := 1 + r.Intn(20)
 	out := make([]Claim, n)
 	for i := range out {
@@ -71,6 +72,36 @@ func TestQuickAccuraciesBounded(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVoteOrderInvariant: claim order (and duplication) never changes
+// the majority-vote baseline either.
+func TestQuickVoteOrderInvariant(t *testing.T) {
+	f := func(g claimsGen, seed int64) bool {
+		shuffled := append([]Claim(nil), g.claims...)
+		// Duplicate a few claims: canonicalization must absorb multiplicity.
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < len(g.claims)/3; i++ {
+			shuffled = append(shuffled, g.claims[r.Intn(len(g.claims))])
+		}
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		a, b := Vote(g.claims), Vote(shuffled)
+		for slot, vbs := range a.Slots {
+			other := b.Slots[slot]
+			if len(other) != len(vbs) {
+				return false
+			}
+			for i := range vbs {
+				if !vbs[i].Value.Equal(other[i].Value) || vbs[i].Belief != other[i].Belief {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
 }

@@ -87,9 +87,111 @@ func (r Result) Best(slot string) (triple.Value, float64) {
 	return vs[0].Value, vs[0].Belief
 }
 
+// groupedCand is one candidate value of a slot with its deduplicated,
+// lexicographically sorted supporter set.
+type groupedCand struct {
+	value   triple.Value
+	sources []string
+}
+
+// groupedSlot is one fact slot with its candidates in canonical value order.
+type groupedSlot struct {
+	slot  string
+	cands []groupedCand
+}
+
+// compareValues orders claim values like Value.Compare but with NaN floats
+// made totally ordered (NaN sorts after every other float and equals itself),
+// so the sort below stays transitive and agrees with Value.Equal — which
+// treats NaN as equal to NaN — on what counts as the same candidate.
+func compareValues(a, b triple.Value) int {
+	if a.Kind() == triple.KindFloat && b.Kind() == triple.KindFloat {
+		an, bn := math.IsNaN(a.Float64()), math.IsNaN(b.Float64())
+		if an || bn {
+			switch {
+			case an && bn:
+				return 0
+			case an:
+				return 1
+			default:
+				return -1
+			}
+		}
+	}
+	return a.Compare(b)
+}
+
+// groupClaims canonicalizes a claim multiset: duplicate (slot, source, value)
+// claims collapse to a single observation, slots sort by name, candidates
+// sort by value order, and supporter lists sort by source name. Every
+// floating-point accumulation in Estimate and Vote runs over these canonical
+// slices, so the result is a function of the claim *set* alone — the order
+// (and multiplicity) in which fusion happened to emit claims can never flip a
+// tie-break through summation-order rounding. Dedup and candidate grouping
+// use Value.Equal on the sorted sequence (not map keys), so NaN-valued claims
+// canonicalize like any other value.
+func groupClaims(claims []Claim) []groupedSlot {
+	sorted := append([]Claim(nil), claims...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		if cmp := compareValues(a.Value, b.Value); cmp != 0 {
+			return cmp < 0
+		}
+		return a.Source < b.Source
+	})
+	var out []groupedSlot
+	for i := range sorted {
+		c := sorted[i]
+		if i > 0 {
+			prev := sorted[i-1]
+			if prev.Slot == c.Slot && prev.Source == c.Source && prev.Value.Equal(c.Value) {
+				continue // duplicate observation
+			}
+		}
+		if len(out) == 0 || out[len(out)-1].slot != c.Slot {
+			out = append(out, groupedSlot{slot: c.Slot})
+		}
+		gs := &out[len(out)-1]
+		if len(gs.cands) == 0 || !gs.cands[len(gs.cands)-1].value.Equal(c.Value) {
+			gs.cands = append(gs.cands, groupedCand{value: c.Value})
+		}
+		cd := &gs.cands[len(gs.cands)-1]
+		cd.sources = append(cd.sources, c.Source)
+	}
+	return out
+}
+
+// beliefsToResult renders per-slot beliefs into the sorted Result form shared
+// by Estimate and Vote.
+func beliefsToResult(groups []groupedSlot, beliefs [][]float64, sources map[string]float64) Result {
+	out := Result{
+		Slots:          make(map[string][]ValueBelief, len(groups)),
+		SourceAccuracy: sources,
+	}
+	for gi, gs := range groups {
+		b := beliefs[gi]
+		vbs := make([]ValueBelief, len(gs.cands))
+		for i, cd := range gs.cands {
+			vbs[i] = ValueBelief{Value: cd.value, Belief: b[i], Sources: append([]string(nil), cd.sources...)}
+		}
+		sort.Slice(vbs, func(i, j int) bool {
+			if vbs[i].Belief != vbs[j].Belief {
+				return vbs[i].Belief > vbs[j].Belief
+			}
+			return compareValues(vbs[i].Value, vbs[j].Value) < 0
+		})
+		out.Slots[gs.slot] = vbs
+	}
+	return out
+}
+
 // Estimate runs iterative truth discovery over the claims. The algorithm:
 //
-//  1. Initialize every source's accuracy to the prior.
+//  1. Canonicalize the claims (groupClaims) and initialize every source's
+//     accuracy to the prior.
 //  2. E-step: for each slot, score every candidate value by the log-odds sum
 //     of its supporters (a source with accuracy a contributes ln(a/(1-a))),
 //     then normalize scores into beliefs with a softmax over candidates.
@@ -98,39 +200,29 @@ func (r Result) Best(slot string) (triple.Value, float64) {
 //  4. Repeat; the loop converges quickly in practice.
 //
 // Reliable sources therefore dominate conflicts even when outnumbered by
-// coordinated unreliable sources, which is the property fusion needs.
+// coordinated unreliable sources, which is the property fusion needs. The
+// result depends only on the set of distinct (slot, source, value) claims,
+// never on their order or multiplicity.
 func Estimate(claims []Claim, opts Options) Result {
 	opts = opts.withDefaults()
-	type cand struct {
-		value   triple.Value
-		sources []string
-	}
-	slots := make(map[string][]*cand)
+	groups := groupClaims(claims)
 	sources := make(map[string]float64)
-	for _, c := range claims {
-		sources[c.Source] = opts.PriorAccuracy
-		cs := slots[c.Slot]
-		var cur *cand
-		for _, cd := range cs {
-			if cd.value.Equal(c.Value) {
-				cur = cd
-				break
+	for _, gs := range groups {
+		for _, cd := range gs.cands {
+			for _, src := range cd.sources {
+				sources[src] = opts.PriorAccuracy
 			}
 		}
-		if cur == nil {
-			cur = &cand{value: c.Value}
-			slots[c.Slot] = append(slots[c.Slot], cur)
-		}
-		cur.sources = append(cur.sources, c.Source)
 	}
-	beliefs := make(map[string][]float64, len(slots))
+	beliefs := make([][]float64, len(groups))
 
 	for iter := 0; iter < opts.Iterations; iter++ {
-		// E-step: slot beliefs from source accuracies.
-		for slot, cs := range slots {
-			scores := make([]float64, len(cs))
-			for i, cd := range cs {
-				if opts.Violation != nil && opts.Violation(slot, cd.value) {
+		// E-step: slot beliefs from source accuracies, accumulated in
+		// canonical order.
+		for gi, gs := range groups {
+			scores := make([]float64, len(gs.cands))
+			for i, cd := range gs.cands {
+				if opts.Violation != nil && opts.Violation(gs.slot, cd.value) {
 					scores[i] = math.Inf(-1)
 					continue
 				}
@@ -141,14 +233,15 @@ func Estimate(claims []Claim, opts Options) Result {
 				}
 				scores[i] = s
 			}
-			beliefs[slot] = softmax(scores)
+			beliefs[gi] = softmax(scores)
 		}
-		// M-step: source accuracies from beliefs.
+		// M-step: source accuracies from beliefs; sums accumulate in slot
+		// order, so per-source rounding is reproducible.
 		sums := make(map[string]float64, len(sources))
 		counts := make(map[string]int, len(sources))
-		for slot, cs := range slots {
-			b := beliefs[slot]
-			for i, cd := range cs {
+		for gi, gs := range groups {
+			b := beliefs[gi]
+			for i, cd := range gs.cands {
 				for _, src := range cd.sources {
 					sums[src] += b[i]
 					counts[src]++
@@ -168,28 +261,7 @@ func Estimate(claims []Claim, opts Options) Result {
 			sources[src] = a
 		}
 	}
-
-	out := Result{
-		Slots:          make(map[string][]ValueBelief, len(slots)),
-		SourceAccuracy: sources,
-	}
-	for slot, cs := range slots {
-		b := beliefs[slot]
-		vbs := make([]ValueBelief, len(cs))
-		for i, cd := range cs {
-			srcs := append([]string(nil), cd.sources...)
-			sort.Strings(srcs)
-			vbs[i] = ValueBelief{Value: cd.value, Belief: b[i], Sources: srcs}
-		}
-		sort.Slice(vbs, func(i, j int) bool {
-			if vbs[i].Belief != vbs[j].Belief {
-				return vbs[i].Belief > vbs[j].Belief
-			}
-			return vbs[i].Value.Compare(vbs[j].Value) < 0
-		})
-		out.Slots[slot] = vbs
-	}
-	return out
+	return beliefsToResult(groups, beliefs, sources)
 }
 
 // softmax maps scores to a probability distribution; -Inf scores get exactly
@@ -220,50 +292,26 @@ func softmax(scores []float64) []float64 {
 }
 
 // Vote is the majority-vote baseline: each value's belief is the fraction of
-// its slot's claims supporting it, ignoring source reliability. It is the
-// ablation comparator for Estimate.
+// its slot's distinct claims supporting it, ignoring source reliability. It
+// is the ablation comparator for Estimate and shares its canonicalization, so
+// it too is invariant to claim order and duplication.
 func Vote(claims []Claim) Result {
-	type cand struct {
-		value   triple.Value
-		sources []string
-	}
-	slots := make(map[string][]*cand)
+	groups := groupClaims(claims)
 	sourceSet := make(map[string]float64)
-	for _, c := range claims {
-		sourceSet[c.Source] = 1
-		cs := slots[c.Slot]
-		var cur *cand
-		for _, cd := range cs {
-			if cd.value.Equal(c.Value) {
-				cur = cd
-				break
-			}
-		}
-		if cur == nil {
-			cur = &cand{value: c.Value}
-			slots[c.Slot] = append(slots[c.Slot], cur)
-		}
-		cur.sources = append(cur.sources, c.Source)
-	}
-	out := Result{Slots: make(map[string][]ValueBelief, len(slots)), SourceAccuracy: sourceSet}
-	for slot, cs := range slots {
+	beliefs := make([][]float64, len(groups))
+	for gi, gs := range groups {
 		total := 0
-		for _, cd := range cs {
+		for _, cd := range gs.cands {
 			total += len(cd.sources)
-		}
-		vbs := make([]ValueBelief, len(cs))
-		for i, cd := range cs {
-			srcs := append([]string(nil), cd.sources...)
-			sort.Strings(srcs)
-			vbs[i] = ValueBelief{Value: cd.value, Belief: float64(len(cd.sources)) / float64(total), Sources: srcs}
-		}
-		sort.Slice(vbs, func(i, j int) bool {
-			if vbs[i].Belief != vbs[j].Belief {
-				return vbs[i].Belief > vbs[j].Belief
+			for _, src := range cd.sources {
+				sourceSet[src] = 1
 			}
-			return vbs[i].Value.Compare(vbs[j].Value) < 0
-		})
-		out.Slots[slot] = vbs
+		}
+		b := make([]float64, len(gs.cands))
+		for i, cd := range gs.cands {
+			b[i] = float64(len(cd.sources)) / float64(total)
+		}
+		beliefs[gi] = b
 	}
-	return out
+	return beliefsToResult(groups, beliefs, sourceSet)
 }
