@@ -165,6 +165,33 @@ func BenchmarkConstructionPipeline(b *testing.B) {
 	b.Logf("\n%s", last)
 }
 
+// BenchmarkIndexedLinkingKGGrowth measures the incremental-blocking-index
+// claim as the KG grows: per-delta linking cost with the persistent block
+// index tracks |delta| while the full-scan path tracks the accumulated |KG|,
+// and both construct byte-identical graphs. The name carries "KGGrowth" so
+// the CI bench job records the speedup trajectory per commit.
+func BenchmarkIndexedLinkingKGGrowth(b *testing.B) {
+	var last experiments.IndexedLinkingResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.IndexedLinking(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Identical {
+			b.Fatal("indexed linking KG diverged from full scan")
+		}
+		if !res.DeltaScaled {
+			b.Fatalf("indexed candidate volume did not scale with |delta|: scan growth %.2fx vs indexed %.2fx",
+				res.ScanGrowth, res.IndexedGrowth)
+		}
+		last = res
+	}
+	b.ReportMetric(last.SpeedupAtLargest, "indexed-speedup-x")
+	b.ReportMetric(last.ScanGrowth, "scan-cmp-growth-x")
+	b.ReportMetric(last.IndexedGrowth, "indexed-cmp-growth-x")
+	b.Logf("\n%s", last)
+}
+
 // BenchmarkBlockingAblation measures the blocking design choice: candidate
 // comparisons and quality vs quadratic pair generation.
 func BenchmarkBlockingAblation(b *testing.B) {

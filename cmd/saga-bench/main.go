@@ -15,8 +15,8 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named experiment (fig8, reuse, fig12, fig14a, fig14b, latency, simrecall, embedding, construction, blocking, resolution, volatile, pruning)")
-	workers := flag.Int("workers", 0, "worker count for the construction/resolution ablations (0 = GOMAXPROCS)")
+	only := flag.String("only", "", "run only the named experiment (fig8, reuse, fig12, fig14a, fig14b, latency, simrecall, embedding, construction, indexedlinking, blocking, resolution, volatile, pruning)")
+	workers := flag.Int("workers", 0, "worker count for the construction/resolution/indexed-linking ablations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	runs := []struct {
@@ -32,6 +32,7 @@ func main() {
 		{"simrecall", func() (fmt.Stringer, error) { return experiments.LearnedSimilarityRecall(), nil }},
 		{"embedding", func() (fmt.Stringer, error) { return experiments.EmbeddingTraining() }},
 		{"construction", func() (fmt.Stringer, error) { return experiments.ConstructionPipeline(*workers) }},
+		{"indexedlinking", func() (fmt.Stringer, error) { return experiments.IndexedLinking(*workers) }},
 		{"blocking", func() (fmt.Stringer, error) { return experiments.BlockingAblation(), nil }},
 		{"resolution", func() (fmt.Stringer, error) { return experiments.ResolutionAblation(*workers), nil }},
 		{"volatile", func() (fmt.Stringer, error) { return experiments.VolatileOverwrite() }},

@@ -21,9 +21,10 @@ func main() {
 	overlap := flag.Int("overlap", 100, "universe overlap between consecutive sources")
 	oplogPath := flag.String("oplog", "", "durable operation log path (empty = memory)")
 	workers := flag.Int("workers", 0, "intra-delta construction workers (0 = GOMAXPROCS, 1 = sequential)")
+	fullScan := flag.Bool("fullscan", false, "link by scanning the full per-type KG view instead of probing the incremental block index")
 	flag.Parse()
 
-	p, err := core.New(core.Options{OplogPath: *oplogPath, Workers: *workers})
+	p, err := core.New(core.Options{OplogPath: *oplogPath, Workers: *workers, FullScanLinking: *fullScan})
 	if err != nil {
 		log.Fatalf("saga-construct: %v", err)
 	}
@@ -58,4 +59,8 @@ func main() {
 	st := p.Stats()
 	fmt.Printf("\nfinal KG: %d entities, %d facts, %d types, %d sources, %d links, log lsn %d, %d conflicts curated\n",
 		st.Graph.Entities, st.Graph.Facts, st.Graph.Types, st.Graph.Sources, st.Links, st.LogLSN, len(conflicts))
+	if !*fullScan {
+		fmt.Printf("block index: %d entities, %d keys across %d types; %d probes, %d refreshes\n",
+			st.BlockIndex.Entities, st.BlockIndex.Keys, st.BlockIndex.Types, st.BlockIndex.Probes, st.BlockIndex.Refreshes)
+	}
 }

@@ -138,7 +138,12 @@ type Pair struct {
 	A, B triple.EntityID
 }
 
-// MakePair canonicalizes a pair.
+// MakePair canonicalizes a pair: the lexicographically smaller ID always
+// lands in A, so MakePair(a, b) == MakePair(b, a) and a candidate set keyed
+// by Pair values can never hold both (A,B) and (B,A). Every pair producer —
+// GeneratePairs, AllPairs, and BlockIndex probes — emits through MakePair;
+// consumers (scoring dedup, Resolve's negative-edge lookup) rely on the
+// invariant. Asserted in blocking_test.go.
 func MakePair(a, b triple.EntityID) Pair {
 	if b < a {
 		a, b = b, a

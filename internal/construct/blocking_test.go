@@ -113,7 +113,38 @@ func TestGeneratePairsMaxBlockSize(t *testing.T) {
 }
 
 func TestMakePairCanonical(t *testing.T) {
-	if MakePair("b", "a") != MakePair("a", "b") {
+	p := MakePair("b", "a")
+	if p.A != "a" || p.B != "b" {
+		t.Fatalf("MakePair must put the smaller ID in A: got %s", p)
+	}
+	if p != MakePair("a", "b") {
 		t.Fatal("pair not canonical")
+	}
+	if got := MakePair("x", "x"); got.A != "x" || got.B != "x" {
+		t.Fatalf("degenerate pair mangled: %s", got)
+	}
+	if p.String() != "(a,b)" {
+		t.Fatalf("Pair.String = %s", p.String())
+	}
+}
+
+// TestGeneratePairsCanonicalOrder asserts every emitted pair is
+// MakePair-ordered with no reversed duplicates — the invariant that lets
+// index probes and full scans deduplicate against each other by value.
+func TestGeneratePairsCanonicalOrder(t *testing.T) {
+	var ents []*triple.Entity
+	for i := 0; i < 40; i++ {
+		ents = append(ents, namedEntity(fmt.Sprintf("s:%d", 40-i), fmt.Sprintf("artist number %d", i%5), "x"))
+	}
+	res := GeneratePairs(ents, DefaultBlocker(), GenerateParams{})
+	seen := make(map[Pair]bool)
+	for _, p := range res.Pairs {
+		if p.A > p.B {
+			t.Fatalf("non-canonical pair %s", p)
+		}
+		if seen[p] || seen[Pair{A: p.B, B: p.A}] {
+			t.Fatalf("duplicate or reversed pair %s", p)
+		}
+		seen[p] = true
 	}
 }

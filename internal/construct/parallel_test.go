@@ -180,10 +180,13 @@ func overlappingSpecs() []workload.SourceSpec {
 // sequentially must write a byte-identical KG whether intra-delta stages run
 // on one worker or many.
 func TestPipelineWorkerCountByteIdentical(t *testing.T) {
-	run := func(workers int) *construct.KG {
+	run := func(workers int, indexed bool) *construct.KG {
 		kg := construct.NewKG()
 		p := construct.NewPipeline(kg, ontology.Default())
 		p.Workers = workers
+		if indexed {
+			p.EnableBlockIndex()
+		}
 		for _, spec := range overlappingSpecs() {
 			if _, err := p.ConsumeDelta(spec.Delta()); err != nil {
 				t.Fatal(err)
@@ -204,10 +207,17 @@ func TestPipelineWorkerCountByteIdentical(t *testing.T) {
 		}
 		return kg
 	}
-	want := kgFingerprint(run(1))
-	for _, workers := range []int{2, 8} {
-		if got := kgFingerprint(run(workers)); got != want {
-			t.Fatalf("workers=%d: KG diverged from sequential run", workers)
+	// Every combination of worker count and linking mode (full KG-view scan
+	// vs incremental block index) must write the same bytes.
+	want := kgFingerprint(run(1, false))
+	for _, workers := range []int{1, 2, 8} {
+		for _, indexed := range []bool{false, true} {
+			if workers == 1 && !indexed {
+				continue // the reference run
+			}
+			if got := kgFingerprint(run(workers, indexed)); got != want {
+				t.Fatalf("workers=%d indexed=%v: KG diverged from sequential full-scan run", workers, indexed)
+			}
 		}
 	}
 }
@@ -286,10 +296,23 @@ func TestConsumeParallelEqualsSequential(t *testing.T) {
 }
 
 // TestConcurrentConsumeDeltaRace drives direct concurrent ConsumeDelta calls
-// (the cross-source path core.Platform uses) under the race detector.
+// (the cross-source path core.Platform uses) under the race detector, in
+// both linking modes: with the block index enabled, concurrent prepares
+// probe the index while commits refresh it.
 func TestConcurrentConsumeDeltaRace(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		t.Run(fmt.Sprintf("indexed=%v", indexed), func(t *testing.T) {
+			testConcurrentConsumeDelta(t, indexed)
+		})
+	}
+}
+
+func testConcurrentConsumeDelta(t *testing.T, indexed bool) {
 	kg := construct.NewKG()
 	p := construct.NewPipeline(kg, ontology.Default())
+	if indexed {
+		p.EnableBlockIndex()
+	}
 	deltas := independentDeltas(6)
 	var wg sync.WaitGroup
 	errs := make([]error, len(deltas))

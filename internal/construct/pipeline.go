@@ -35,6 +35,13 @@ type Pipeline struct {
 	// preparation): 0 means GOMAXPROCS, 1 forces the sequential reference
 	// path. The produced KG is identical for every value.
 	Workers int
+	// Index, when non-nil, switches linking to the incremental path: deltas
+	// probe the block-key → entity-ID index for KG-side candidates instead
+	// of scanning the full per-type KG view, and every commit refreshes the
+	// index for exactly the entities it touched or removed. Enable through
+	// EnableBlockIndex so the index is populated and wired to the linking
+	// blocker; the constructed KG is byte-identical with and without it.
+	Index *BlockIndex
 
 	fuseMu      sync.Mutex
 	conflictsMu sync.Mutex
@@ -53,6 +60,29 @@ func (p *Pipeline) workers() int {
 // with default linking and fusion parameters.
 func NewPipeline(kg *KG, ont *ontology.Ontology) *Pipeline {
 	return &Pipeline{KG: kg, Ont: ont, Fuser: &Fuser{Ont: ont}}
+}
+
+// EnableBlockIndex builds the persistent block index from the KG's current
+// state (the one full scan it ever performs) over the pipeline's linking
+// blocker and switches linking to the incremental path. Call after wiring
+// Link and before consuming deltas; every subsequent commit keeps the index
+// transactional with the KG.
+func (p *Pipeline) EnableBlockIndex() *BlockIndex {
+	ix := NewBlockIndex(p.Link.withDefaults().Blocker)
+	ix.Build(p.KG.Graph)
+	p.Index = ix
+	return ix
+}
+
+// RefreshBlockIndex re-indexes the given entities from the KG's current
+// state. The pipeline keeps the index current for its own commits; callers
+// that mutate the graph directly (curation hot fixes, manual repairs) must
+// report the entities they touched or deleted here. No-op when the index is
+// disabled.
+func (p *Pipeline) RefreshBlockIndex(ids ...triple.EntityID) {
+	if p.Index != nil {
+		p.Index.Refresh(p.KG.Graph, ids...)
+	}
 }
 
 // SourceStats summarizes one consumed delta.
@@ -135,16 +165,24 @@ func (p *Pipeline) prepareDelta(d ingest.Delta) (*preparedDelta, error) {
 
 	// Intra-delta parallelism: type groups resolve concurrently, and each
 	// group's pair scoring and component clustering fan out further on the
-	// same worker budget.
+	// same worker budget. With the block index enabled, each group probes
+	// the index for KG-side candidates (O(|delta|)); otherwise it scans the
+	// full per-type KG view. Both paths produce identical resolutions for
+	// every cluster containing source entities.
 	pd.addGroups, pd.addTypes = GroupByType(adds)
 	pd.resolutions = make([]typeResolution, len(pd.addTypes))
 	params := p.Link
 	if params.Workers == 0 {
 		params.Workers = p.workers()
 	}
+	index := p.Index
 	runIndexed(p.workers(), len(pd.addTypes), func(i int) {
 		typ := pd.addTypes[i]
-		pd.resolutions[i] = resolveTypeGroup(pd.addGroups[typ], p.KG.KGView(typ), typ, params)
+		if index != nil {
+			pd.resolutions[i] = resolveTypeGroupIndexed(pd.addGroups[typ], p.KG, index, typ, params)
+		} else {
+			pd.resolutions[i] = resolveTypeGroup(pd.addGroups[typ], p.KG.KGView(typ), typ, params)
+		}
 	})
 	return pd, nil
 }
@@ -311,6 +349,15 @@ func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
 		p.conflictsMu.Lock()
 		p.conflicts = append(p.conflicts, conflicts...)
 		p.conflictsMu.Unlock()
+	}
+	// Transactional index maintenance: still under the fusion lock, re-index
+	// exactly the entities this commit wrote and drop the ones it removed,
+	// invalidating each touched entity's stale keys. The next prepare —
+	// whether of the next delta in this batch or a later batch — probes an
+	// index that matches the graph it links against.
+	if p.Index != nil {
+		p.Index.Refresh(p.KG.Graph, stats.Touched...)
+		p.Index.Refresh(p.KG.Graph, stats.Removed...)
 	}
 	return stats, nil
 }

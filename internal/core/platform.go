@@ -39,6 +39,12 @@ type Options struct {
 	// GOMAXPROCS; 1 forces the sequential reference path. The constructed KG
 	// is identical for every value — workers only change wall-clock time.
 	Workers int
+	// FullScanLinking disables the incremental block index and links every
+	// delta by scanning the full per-type KG view, the pre-index reference
+	// path. The default (false) maintains a persistent block-key → entity-ID
+	// index alongside the KG so per-delta linking cost tracks the delta, not
+	// the accumulated graph. Both modes construct byte-identical KGs.
+	FullScanLinking bool
 }
 
 // Platform is the assembled knowledge platform.
@@ -99,6 +105,9 @@ func New(opts Options) (*Platform, error) {
 	p.Pipeline = construct.NewPipeline(p.KG, ont)
 	p.Pipeline.Link = opts.LinkParams
 	p.Pipeline.Workers = opts.Workers
+	if !opts.FullScanLinking {
+		p.Pipeline.EnableBlockIndex()
+	}
 	p.ViewManager = views.NewManager(p.ViewCatalog)
 	p.Engine.RegisterAgent(graphengine.EntityStoreAgent{Store: p.EntityStore})
 	p.Engine.RegisterAgent(graphengine.TextIndexAgent{Index: p.TextIndex})
@@ -261,6 +270,9 @@ func (p *Platform) ApplyCurationDecisions() (int, error) {
 		case live.DecisionBlockEntity:
 			p.KG.Graph.Delete(d.Entity)
 		}
+		// Curation writes bypass the construction pipeline, so report the
+		// touched entity to the block index ourselves.
+		p.Pipeline.RefreshBlockIndex(d.Entity)
 		// Publish the hot fix so every store converges.
 		if d.Kind == live.DecisionBlockEntity {
 			if _, err := p.Engine.PublishDelete(live.CurationSource, []triple.EntityID{d.Entity}); err != nil {
@@ -281,14 +293,21 @@ type Stats struct {
 	Links        int
 	LogLSN       uint64
 	LiveEntities int
+	// BlockIndex reports the incremental linking index (zero when the
+	// platform runs full-scan linking).
+	BlockIndex construct.BlockIndexStats
 }
 
 // Stats gathers platform statistics.
 func (p *Platform) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Graph:        p.KG.Graph.Stats(),
 		Links:        p.KG.LinkCount(),
 		LogLSN:       p.Engine.Log.LastLSN(),
 		LiveEntities: p.Live.Len(),
 	}
+	if p.Pipeline.Index != nil {
+		st.BlockIndex = p.Pipeline.Index.Stats()
+	}
+	return st
 }

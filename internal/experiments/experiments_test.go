@@ -197,6 +197,29 @@ func TestConstructionPipelineShape(t *testing.T) {
 	}
 }
 
+func TestIndexedLinkingShape(t *testing.T) {
+	res, err := IndexedLinking(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("indexed linking constructed a different KG than the full scan")
+	}
+	// The headline claim asserts on deterministic comparison counts, never
+	// timings: the full scan's per-delta candidate volume must grow with the
+	// KG strictly faster than the indexed path's.
+	if !res.DeltaScaled {
+		t.Fatalf("indexed candidate volume did not scale with |delta|: scan growth %.2fx vs indexed %.2fx (points %+v)",
+			res.ScanGrowth, res.IndexedGrowth, res.Points)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("expected 2 probe checkpoints, got %d", len(res.Points))
+	}
+	if res.Points[1].KGEntities <= res.Points[0].KGEntities {
+		t.Fatal("KG did not grow between checkpoints")
+	}
+}
+
 func TestBlockingAblationShape(t *testing.T) {
 	res := BlockingAblation()
 	if res.ReductionX < 3 {

@@ -1,0 +1,77 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so CI can archive each commit's benchmark metrics as a
+// machine-readable artifact (BENCH_ci.json) and the performance trajectory
+// of the construction and serving paths is recorded per commit.
+//
+// Each benchmark result line
+//
+//	BenchmarkFoo-8   1   123456 ns/op   4.50 speedup-x
+//
+// becomes {"name": "Foo", "iterations": 1, "metrics": {"ns/op": 123456,
+// "speedup-x": 4.5}}. Non-benchmark lines (logs, PASS/ok) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed metrics.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the document CI uploads.
+type Report struct {
+	Commit  string   `json:"commit,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	report := Report{Commit: os.Getenv("GITHUB_SHA"), Results: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue // e.g. "BenchmarkFoo ... --- FAIL" status lines
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		res := Result{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		report.Results = append(report.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
