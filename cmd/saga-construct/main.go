@@ -22,9 +22,10 @@ func main() {
 	oplogPath := flag.String("oplog", "", "durable operation log path (empty = memory)")
 	workers := flag.Int("workers", 0, "intra-delta construction workers (0 = GOMAXPROCS, 1 = sequential)")
 	fullScan := flag.Bool("fullscan", false, "link by scanning the full per-type KG view instead of probing the incremental block index")
+	perEntity := flag.Bool("perentity", false, "fuse payload entities one graph round-trip at a time instead of batching per target KG entity")
 	flag.Parse()
 
-	p, err := core.New(core.Options{OplogPath: *oplogPath, Workers: *workers, FullScanLinking: *fullScan})
+	p, err := core.New(core.Options{OplogPath: *oplogPath, Workers: *workers, FullScanLinking: *fullScan, PerEntityFusion: *perEntity})
 	if err != nil {
 		log.Fatalf("saga-construct: %v", err)
 	}
@@ -63,4 +64,7 @@ func main() {
 		fmt.Printf("block index: %d entities, %d keys across %d types; %d probes, %d refreshes\n",
 			st.BlockIndex.Entities, st.BlockIndex.Keys, st.BlockIndex.Types, st.BlockIndex.Probes, st.BlockIndex.Refreshes)
 	}
+	fmt.Printf("fusion: %d commits fused %d payloads into %d targets (%.1f payloads/target, perentity=%v)\n",
+		st.Fusion.Commits, st.Fusion.Payloads, st.Fusion.Targets,
+		float64(st.Fusion.Payloads)/float64(max(st.Fusion.Targets, 1)), *perEntity)
 }

@@ -49,8 +49,65 @@ func (f *Fuser) FuseEntity(g *triple.Graph, incoming *triple.Entity) []Conflict 
 	return conflicts
 }
 
+// FuseOp is one step of a batched fusion against a single target KG entity.
+type FuseOp struct {
+	// StripSource, when non-empty, drops that source's stable facts from the
+	// target before Incoming merges — the update path's replace semantics
+	// (the volatile partition is never touched; that is the overwrite
+	// path's job).
+	StripSource string
+	// Incoming is the linked, object-resolved payload to merge. Nil ops only
+	// strip.
+	Incoming *triple.Entity
+}
+
+// FuseBatch applies a commit's fusion ops for one target KG entity under a
+// single graph round-trip: the target is cloned once, every payload merges in
+// op order, and functional-conflict resolution plus dedup run once over the
+// combined result. Compared with one FuseEntity call per payload this
+// amortizes the Graph.Update clone, the conflict scan, and the
+// truth-discovery estimate (truth.Estimate sees every claim of the commit for
+// a contested slot at once, instead of path-dependent pairwise eliminations)
+// across all of the target's payloads. For a single op the result is
+// identical to FuseEntity; for several ops it is identical unless the commit
+// stacks distinct conflicting values onto a functional slot the target
+// already contests (then the per-entity path's answer depends on fusion
+// order — intermediate resolutions drop claims before later payloads arrive,
+// and the EM estimate couples contested slots — while the batched result is
+// the order-independent estimate over the full claim set).
+func (f *Fuser) FuseBatch(g *triple.Graph, id triple.EntityID, ops []FuseOp) []Conflict {
+	if len(ops) == 0 {
+		return nil
+	}
+	var conflicts []Conflict
+	g.Update(id, func(cur *triple.Entity) {
+		for _, op := range ops {
+			if op.StripSource != "" {
+				stripSourceStable(cur, op.StripSource, f.Ont)
+			}
+			if op.Incoming != nil {
+				f.mergeInto(cur, op.Incoming)
+			}
+		}
+		conflicts = f.resolveFunctionalConflicts(cur)
+		cur.Dedup()
+	})
+	return conflicts
+}
+
 // fuseInto merges incoming into cur in place.
 func (f *Fuser) fuseInto(cur, incoming *triple.Entity) []Conflict {
+	f.mergeInto(cur, incoming)
+	conflicts := f.resolveFunctionalConflicts(cur)
+	cur.Dedup()
+	return conflicts
+}
+
+// mergeInto is the join phase of fusion: incoming's simple facts outer-join
+// into cur by key and its relationship nodes merge by similarity, with no
+// conflict resolution or dedup — FuseBatch runs those once per target after
+// every payload merged.
+func (f *Fuser) mergeInto(cur, incoming *triple.Entity) {
 	threshold := f.RelSimThreshold
 	if threshold == 0 {
 		threshold = 0.5
@@ -111,9 +168,6 @@ func (f *Fuser) fuseInto(cur, incoming *triple.Entity) []Conflict {
 		byKey[t.Key()] = len(cur.Triples)
 		cur.Triples = append(cur.Triples, t)
 	}
-	conflicts := f.resolveFunctionalConflicts(cur)
-	cur.Dedup()
-	return conflicts
 }
 
 // resolveFunctionalConflicts runs truth discovery over functional-predicate
@@ -211,6 +265,25 @@ func relNodeSimilarity(in, ex triple.RelNode) float64 {
 		}
 	}
 	return float64(match) / float64(len(in.Facts))
+}
+
+// stripSourceStable drops the source's non-volatile facts from the entity in
+// place, keeping its volatile partition intact. It is the in-place core of
+// the update path's replace-then-refuse semantics, shared by FuseBatch and
+// removeSourceStable.
+func stripSourceStable(e *triple.Entity, source string, ont *ontology.Ontology) {
+	kept := e.Triples[:0]
+	for _, t := range e.Triples {
+		if !ont.IsVolatile(t.Predicate) && t.HasSource(source) {
+			out, remains := t.DropSource(source)
+			if !remains {
+				continue
+			}
+			t = out
+		}
+		kept = append(kept, t)
+	}
+	e.Triples = kept
 }
 
 // RemoveSource drops all facts attributed to the given source from the

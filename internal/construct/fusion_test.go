@@ -154,3 +154,129 @@ func TestApplyVolatileOverwrite(t *testing.T) {
 		t.Fatal("stable fact touched by volatile overwrite")
 	}
 }
+
+// fusePayload builds a linked payload entity for the batch-fusion tests.
+func fusePayload(id triple.EntityID, source string, facts map[string]triple.Value) *triple.Entity {
+	e := triple.NewEntity(id)
+	for p, v := range facts {
+		e.Add(triple.New(id, p, v).WithSource(source, 0.85))
+	}
+	return e
+}
+
+// TestFuseBatchSingleOpMatchesFuseEntity: for one payload, FuseBatch and
+// FuseEntity must write identical entities and report identical conflicts.
+func TestFuseBatchSingleOpMatchesFuseEntity(t *testing.T) {
+	ont := ontology.Default()
+	build := func() *triple.Graph {
+		g := triple.NewGraph()
+		base := triple.NewEntity("kg:E1")
+		base.Add(triple.New("kg:E1", triple.PredType, triple.String("song")).WithSource("a", 0.9))
+		base.Add(triple.New("kg:E1", "release_year", triple.Int(1999)).WithSource("a", 0.9))
+		base.Add(triple.New("kg:E1", "genre", triple.String("pop")).WithSource("a", 0.9))
+		g.Put(base)
+		return g
+	}
+	payload := func() *triple.Entity {
+		return fusePayload("kg:E1", "c", map[string]triple.Value{
+			"release_year": triple.Int(2001),
+			"genre":        triple.String("soul"),
+			"duration_sec": triple.Int(214),
+		})
+	}
+	f := &Fuser{Ont: ont}
+	gEnt, gBatch := build(), build()
+	cEnt := f.FuseEntity(gEnt, payload())
+	cBatch := f.FuseBatch(gBatch, "kg:E1", []FuseOp{{Incoming: payload()}})
+	if len(cEnt) != len(cBatch) {
+		t.Fatalf("conflicts diverged: %v vs %v", cEnt, cBatch)
+	}
+	a, b := gEnt.Get("kg:E1"), gBatch.Get("kg:E1")
+	if len(a.Triples) != len(b.Triples) {
+		t.Fatalf("triple counts diverged: %d vs %d", len(a.Triples), len(b.Triples))
+	}
+	for i := range a.Triples {
+		if triple.CompareTriples(a.Triples[i], b.Triples[i]) != 0 {
+			t.Fatalf("triple %d diverged:\n%v\n%v", i, a.Triples[i], b.Triples[i])
+		}
+	}
+}
+
+// TestFuseBatchMatchesSequentialFuses: merging several conflict-free payloads
+// through one FuseBatch must equal fusing them one FuseEntity at a time.
+func TestFuseBatchMatchesSequentialFuses(t *testing.T) {
+	ont := ontology.Default()
+	payloads := func() []*triple.Entity {
+		return []*triple.Entity{
+			fusePayload("kg:E1", "s", map[string]triple.Value{
+				triple.PredType: triple.String("human"),
+				triple.PredName: triple.String("Nina Simone"),
+				"occupation":    triple.String("singer"),
+			}),
+			fusePayload("kg:E1", "s", map[string]triple.Value{
+				triple.PredName: triple.String("Nina Simone"),
+				"occupation":    triple.String("pianist"),
+			}),
+			fusePayload("kg:E1", "s", map[string]triple.Value{
+				triple.PredAlias: triple.String("High Priestess of Soul"),
+				"occupation":     triple.String("activist"),
+			}),
+		}
+	}
+	f := &Fuser{Ont: ont}
+	gSeq, gBatch := triple.NewGraph(), triple.NewGraph()
+	for _, p := range payloads() {
+		if c := f.FuseEntity(gSeq, p); len(c) != 0 {
+			t.Fatalf("workload should be conflict-free, got %v", c)
+		}
+	}
+	var ops []FuseOp
+	for _, p := range payloads() {
+		ops = append(ops, FuseOp{Incoming: p})
+	}
+	if c := f.FuseBatch(gBatch, "kg:E1", ops); len(c) != 0 {
+		t.Fatalf("workload should be conflict-free, got %v", c)
+	}
+	a, b := gSeq.Get("kg:E1"), gBatch.Get("kg:E1")
+	if len(a.Triples) != len(b.Triples) {
+		t.Fatalf("triple counts diverged: %d vs %d", len(a.Triples), len(b.Triples))
+	}
+	for i := range a.Triples {
+		if triple.CompareTriples(a.Triples[i], b.Triples[i]) != 0 {
+			t.Fatalf("triple %d diverged:\n%v\n%v", i, a.Triples[i], b.Triples[i])
+		}
+	}
+	if n := len(b.Get("occupation")); n != 3 {
+		t.Fatalf("occupations = %d, want 3", n)
+	}
+}
+
+// TestFuseBatchStripSource: an update op strips the source's stable facts
+// before its payload merges — exactly removeSourceStable + FuseEntity — and
+// truth discovery sees the whole batch's claims for a contested slot at once.
+func TestFuseBatchStripSource(t *testing.T) {
+	ont := ontology.Default()
+	g := triple.NewGraph()
+	base := triple.NewEntity("kg:E1")
+	base.Add(triple.New("kg:E1", triple.PredType, triple.String("song")).WithSource("keep", 0.9))
+	base.Add(triple.New("kg:E1", "genre", triple.String("stale")).WithSource("upd", 0.9))
+	base.Add(triple.New("kg:E1", "play_count", triple.Int(7)).WithSource("upd", 0.9)) // volatile: must survive
+	g.Put(base)
+
+	f := &Fuser{Ont: ont}
+	in := fusePayload("kg:E1", "upd", map[string]triple.Value{"genre": triple.String("fresh")})
+	if c := f.FuseBatch(g, "kg:E1", []FuseOp{{StripSource: "upd", Incoming: in}}); len(c) != 0 {
+		t.Fatalf("conflicts = %v", c)
+	}
+	got := g.Get("kg:E1")
+	genres := got.Get("genre")
+	if len(genres) != 1 || genres[0].Str() != "fresh" {
+		t.Fatalf("genres after strip+merge = %v", genres)
+	}
+	if got.First("play_count").Int64() != 7 {
+		t.Fatal("volatile partition must survive a stable strip")
+	}
+	if got.First(triple.PredType).Str() != "song" {
+		t.Fatal("other sources' facts must survive the strip")
+	}
+}

@@ -65,15 +65,70 @@ type typeResolution struct {
 	blocking   BlockingResult
 }
 
-// resolveTypeGroup runs blocking, matching, and clustering for one type group
-// on params.Workers workers, scanning the full KG view for candidates. It is
-// read-only with respect to the KG. resolveTypeGroupIndexed is the
-// incremental counterpart; both produce identical assignments.
-func resolveTypeGroup(src []*triple.Entity, kgView []*triple.Entity, entityType string, params LinkParams) typeResolution {
+// typeLinkPlan is the KG-read ("gather") half of linking one type group: the
+// payload together with every KG-side candidate it needs, materialized from
+// the KG state at gather time. solve — blocking on the scan path, pair
+// scoring, clustering — is pure compute over the plan and never touches the
+// KG again, which is what lets the pipelined Consume overlap a later delta's
+// linking with an earlier delta's commit without the later delta observing
+// mid-batch graph state.
+type typeLinkPlan struct {
+	entityType string
+	src        []*triple.Entity
+	// Scan path: the full per-type KG view (deep copies), blocked in solve.
+	kgView []*triple.Entity
+	// Indexed path: the block-index probe plus the loaded KG-side candidates.
+	indexed bool
+	probe   ProbeResult
+	kgEnts  []*triple.Entity
+}
+
+// gatherTypeGroup captures the scan path's KG reads: the materialized
+// per-type KG view.
+func gatherTypeGroup(src []*triple.Entity, kgView []*triple.Entity, entityType string) typeLinkPlan {
+	return typeLinkPlan{entityType: entityType, src: src, kgView: kgView}
+}
+
+// gatherTypeGroupIndexed captures the indexed path's KG reads: instead of
+// materializing the full per-type KG view, blocking keys are computed for the
+// payload only and the BlockIndex supplies the KG-side members of exactly the
+// touched blocks; only KG entities that participate in a candidate pair are
+// loaded from the graph. Cost is O(|src| + touched-block occupancy) instead
+// of O(|KG view|).
+func gatherTypeGroupIndexed(src []*triple.Entity, kg *KG, index *BlockIndex, entityType string, params LinkParams) typeLinkPlan {
+	pl := typeLinkPlan{entityType: entityType, src: src, indexed: true}
+	pl.probe = index.GeneratePairs(src, entityType, GenerateParams{MaxBlockSize: params.MaxBlockSize})
+	seen := make(map[triple.EntityID]bool, len(src))
+	for _, e := range src {
+		seen[e.ID] = true
+	}
+	for _, id := range pl.probe.KGSide {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		// A posting can be momentarily stale (entity deleted after the last
+		// refresh); skipping it matches the full scan never having seen the
+		// entity.
+		if e := kg.Graph.Get(id); e != nil {
+			pl.kgEnts = append(pl.kgEnts, e)
+		}
+	}
+	return pl
+}
+
+// solve runs the pure-compute half of linking a type group — blocking (scan
+// path), pair scoring, and clustering on params.Workers workers — over the
+// plan's materialized candidates. It never reads the KG.
+func (pl typeLinkPlan) solve(params LinkParams) typeResolution {
 	params = params.withDefaults()
-	combined := make([]*triple.Entity, 0, len(src)+len(kgView))
-	combined = append(combined, src...)
-	combined = append(combined, kgView...)
+	candidates := pl.kgView
+	if pl.indexed {
+		candidates = pl.kgEnts
+	}
+	combined := make([]*triple.Entity, 0, len(pl.src)+len(candidates))
+	combined = append(combined, pl.src...)
+	combined = append(combined, candidates...)
 	byID := make(map[triple.EntityID]*triple.Entity, len(combined))
 	nodes := make([]triple.EntityID, 0, len(combined))
 	for _, e := range combined {
@@ -83,19 +138,29 @@ func resolveTypeGroup(src []*triple.Entity, kgView []*triple.Entity, entityType 
 		byID[e.ID] = e
 		nodes = append(nodes, e.ID)
 	}
-	blocking := GeneratePairs(combined, params.Blocker, GenerateParams{MaxBlockSize: params.MaxBlockSize})
-	matcher := params.Matchers.For(entityType)
+	// The indexed gather already blocked against the index; the scan path
+	// blocks its materialized view here.
+	blocking := pl.probe.Blocking
+	if !pl.indexed {
+		blocking = GeneratePairs(combined, params.Blocker, GenerateParams{MaxBlockSize: params.MaxBlockSize})
+	}
+	matcher := params.Matchers.For(pl.entityType)
 	scored := ScorePairsParallel(blocking.Pairs, byID, matcher, params.Workers)
 	clusters := ResolveParallel(nodes, scored, params.Cluster, params.Workers)
-	return typeResolution{entityType: entityType, src: src, byID: byID, clusters: clusters, blocking: blocking}
+	return typeResolution{entityType: pl.entityType, src: pl.src, byID: byID, clusters: clusters, blocking: blocking}
+}
+
+// resolveTypeGroup runs blocking, matching, and clustering for one type group
+// on params.Workers workers, scanning the full KG view for candidates. It is
+// read-only with respect to the KG. resolveTypeGroupIndexed is the
+// incremental counterpart; both produce identical assignments.
+func resolveTypeGroup(src []*triple.Entity, kgView []*triple.Entity, entityType string, params LinkParams) typeResolution {
+	return gatherTypeGroup(src, kgView, entityType).solve(params)
 }
 
 // resolveTypeGroupIndexed is the incremental counterpart of resolveTypeGroup:
-// instead of materializing and blocking the full per-type KG view, blocking
-// keys are computed for the payload only and the BlockIndex supplies the
-// KG-side members of exactly the touched blocks; only KG entities that
-// participate in a candidate pair are loaded from the graph. Cost is
-// O(|src| + touched-block occupancy) instead of O(|KG view|).
+// gather probes the block index and loads only candidate KG entities, solve
+// scores and clusters them.
 //
 // The resolution output is identical to resolveTypeGroup's restricted to
 // clusters containing source entities — the only clusters assign consumes:
@@ -105,33 +170,7 @@ func resolveTypeGroup(src []*triple.Entity, kgView []*triple.Entity, entityType 
 // pairs never influence Resolve. Assignments, minted identifiers, and
 // same_as facts are therefore byte-identical between the two paths.
 func resolveTypeGroupIndexed(src []*triple.Entity, kg *KG, index *BlockIndex, entityType string, params LinkParams) typeResolution {
-	params = params.withDefaults()
-	byID := make(map[triple.EntityID]*triple.Entity, len(src))
-	nodes := make([]triple.EntityID, 0, len(src))
-	for _, e := range src {
-		if _, dup := byID[e.ID]; dup {
-			continue
-		}
-		byID[e.ID] = e
-		nodes = append(nodes, e.ID)
-	}
-	probe := index.GeneratePairs(src, entityType, GenerateParams{MaxBlockSize: params.MaxBlockSize})
-	for _, id := range probe.KGSide {
-		if _, dup := byID[id]; dup {
-			continue
-		}
-		// A posting can be momentarily stale (entity deleted after the last
-		// refresh); ScorePairs drops pairs whose entities are unknown, which
-		// matches the full scan never having seen the entity.
-		if e := kg.Graph.Get(id); e != nil {
-			byID[id] = e
-			nodes = append(nodes, id)
-		}
-	}
-	matcher := params.Matchers.For(entityType)
-	scored := ScorePairsParallel(probe.Blocking.Pairs, byID, matcher, params.Workers)
-	clusters := ResolveParallel(nodes, scored, params.Cluster, params.Workers)
-	return typeResolution{entityType: entityType, src: src, byID: byID, clusters: clusters, blocking: probe.Blocking}
+	return gatherTypeGroupIndexed(src, kg, index, entityType, params.withDefaults()).solve(params)
 }
 
 // assign is the sequential half of linking: clusters are walked in their

@@ -2,6 +2,7 @@ package construct
 
 import (
 	"strings"
+	"sync"
 
 	"saga/internal/ontology"
 	"saga/internal/strsim"
@@ -18,13 +19,26 @@ type ObjectResolver interface {
 	Resolve(mention, typeHint string) (triple.EntityID, float64, bool)
 }
 
-// AliasResolver resolves mentions by normalized alias lookup over a KG
-// snapshot, preferring candidates whose type matches the hint and breaking
-// remaining ties by entity popularity (alias count) then ID order. It has no
-// notion of context, which is exactly the weakness NERD addresses.
+// AliasResolver resolves mentions by normalized alias lookup over the KG,
+// preferring candidates whose type matches the hint and breaking remaining
+// ties by entity popularity (alias count) then ID order. It has no notion of
+// context, which is exactly the weakness NERD addresses.
+//
+// The index is incremental: built once (from a graph or snapshot), it is kept
+// current via Refresh with the entities each commit touched or removed —
+// resolution results only ever depend on the set of indexed entities, never
+// on insertion order, so an incrementally maintained resolver answers exactly
+// like one rebuilt from scratch. Resolve may run concurrently with Refresh;
+// an internal lock synchronizes them.
 type AliasResolver struct {
-	ont     *ontology.Ontology
+	ont *ontology.Ontology
+
+	mu      sync.RWMutex
 	byAlias map[string][]aliasEntry
+	// keysByID remembers the normalized keys (with multiplicity) each entity
+	// is posted under, so Refresh can invalidate stale postings without
+	// rescanning the graph.
+	keysByID map[triple.EntityID][]string
 }
 
 type aliasEntry struct {
@@ -35,23 +49,83 @@ type aliasEntry struct {
 
 // NewAliasResolver indexes the graph's aliases.
 func NewAliasResolver(g *triple.Graph, ont *ontology.Ontology) *AliasResolver {
-	r := &AliasResolver{ont: ont, byAlias: make(map[string][]aliasEntry)}
+	r := &AliasResolver{
+		ont:      ont,
+		byAlias:  make(map[string][]aliasEntry),
+		keysByID: make(map[triple.EntityID][]string),
+	}
 	g.Range(func(e *triple.Entity) bool {
-		entry := aliasEntry{id: e.ID, types: e.Types(), aliases: len(e.Aliases())}
-		for _, alias := range e.Aliases() {
-			key := strsim.Normalize(alias)
-			if key != "" {
-				r.byAlias[key] = append(r.byAlias[key], entry)
-			}
-		}
+		r.insertLocked(e)
 		return true
 	})
 	return r
 }
 
+// insertLocked posts the entity under every normalized alias occurrence.
+func (r *AliasResolver) insertLocked(e *triple.Entity) {
+	entry := aliasEntry{id: e.ID, types: e.Types(), aliases: len(e.Aliases())}
+	var keys []string
+	for _, alias := range e.Aliases() {
+		key := strsim.Normalize(alias)
+		if key != "" {
+			r.byAlias[key] = append(r.byAlias[key], entry)
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) > 0 {
+		r.keysByID[e.ID] = keys
+	}
+}
+
+// removeLocked invalidates every posting the entity holds, one occurrence per
+// indexed key occurrence.
+func (r *AliasResolver) removeLocked(id triple.EntityID) {
+	keys, ok := r.keysByID[id]
+	if !ok {
+		return
+	}
+	delete(r.keysByID, id)
+	for _, key := range keys {
+		entries := r.byAlias[key]
+		for i := range entries {
+			if entries[i].id == id {
+				entries = append(entries[:i], entries[i+1:]...)
+				break
+			}
+		}
+		if len(entries) == 0 {
+			delete(r.byAlias, key)
+		} else {
+			r.byAlias[key] = entries
+		}
+	}
+}
+
+// Refresh re-indexes the given entities from the graph's current state:
+// stale postings are invalidated, then each entity's fresh aliases are
+// re-inserted; entities absent from the graph are dropped entirely. The
+// construction pipeline calls this with each commit's touched and removed
+// entity sets, which keeps a cached resolver equivalent to one rebuilt from a
+// fresh snapshot.
+func (r *AliasResolver) Refresh(g *triple.Graph, ids ...triple.EntityID) {
+	if r == nil || len(ids) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		r.removeLocked(id)
+		if e := g.Get(id); e != nil {
+			r.insertLocked(e)
+		}
+	}
+}
+
 // Resolve implements ObjectResolver.
 func (r *AliasResolver) Resolve(mention, typeHint string) (triple.EntityID, float64, bool) {
 	key := strsim.Normalize(mention)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	entries := r.byAlias[key]
 	if len(entries) == 0 {
 		return "", 0, false

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"saga/internal/construct"
@@ -331,5 +332,142 @@ func testConcurrentConsumeDelta(t *testing.T, indexed bool) {
 	}
 	if kg.Graph.Len() == 0 {
 		t.Fatal("no entities constructed")
+	}
+}
+
+// richDeltas extends independentDeltas with per-source update and delete
+// deltas (same batch), so the three consume paths are exercised across every
+// payload kind, not just adds.
+func richDeltas(n int) []ingest.Delta {
+	deltas := independentDeltas(n)
+	for s := 0; s < n; s++ {
+		src := deltas[s].Source
+		upd := triple.NewEntity(triple.EntityID(fmt.Sprintf("%s:e%d", src, s%40)))
+		upd.Add(triple.New("", triple.PredType, triple.String(fmt.Sprintf("kind%02d", s))).WithSource(src, 0.9))
+		upd.Add(triple.New("", triple.PredName, triple.String(fmt.Sprintf("%s item %d renamed", src, s))).WithSource(src, 0.9))
+		deltas = append(deltas, ingest.Delta{
+			Source:  src,
+			Updated: []*triple.Entity{upd},
+			Deleted: []triple.EntityID{triple.EntityID(fmt.Sprintf("%s:e%d", src, (s+1)%40))},
+		})
+	}
+	return deltas
+}
+
+// TestConsumePipelinedBarrierSequentialByteIdentical: the pipelined Consume,
+// the barrier ConsumeBarrier, and ConsumeSequential must produce
+// byte-identical KGs and identical SourceStats over independent deltas, for
+// every worker count and in both linking modes. This is the property the
+// commit-pipeline invariants promise: overlapping prepare and fuse across
+// deltas never changes a single byte of output.
+func TestConsumePipelinedBarrierSequentialByteIdentical(t *testing.T) {
+	type consumeFn func(p *construct.Pipeline, deltas []ingest.Delta) ([]construct.SourceStats, error)
+	modes := []struct {
+		name    string
+		consume consumeFn
+	}{
+		{"pipelined", func(p *construct.Pipeline, d []ingest.Delta) ([]construct.SourceStats, error) { return p.Consume(d) }},
+		{"barrier", func(p *construct.Pipeline, d []ingest.Delta) ([]construct.SourceStats, error) {
+			return p.ConsumeBarrier(d)
+		}},
+		{"sequential", func(p *construct.Pipeline, d []ingest.Delta) ([]construct.SourceStats, error) {
+			return p.ConsumeSequential(d)
+		}},
+	}
+	run := func(consume consumeFn, workers int, indexed bool) (string, []construct.SourceStats) {
+		kg := construct.NewKG()
+		p := construct.NewPipeline(kg, ontology.Default())
+		p.Workers = workers
+		if indexed {
+			p.EnableBlockIndex()
+		}
+		// Consume the adds first, then the update/delete tail in a second
+		// batch: within one batch the deltas must be independent for the
+		// sequential path to agree (the batch contract).
+		deltas := richDeltas(6)
+		stats, err := consume(p, deltas[:6])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail, err := consume(p, deltas[6:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kgFingerprint(kg), append(stats, tail...)
+	}
+	wantKG, wantStats := run(modes[2].consume, 1, false)
+	for _, mode := range modes {
+		for _, workers := range []int{1, 2, 8} {
+			for _, indexed := range []bool{false, true} {
+				if mode.name == "sequential" && workers == 1 && !indexed {
+					continue // the reference run
+				}
+				gotKG, gotStats := run(mode.consume, workers, indexed)
+				if gotKG != wantKG {
+					t.Fatalf("%s workers=%d indexed=%v: KG diverged from sequential reference", mode.name, workers, indexed)
+				}
+				if !reflect.DeepEqual(gotStats, wantStats) {
+					t.Fatalf("%s workers=%d indexed=%v: stats diverged:\ngot:  %+v\nwant: %+v", mode.name, workers, indexed, gotStats, wantStats)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedConsumeConcurrentReaders drives a pipelined Consume while
+// other goroutines concurrently drain conflicts and read pipeline, index,
+// and graph statistics — the monitoring traffic a live platform generates —
+// under the race detector.
+func TestPipelinedConsumeConcurrentReaders(t *testing.T) {
+	kg := construct.NewKG()
+	p := construct.NewPipeline(kg, ontology.Default())
+	p.Workers = 4 // force the pipelined schedule even on single-CPU hosts
+	p.EnableBlockIndex()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var drained int64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				atomic.AddInt64(&drained, int64(len(p.DrainConflicts())))
+				_ = p.FusionStats()
+				_ = p.Index.Stats()
+				_ = kg.LinkCount()
+				_ = kg.Graph.Stats()
+			}
+		}()
+	}
+	var consumed int
+	for round := 0; round < 3; round++ {
+		stats, err := p.Consume(independentDeltas(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range stats {
+			consumed += s.LinkedAdds
+		}
+	}
+	close(done)
+	wg.Wait()
+	if consumed == 0 {
+		t.Fatal("nothing consumed")
+	}
+	// Conflicts may land in the drain goroutines or remain in the pipeline;
+	// none may be lost or double-counted.
+	total := atomic.AddInt64(&drained, int64(len(p.DrainConflicts())))
+	fs := p.FusionStats()
+	if fs.Commits != 18 {
+		t.Fatalf("commits = %d, want 18", fs.Commits)
+	}
+	if fs.Payloads < fs.Targets {
+		t.Fatalf("fusion counters implausible: %+v (drained %d conflicts)", fs, total)
 	}
 }

@@ -12,13 +12,31 @@ import (
 
 // Pipeline is the continuously running, delta-based knowledge construction
 // framework (§2.4, Figure 5). It always operates on source diffs: a brand-new
-// source arrives as a full Added payload. Source pipelines run in parallel;
-// within a source, type groups, candidate-pair scoring, and the independent
-// components of the candidate graph are processed on a bounded worker pool;
-// and the only cross-source synchronization point is the commit phase
-// (identifier minting, object resolution, fusion), which consumes source
-// payloads one at a time in a canonical order — so a parallel run writes a
-// KG byte-identical to a sequential one.
+// source arrives as a full Added payload.
+//
+// Commit-pipeline invariants (what may overlap, what serializes):
+//
+//   - Validation of every delta in a Consume batch completes before the first
+//     commit, so a batch containing a bad delta leaves the KG untouched.
+//   - The snapshot phase — every KG read a delta's linking needs (link-index
+//     lookups, block-index probes or KG-view materialization, candidate
+//     loading) — runs for the whole batch against the KG state at batch
+//     start, before any commit. Deltas of one batch therefore never link
+//     against each other's output; with the block index enabled this phase is
+//     O(|delta|) per delta, which is what makes pipelining cheap.
+//   - The compute phase (blocking on the scan path, pair scoring, component
+//     clustering) is pure and runs concurrently on the worker pool — across
+//     deltas and, within a delta, across type groups and candidate-graph
+//     components. It may overlap any commit.
+//   - Commits serialize under the fusion lock in input order: commit i starts
+//     as soon as compute i and commit i−1 are both done (pipelined Consume),
+//     so delta i's fusion overlaps delta j's compute for j > i. Every graph
+//     write — minting, object resolution, stub creation, fusion, index and
+//     resolver-cache maintenance — happens inside a commit, in an order fixed
+//     by the input alone.
+//
+// A parallel, pipelined run therefore writes a KG byte-identical to a
+// sequential one.
 type Pipeline struct {
 	// KG is the graph under construction.
 	KG *KG
@@ -28,8 +46,9 @@ type Pipeline struct {
 	Link LinkParams
 	// Fuser merges payloads; nil gets a default wired to Ont.
 	Fuser *Fuser
-	// Resolver performs object resolution. Nil builds an AliasResolver over
-	// the current graph per consumed delta.
+	// Resolver performs object resolution. Nil maintains an incremental
+	// AliasResolver over the KG: built once from the graph, then invalidated
+	// from each commit's touched/removed entity sets.
 	Resolver ObjectResolver
 	// Workers bounds intra-delta parallelism (and Consume's cross-delta
 	// preparation): 0 means GOMAXPROCS, 1 forces the sequential reference
@@ -42,10 +61,41 @@ type Pipeline struct {
 	// EnableBlockIndex so the index is populated and wired to the linking
 	// blocker; the constructed KG is byte-identical with and without it.
 	Index *BlockIndex
+	// PerEntityFusion opts the commit phase out of batched per-target fusion
+	// and fuses payload entities one Graph.Update round-trip at a time — the
+	// pre-batching reference path, kept as the ablation baseline the
+	// batchedfusion experiment and benchmark measure against.
+	PerEntityFusion bool
 
 	fuseMu      sync.Mutex
 	conflictsMu sync.Mutex
 	conflicts   []Conflict
+
+	// resolverMu guards the lazily built alias-resolver cache; the resolver
+	// itself is internally synchronized so commits can read it while curation
+	// refreshes it.
+	resolverMu    sync.Mutex
+	aliasResolver *AliasResolver
+
+	fusionMu sync.Mutex
+	fusion   FusionStats
+}
+
+// FusionStats counts the commit phase's fusion traffic. Payloads/Targets is
+// the batching amortization: how many payload entities (same-as carriers,
+// adds, updates) merged per fused KG entity, each target costing one graph
+// round-trip and one conflict-resolution pass on the batched path.
+type FusionStats struct {
+	Commits  int // commitDelta invocations
+	Targets  int // distinct KG entities fused
+	Payloads int // payload entities merged into those targets
+}
+
+// FusionStats reports the accumulated fusion counters.
+func (p *Pipeline) FusionStats() FusionStats {
+	p.fusionMu.Lock()
+	defer p.fusionMu.Unlock()
+	return p.fusion
 }
 
 // workers resolves the pipeline's effective worker count.
@@ -74,15 +124,39 @@ func (p *Pipeline) EnableBlockIndex() *BlockIndex {
 	return ix
 }
 
-// RefreshBlockIndex re-indexes the given entities from the KG's current
-// state. The pipeline keeps the index current for its own commits; callers
+// RefreshKGCaches re-derives the pipeline's KG-derived caches — the block
+// index and the cached alias resolver — for the given entities from the KG's
+// current state. The pipeline keeps both current for its own commits; callers
 // that mutate the graph directly (curation hot fixes, manual repairs) must
-// report the entities they touched or deleted here. No-op when the index is
-// disabled.
-func (p *Pipeline) RefreshBlockIndex(ids ...triple.EntityID) {
+// report the entities they touched or deleted here.
+func (p *Pipeline) RefreshKGCaches(ids ...triple.EntityID) {
 	if p.Index != nil {
 		p.Index.Refresh(p.KG.Graph, ids...)
 	}
+	p.resolverMu.Lock()
+	cached := p.aliasResolver
+	p.resolverMu.Unlock()
+	if cached != nil {
+		cached.Refresh(p.KG.Graph, ids...)
+	}
+}
+
+// RefreshBlockIndex is the pre-cache name of RefreshKGCaches, kept for
+// callers wired before the alias-resolver cache existed.
+func (p *Pipeline) RefreshBlockIndex(ids ...triple.EntityID) {
+	p.RefreshKGCaches(ids...)
+}
+
+// kgResolver returns the cached incremental alias resolver, building it from
+// the graph's current state on first use (the one full scan it performs);
+// commits invalidate it from their touched/removed sets afterwards.
+func (p *Pipeline) kgResolver() *AliasResolver {
+	p.resolverMu.Lock()
+	defer p.resolverMu.Unlock()
+	if p.aliasResolver == nil {
+		p.aliasResolver = NewAliasResolver(p.KG.Graph, p.Ont)
+	}
+	return p.aliasResolver
 }
 
 // SourceStats summarizes one consumed delta.
@@ -97,15 +171,17 @@ type SourceStats struct {
 	Comparisons int // matcher invocations after blocking
 
 	// Touched lists the KG entities written by this delta (sorted), and
-	// Removed the KG entities deleted outright. The Graph Engine publishes
-	// exactly these to the operation log.
+	// Removed the KG entities deleted outright; the sets are disjoint by
+	// construction (an entity both re-added and deleted in one delta ends up
+	// in exactly one of them). The Graph Engine publishes exactly these to
+	// the operation log.
 	Touched []triple.EntityID
 	Removed []triple.EntityID
 }
 
 func (s SourceStats) String() string {
-	return fmt.Sprintf("%s: adds=%d new=%d upd=%d del=%d vol=%d conflicts=%d cmp=%d",
-		s.Source, s.LinkedAdds, s.NewEntities, s.Updated, s.Deleted, s.Volatile, s.Conflicts, s.Comparisons)
+	return fmt.Sprintf("%s: adds=%d new=%d upd=%d del=%d rm=%d vol=%d conflicts=%d cmp=%d",
+		s.Source, s.LinkedAdds, s.NewEntities, s.Updated, s.Deleted, len(s.Removed), s.Volatile, s.Conflicts, s.Comparisons)
 }
 
 // linkedUpdate pairs an updated source entity with its existing KG link.
@@ -120,26 +196,64 @@ type deleteLink struct {
 	kgID triple.EntityID
 }
 
-// preparedDelta is the result of the compute-heavy, read-only half of
-// consuming a delta: payloads grouped, links looked up, and every type group
-// blocked, matched, and clustered — with no KG identifiers minted and no
-// graph state written. Preparations of several deltas can run concurrently;
-// commitDelta then applies them one at a time in a canonical order.
+// preparedDelta carries a delta through the consume phases: snapshotDelta
+// fills the link lookups and per-type candidate plans (every KG read),
+// computeDelta solves the plans into resolutions (pure compute), and
+// commitDelta applies the result. Snapshots of a batch all run before its
+// first commit; computations overlap commits freely.
 type preparedDelta struct {
 	delta       ingest.Delta
 	updates     []linkedUpdate
 	deleteLinks []deleteLink
 	addGroups   map[string][]*triple.Entity
 	addTypes    []string
+	plans       []typeLinkPlan   // one per addTypes entry, same order
 	resolutions []typeResolution // one per addTypes entry, same order
 }
 
-// prepareDelta runs the read-only half of the pipeline: grouping, link
-// lookups, and per-type blocking/matching/clustering on the worker pool.
-func (p *Pipeline) prepareDelta(d ingest.Delta) (*preparedDelta, error) {
+// validateDelta checks the pipeline wiring and the delta payload before any
+// state changes. Consume validates every delta of a batch before the first
+// commit, so a batch containing a bad delta leaves the KG untouched instead
+// of half-applied.
+func (p *Pipeline) validateDelta(d ingest.Delta) error {
 	if p.KG == nil || p.Ont == nil {
-		return nil, fmt.Errorf("construct: pipeline missing KG or ontology")
+		return fmt.Errorf("construct: pipeline missing KG or ontology")
 	}
+	check := func(kind string, ents []*triple.Entity) error {
+		for i, e := range ents {
+			if e == nil {
+				return fmt.Errorf("construct: delta %q: nil entity at %s[%d]", d.Source, kind, i)
+			}
+			if e.ID == "" {
+				return fmt.Errorf("construct: delta %q: empty entity ID at %s[%d]", d.Source, kind, i)
+			}
+		}
+		return nil
+	}
+	if err := check("Added", d.Added); err != nil {
+		return err
+	}
+	if err := check("Updated", d.Updated); err != nil {
+		return err
+	}
+	if err := check("Volatile", d.Volatile); err != nil {
+		return err
+	}
+	for i, id := range d.Deleted {
+		if id == "" {
+			return fmt.Errorf("construct: delta %q: empty entity ID at Deleted[%d]", d.Source, i)
+		}
+	}
+	return nil
+}
+
+// snapshotDelta performs every KG read consuming the delta needs — update and
+// delete link lookups plus the per-type candidate gather (block-index probe
+// and candidate load, or KG-view materialization) — against the KG's current
+// state. With the block index enabled this is O(|delta|). The returned
+// preparedDelta is self-contained: computeDelta never touches the KG, which
+// is what lets commits of earlier deltas overlap it.
+func (p *Pipeline) snapshotDelta(d ingest.Delta) *preparedDelta {
 	pd := &preparedDelta{delta: d}
 
 	// Updated entities that lost their link (for example after an on-demand
@@ -163,36 +277,63 @@ func (p *Pipeline) prepareDelta(d ingest.Delta) (*preparedDelta, error) {
 		}
 	}
 
-	// Intra-delta parallelism: type groups resolve concurrently, and each
-	// group's pair scoring and component clustering fan out further on the
-	// same worker budget. With the block index enabled, each group probes
-	// the index for KG-side candidates (O(|delta|)); otherwise it scans the
-	// full per-type KG view. Both paths produce identical resolutions for
-	// every cluster containing source entities.
 	pd.addGroups, pd.addTypes = GroupByType(adds)
-	pd.resolutions = make([]typeResolution, len(pd.addTypes))
-	params := p.Link
-	if params.Workers == 0 {
-		params.Workers = p.workers()
-	}
+	pd.plans = make([]typeLinkPlan, len(pd.addTypes))
+	params := p.Link.withDefaults()
 	index := p.Index
 	runIndexed(p.workers(), len(pd.addTypes), func(i int) {
 		typ := pd.addTypes[i]
 		if index != nil {
-			pd.resolutions[i] = resolveTypeGroupIndexed(pd.addGroups[typ], p.KG, index, typ, params)
+			pd.plans[i] = gatherTypeGroupIndexed(pd.addGroups[typ], p.KG, index, typ, params)
 		} else {
-			pd.resolutions[i] = resolveTypeGroup(pd.addGroups[typ], p.KG.KGView(typ), typ, params)
+			pd.plans[i] = gatherTypeGroup(pd.addGroups[typ], p.KG.KGView(typ), typ)
 		}
 	})
+	return pd
+}
+
+// computeDelta runs the pure-compute half of the pipeline over a snapshotted
+// delta: per-type blocking (scan path), pair scoring, and component
+// clustering on the worker pool. It reads no KG state, so it may overlap any
+// commit; both paths produce identical resolutions for every cluster
+// containing source entities.
+func (p *Pipeline) computeDelta(pd *preparedDelta) {
+	params := p.Link
+	if params.Workers == 0 {
+		params.Workers = p.workers()
+	}
+	pd.resolutions = make([]typeResolution, len(pd.addTypes))
+	runIndexed(p.workers(), len(pd.addTypes), func(i int) {
+		pd.resolutions[i] = pd.plans[i].solve(params)
+	})
+}
+
+// prepareDelta runs the read-only half of the pipeline: validation, the KG
+// snapshot, and per-type blocking/matching/clustering on the worker pool.
+func (p *Pipeline) prepareDelta(d ingest.Delta) (*preparedDelta, error) {
+	if err := p.validateDelta(d); err != nil {
+		return nil, err
+	}
+	pd := p.snapshotDelta(d)
+	p.computeDelta(pd)
 	return pd, nil
+}
+
+// fuseGroup is one batched-fusion unit: every fusion op of a commit that
+// lands on one target KG entity, in the per-entity order (same-as carriers,
+// then adds, then updates).
+type fuseGroup struct {
+	id  triple.EntityID
+	ops []FuseOp
 }
 
 // commitDelta applies a prepared delta to the KG under the fusion lock: KG
 // identifiers are minted in canonical type-then-cluster order, object
 // resolution runs (parallel over entities, with stub minting deferred to a
-// sequential canonical pass), and payloads fuse. Because every write happens
-// here, in an order fixed by the input alone, parallel and sequential runs
-// produce byte-identical KGs.
+// sequential canonical pass), and payloads fuse — grouped by target KG
+// entity, one batched fuse per target. Because every write happens here, in
+// an order fixed by the input alone, parallel and sequential runs produce
+// byte-identical KGs.
 func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
 	d := pd.delta
 	stats := SourceStats{Source: d.Source}
@@ -206,7 +347,10 @@ func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
 
 	resolver := p.Resolver
 	if resolver == nil {
-		resolver = NewAliasResolver(p.KG.Graph.Snapshot(), p.Ont)
+		// The cached incremental resolver replaces the former per-commit
+		// rebuild from a full Graph.Snapshot (O(|KG|) every commit); it is
+		// invalidated below from exactly this commit's touched/removed sets.
+		resolver = p.kgResolver()
 	}
 
 	// Record links and collect the batch-wide assignment before OBR so that
@@ -274,12 +418,26 @@ func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
 		entities[i].Rewrite(entities[i].ID, rw)
 	}
 
-	// Fusion: payloads merge into the graph in canonical order.
-	var conflicts []Conflict
+	// Fusion: payloads merge into the graph grouped by target KG entity, one
+	// batched fuse — a single Graph.Update round-trip and one
+	// conflict-resolution pass — per target, targets in canonical
+	// first-fusion order. Within a target the ops keep the per-entity order:
+	// same_as carriers (SameAs is sorted, so consecutive runs share a subject
+	// and carriers fuse in subject order), then adds, then updates (each
+	// update stripping the source's stale stable facts before its payload
+	// merges).
+	groupIdx := make(map[triple.EntityID]int)
+	var groups []fuseGroup
+	addOp := func(id triple.EntityID, op FuseOp) {
+		gi, ok := groupIdx[id]
+		if !ok {
+			gi = len(groups)
+			groupIdx[id] = gi
+			groups = append(groups, fuseGroup{id: id})
+		}
+		groups[gi].ops = append(groups[gi].ops, op)
+	}
 	for _, outcome := range outcomes {
-		// same_as provenance facts fuse alongside the payloads. SameAs is
-		// sorted, so consecutive runs share a subject and carriers fuse in
-		// subject order.
 		for lo := 0; lo < len(outcome.SameAs); {
 			hi := lo + 1
 			for hi < len(outcome.SameAs) && outcome.SameAs[hi].Subject == outcome.SameAs[lo].Subject {
@@ -287,7 +445,7 @@ func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
 			}
 			carrier := triple.NewEntity(outcome.SameAs[lo].Subject)
 			carrier.Add(outcome.SameAs[lo:hi]...)
-			conflicts = append(conflicts, fuser.FuseEntity(p.KG.Graph, carrier)...)
+			addOp(carrier.ID, FuseOp{Incoming: carrier})
 			lo = hi
 		}
 	}
@@ -299,17 +457,41 @@ func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
 			}
 			linked := e.Clone()
 			linked.Rewrite(kgID, nil)
-			conflicts = append(conflicts, fuser.FuseEntity(p.KG.Graph, linked)...)
+			addOp(kgID, FuseOp{Incoming: linked})
 		}
 	}
 	for _, u := range pd.updates {
-		// Replace this source's stable contribution: drop, then re-fuse.
-		removeSourceStable(p.KG.Graph, u.kgID, d.Source, p.Ont)
+		// Replace this source's stable contribution: strip, then re-fuse.
 		linked := u.ent.Clone()
 		linked.Rewrite(u.kgID, nil)
-		conflicts = append(conflicts, fuser.FuseEntity(p.KG.Graph, linked)...)
+		addOp(u.kgID, FuseOp{StripSource: d.Source, Incoming: linked})
 		stats.Updated++
 	}
+	var conflicts []Conflict
+	payloads := 0
+	for _, g := range groups {
+		payloads += len(g.ops)
+		if p.PerEntityFusion {
+			// Reference path: one graph round-trip and one conflict pass per
+			// payload entity.
+			for _, op := range g.ops {
+				if op.StripSource != "" {
+					removeSourceStable(p.KG.Graph, g.id, op.StripSource, p.Ont)
+				}
+				if op.Incoming != nil {
+					conflicts = append(conflicts, fuser.FuseEntity(p.KG.Graph, op.Incoming)...)
+				}
+			}
+			continue
+		}
+		conflicts = append(conflicts, fuser.FuseBatch(p.KG.Graph, g.id, g.ops)...)
+	}
+	p.fusionMu.Lock()
+	p.fusion.Commits++
+	p.fusion.Targets += len(groups)
+	p.fusion.Payloads += payloads
+	p.fusionMu.Unlock()
+
 	touched := make(map[triple.EntityID]bool)
 	for _, kgID := range assignment {
 		touched[kgID] = true
@@ -328,12 +510,22 @@ func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
 		stats.Deleted++
 	}
 	// Volatile partition overwrite runs after the stable payloads fused.
+	removed := make(map[triple.EntityID]bool, len(stats.Removed))
+	for _, id := range stats.Removed {
+		removed[id] = true
+	}
 	for _, v := range d.Volatile {
 		kgID, ok := assignment[v.ID]
 		if !ok {
 			if kgID, ok = p.KG.Lookup(v.ID); !ok {
 				continue // entity not (yet) part of the KG
 			}
+		}
+		if removed[kgID] {
+			// This commit deleted the entity outright; applying the same
+			// delta's volatile partition would resurrect it as a ghost with
+			// no stable facts and put its id in both Touched and Removed.
+			continue
 		}
 		ApplyVolatileOverwrite(p.KG.Graph, kgID, d.Source, v, p.Ont)
 		touched[kgID] = true
@@ -350,15 +542,14 @@ func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
 		p.conflicts = append(p.conflicts, conflicts...)
 		p.conflictsMu.Unlock()
 	}
-	// Transactional index maintenance: still under the fusion lock, re-index
-	// exactly the entities this commit wrote and drop the ones it removed,
-	// invalidating each touched entity's stale keys. The next prepare —
-	// whether of the next delta in this batch or a later batch — probes an
-	// index that matches the graph it links against.
-	if p.Index != nil {
-		p.Index.Refresh(p.KG.Graph, stats.Touched...)
-		p.Index.Refresh(p.KG.Graph, stats.Removed...)
-	}
+	// Transactional cache maintenance: still under the fusion lock, re-index
+	// exactly the entities this commit wrote and drop the ones it removed —
+	// one refresh per target KG id — in both the block index and the cached
+	// alias resolver. The next prepare — whether of the next delta in this
+	// batch or a later batch — reads caches that match the graph it links
+	// against.
+	p.RefreshKGCaches(stats.Touched...)
+	p.RefreshKGCaches(stats.Removed...)
 	return stats, nil
 }
 
@@ -376,27 +567,38 @@ func (p *Pipeline) ConsumeDelta(d ingest.Delta) (SourceStats, error) {
 	return p.commitDelta(pd)
 }
 
-// Consume processes multiple source deltas: the compute-heavy preparation of
-// every delta (blocking, matching, clustering) runs concurrently on the
-// worker pool, and the deltas then commit — minting, object resolution,
-// fusion — one at a time in input order. Commit order is therefore fixed by
-// the input, never by goroutine scheduling, so a Consume over independent
-// deltas produces exactly the KG of ConsumeSequential over the same slice.
-// (Each delta of a batch links against the KG state at batch start; deltas
-// of one batch never link against each other's output.) Results are ordered
-// as the input.
+// Consume processes multiple source deltas with a pipelined commit phase.
+// Every delta is validated, then every delta's KG reads are snapshotted
+// against the batch-start state, and then commit i — minting, object
+// resolution, fusion — starts as soon as delta i's compute and commit i−1
+// are both done, overlapping the commit of earlier deltas with the
+// compute-heavy linking of later ones. Commit order is fixed by the input,
+// never by goroutine scheduling, so a Consume over independent deltas
+// produces exactly the KG of ConsumeSequential over the same slice. (Each
+// delta of a batch links against the KG state at batch start; deltas of one
+// batch never link against each other's output.) A validation error commits
+// nothing. Results are ordered as the input.
 func (p *Pipeline) Consume(deltas []ingest.Delta) ([]SourceStats, error) {
-	prepared := make([]*preparedDelta, len(deltas))
-	errs := make([]error, len(deltas))
-	runIndexed(p.workers(), len(deltas), func(i int) {
-		prepared[i], errs[i] = p.prepareDelta(deltas[i])
+	if p.workers() <= 1 {
+		// One worker means nothing can overlap; the barrier schedule is the
+		// same computation without the cross-goroutine handoff.
+		return p.ConsumeBarrier(deltas)
+	}
+	pds, stats, err := p.snapshotBatch(deltas)
+	if err != nil {
+		return stats, err
+	}
+	computed := make([]chan struct{}, len(deltas))
+	for i := range computed {
+		computed[i] = make(chan struct{})
+	}
+	go runIndexed(p.workers(), len(deltas), func(i int) {
+		p.computeDelta(pds[i])
+		close(computed[i])
 	})
-	stats := make([]SourceStats, len(deltas))
-	for i := range prepared {
-		if errs[i] != nil {
-			return stats, errs[i]
-		}
-		s, err := p.commitDelta(prepared[i])
+	for i := range pds {
+		<-computed[i]
+		s, err := p.commitDelta(pds[i])
 		if err != nil {
 			return stats, err
 		}
@@ -405,8 +607,49 @@ func (p *Pipeline) Consume(deltas []ingest.Delta) ([]SourceStats, error) {
 	return stats, nil
 }
 
+// ConsumeBarrier is the pre-pipelining Consume: every delta's compute
+// finishes before the first commit starts. It produces exactly Consume's KG
+// and stats and exists as the ablation comparator for the commit-pipeline
+// overlap.
+func (p *Pipeline) ConsumeBarrier(deltas []ingest.Delta) ([]SourceStats, error) {
+	pds, stats, err := p.snapshotBatch(deltas)
+	if err != nil {
+		return stats, err
+	}
+	runIndexed(p.workers(), len(deltas), func(i int) {
+		p.computeDelta(pds[i])
+	})
+	for i := range pds {
+		s, err := p.commitDelta(pds[i])
+		if err != nil {
+			return stats, err
+		}
+		stats[i] = s
+	}
+	return stats, nil
+}
+
+// snapshotBatch validates every delta of a batch (so a bad delta aborts
+// before any commit, leaving the KG untouched) and snapshots each delta's KG
+// reads against the batch-start state on the worker pool.
+func (p *Pipeline) snapshotBatch(deltas []ingest.Delta) ([]*preparedDelta, []SourceStats, error) {
+	stats := make([]SourceStats, len(deltas))
+	for i := range deltas {
+		if err := p.validateDelta(deltas[i]); err != nil {
+			return nil, stats, err
+		}
+	}
+	pds := make([]*preparedDelta, len(deltas))
+	runIndexed(p.workers(), len(deltas), func(i int) {
+		pds[i] = p.snapshotDelta(deltas[i])
+	})
+	return pds, stats, nil
+}
+
 // ConsumeSequential processes deltas one at a time; the ablation comparator
-// for Consume's inter-source parallelism.
+// for Consume's inter-source parallelism. Unlike Consume, each delta links
+// against the previous delta's output, so the two agree exactly (and with
+// ConsumeBarrier) on batches of independent deltas.
 func (p *Pipeline) ConsumeSequential(deltas []ingest.Delta) ([]SourceStats, error) {
 	out := make([]SourceStats, 0, len(deltas))
 	for _, d := range deltas {
@@ -434,18 +677,7 @@ func (p *Pipeline) DrainConflicts() []Conflict {
 // that is the overwrite path's job).
 func removeSourceStable(g *triple.Graph, id triple.EntityID, source string, ont *ontology.Ontology) {
 	g.Update(id, func(e *triple.Entity) {
-		kept := e.Triples[:0]
-		for _, t := range e.Triples {
-			if !ont.IsVolatile(t.Predicate) && t.HasSource(source) {
-				out, remains := t.DropSource(source)
-				if !remains {
-					continue
-				}
-				t = out
-			}
-			kept = append(kept, t)
-		}
-		e.Triples = kept
+		stripSourceStable(e, source, ont)
 	})
 }
 

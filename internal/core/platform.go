@@ -45,6 +45,10 @@ type Options struct {
 	// index alongside the KG so per-delta linking cost tracks the delta, not
 	// the accumulated graph. Both modes construct byte-identical KGs.
 	FullScanLinking bool
+	// PerEntityFusion disables batched per-target fusion in the commit phase
+	// and fuses payload entities one graph round-trip at a time, the
+	// pre-batching reference path kept as the ablation baseline.
+	PerEntityFusion bool
 }
 
 // Platform is the assembled knowledge platform.
@@ -105,6 +109,7 @@ func New(opts Options) (*Platform, error) {
 	p.Pipeline = construct.NewPipeline(p.KG, ont)
 	p.Pipeline.Link = opts.LinkParams
 	p.Pipeline.Workers = opts.Workers
+	p.Pipeline.PerEntityFusion = opts.PerEntityFusion
 	if !opts.FullScanLinking {
 		p.Pipeline.EnableBlockIndex()
 	}
@@ -143,7 +148,8 @@ func (p *Platform) ConsumeDelta(d ingest.Delta) (construct.SourceStats, error) {
 	return stats, nil
 }
 
-// ConsumeDeltas consumes several sources in parallel, then publishes. Every
+// ConsumeDeltas consumes several sources through the pipelined commit path
+// (commit i overlaps the compute of deltas j > i), then publishes. Every
 // delta of the batch links against the KG state at batch start (that is what
 // makes the batch deterministic), so two sources in one batch that describe
 // the same real-world entity each mint their own KG entity — and resolution
@@ -271,8 +277,9 @@ func (p *Platform) ApplyCurationDecisions() (int, error) {
 			p.KG.Graph.Delete(d.Entity)
 		}
 		// Curation writes bypass the construction pipeline, so report the
-		// touched entity to the block index ourselves.
-		p.Pipeline.RefreshBlockIndex(d.Entity)
+		// touched entity to the pipeline's KG-derived caches (block index,
+		// alias-resolver cache) ourselves.
+		p.Pipeline.RefreshKGCaches(d.Entity)
 		// Publish the hot fix so every store converges.
 		if d.Kind == live.DecisionBlockEntity {
 			if _, err := p.Engine.PublishDelete(live.CurationSource, []triple.EntityID{d.Entity}); err != nil {
@@ -296,6 +303,9 @@ type Stats struct {
 	// BlockIndex reports the incremental linking index (zero when the
 	// platform runs full-scan linking).
 	BlockIndex construct.BlockIndexStats
+	// Fusion reports the commit phase's fusion traffic; Payloads/Targets is
+	// the per-target batching amortization.
+	Fusion construct.FusionStats
 }
 
 // Stats gathers platform statistics.
@@ -305,6 +315,7 @@ func (p *Platform) Stats() Stats {
 		Links:        p.KG.LinkCount(),
 		LogLSN:       p.Engine.Log.LastLSN(),
 		LiveEntities: p.Live.Len(),
+		Fusion:       p.Pipeline.FusionStats(),
 	}
 	if p.Pipeline.Index != nil {
 		st.BlockIndex = p.Pipeline.Index.Stats()

@@ -240,6 +240,25 @@ func TestResolutionAblationShape(t *testing.T) {
 	}
 }
 
+func TestBatchedFusionShape(t *testing.T) {
+	res, err := BatchedFusion(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("per-entity, batched, and pipelined consume paths diverged")
+	}
+	// The workload piles several payload entities onto each target; batching
+	// must actually amortize (one fuse per target, several payloads each).
+	// The wall-clock speedup itself is asserted only in
+	// BenchmarkPipelinedConsumeBatchedFusion (the CI bench job), not here —
+	// a timing gate in the plain/race test jobs would flake on loaded
+	// runners with no code change.
+	if ratio := float64(res.Payloads) / float64(res.Targets); ratio < 2 {
+		t.Fatalf("payloads per fused target = %.1f, workload should share targets", ratio)
+	}
+}
+
 func TestVolatileOverwriteShape(t *testing.T) {
 	res, err := VolatileOverwrite()
 	if err != nil {
