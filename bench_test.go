@@ -222,6 +222,47 @@ func BenchmarkPipelinedConsumeBatchedFusion(b *testing.B) {
 	b.Logf("\n%s", last)
 }
 
+// BenchmarkSnapshotUnderLoad measures the sharded copy-on-write graph on the
+// serving path: Snapshot() latency must stay roughly flat as the KG grows 5x
+// (the deep-copy comparator grows linearly — that was the pre-COW Snapshot
+// the view manager and NERD builds paid per refresh), and clone-free shared
+// reads must beat the clone-per-read baseline by at least 1.15x while a
+// writer ingests concurrently. Both claims gate the CI bench job; the
+// correctness bits (snapshots frozen at their cut, byte-identical content
+// across shard counts and copies) must always hold. The name carries
+// "SnapshotUnderLoad" so the CI bench regex records the trajectory per
+// commit in BENCH_ci.json.
+func BenchmarkSnapshotUnderLoad(b *testing.B) {
+	var last experiments.GraphStoreResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.GraphStore()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Identical {
+			b.Fatal("sharded/COW graph content diverged across shard counts, deep copies, or snapshots")
+		}
+		if !res.SnapshotFrozen {
+			b.Fatal("snapshot moved while the live graph advanced")
+		}
+		if !res.SnapshotFlat {
+			b.Fatalf("snapshot latency not flat in |KG|: %.2fx over 5x growth (deep copy %.2fx)",
+				res.SnapshotGrowth, res.DeepCopyGrowth)
+		}
+		if res.SharedReadSpeedup < 1.15 {
+			b.Fatalf("shared reads regressed against clone-per-read baseline: %.2fx (want >= 1.15x)",
+				res.SharedReadSpeedup)
+		}
+		last = res
+	}
+	b.ReportMetric(last.SnapshotGrowth, "snapshot-growth-x")
+	b.ReportMetric(last.DeepCopyGrowth, "deepcopy-growth-x")
+	b.ReportMetric(last.SnapshotLargeUS, "snapshot-us")
+	b.ReportMetric(last.SharedReadSpeedup, "shared-read-speedup-x")
+	b.ReportMetric(last.ShardSpeedup, "shard-scaling-x")
+	b.Logf("\n%s", last)
+}
+
 // BenchmarkBlockingAblation measures the blocking design choice: candidate
 // comparisons and quality vs quadratic pair generation.
 func BenchmarkBlockingAblation(b *testing.B) {

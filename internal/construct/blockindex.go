@@ -85,7 +85,7 @@ func NewBlockIndex(blocker Blocker) *BlockIndex {
 func (ix *BlockIndex) Build(g *triple.Graph) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	g.Range(func(e *triple.Entity) bool {
+	g.RangeShared(func(e *triple.Entity) bool {
 		ix.insertLocked(e)
 		return true
 	})
@@ -106,7 +106,7 @@ func (ix *BlockIndex) Refresh(g *triple.Graph, ids ...triple.EntityID) {
 	ix.refreshes += len(ids)
 	for _, id := range ids {
 		ix.removeLocked(id)
-		if e := g.Get(id); e != nil {
+		if e := g.GetShared(id); e != nil {
 			ix.insertLocked(e)
 		}
 	}

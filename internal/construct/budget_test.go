@@ -1,0 +1,85 @@
+package construct
+
+// Internal tests for the shared worker budget: nested pools drawing from one
+// budget must (a) bound total concurrency by budget+1 — the helpers plus the
+// calling goroutine — no matter how deep the nesting fans out, (b) complete
+// every task exactly once, and (c) never deadlock when the budget is empty.
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestWorkerBudgetCapsNestedConcurrency fans out three nested levels (like
+// deltas × types × components), each asking for 8-way parallelism, against a
+// budget of 3 helpers: peak leaf concurrency must never exceed 4 (budget + the
+// caller), and all leaves must run exactly once.
+func TestWorkerBudgetCapsNestedConcurrency(t *testing.T) {
+	const budgetSize, outer, mid, inner = 3, 6, 4, 8
+	b := NewWorkerBudget(budgetSize)
+	var active, peak, runs int64
+	leaf := func() {
+		cur := atomic.AddInt64(&active, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+				break
+			}
+		}
+		// Spin briefly so overlapping leaves actually overlap.
+		for i := 0; i < 2000; i++ {
+			atomic.LoadInt64(&peak)
+		}
+		atomic.AddInt64(&runs, 1)
+		atomic.AddInt64(&active, -1)
+	}
+	runIndexedBudget(b, 8, outer, func(int) {
+		runIndexedBudget(b, 8, mid, func(int) {
+			runIndexedBudget(b, 8, inner, func(int) {
+				leaf()
+			})
+		})
+	})
+	if got := atomic.LoadInt64(&runs); got != outer*mid*inner {
+		t.Fatalf("leaves run %d times, want %d", got, outer*mid*inner)
+	}
+	if p := atomic.LoadInt64(&peak); p > budgetSize+1 {
+		t.Fatalf("peak concurrency %d exceeds budget+caller = %d", p, budgetSize+1)
+	}
+	// Every token must be back: another full run at full width must succeed.
+	if got := b.tryAcquire(budgetSize + 1); got != budgetSize {
+		t.Fatalf("budget leaked tokens: %d free, want %d", got, budgetSize)
+	}
+}
+
+// TestWorkerBudgetEmptyRunsInline: a zero budget admits no helpers, so nested
+// calls run fully inline on the caller — the sequential reference path.
+func TestWorkerBudgetEmptyRunsInline(t *testing.T) {
+	b := NewWorkerBudget(0)
+	var active, peak int64
+	runIndexedBudget(b, 8, 16, func(int) {
+		cur := atomic.AddInt64(&active, 1)
+		if cur > atomic.LoadInt64(&peak) {
+			atomic.StoreInt64(&peak, cur)
+		}
+		atomic.AddInt64(&active, -1)
+	})
+	if peak != 1 {
+		t.Fatalf("peak concurrency %d with empty budget, want 1", peak)
+	}
+}
+
+// TestRunIndexedBudgetOrderIndependentOutput: results land at their own index
+// regardless of whether a budget constrains scheduling.
+func TestRunIndexedBudgetOrderIndependentOutput(t *testing.T) {
+	const n = 64
+	for _, b := range []*WorkerBudget{nil, NewWorkerBudget(0), NewWorkerBudget(2), NewWorkerBudget(16)} {
+		out := make([]int, n)
+		runIndexedBudget(b, 8, n, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("out[%d] = %d", i, out[i])
+			}
+		}
+	}
+}

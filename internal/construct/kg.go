@@ -85,3 +85,19 @@ func (kg *KG) KGView(entityType string) []*triple.Entity {
 	}
 	return out
 }
+
+// KGViewShared is KGView without the per-entity deep copy: it returns the
+// stored immutable records, which blocking, matching, and clustering only
+// ever read. The pipeline's scan-path candidate gather uses it so full-scan
+// linking stops paying a clone per KG entity per delta; callers must not
+// mutate the returned entities.
+func (kg *KG) KGViewShared(entityType string) []*triple.Entity {
+	ids := kg.Graph.IDsByType(entityType)
+	out := make([]*triple.Entity, 0, len(ids))
+	for _, id := range ids {
+		if e := kg.Graph.GetShared(id); e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -23,6 +23,13 @@ type LinkParams struct {
 	// Output is identical for every value — workers change wall-clock time,
 	// never the KG.
 	Workers int
+
+	// budget, when set by the pipeline, is the shared helper-goroutine cap
+	// the scoring and clustering pools draw from, so nested fan-out (deltas ×
+	// types × components) stays bounded by one worker count instead of
+	// multiplying. Nil (direct LinkEntities/LinkAgainstKG callers) sizes each
+	// pool standalone.
+	budget *WorkerBudget
 }
 
 func (p LinkParams) withDefaults() LinkParams {
@@ -109,8 +116,10 @@ func gatherTypeGroupIndexed(src []*triple.Entity, kg *KG, index *BlockIndex, ent
 		seen[id] = true
 		// A posting can be momentarily stale (entity deleted after the last
 		// refresh); skipping it matches the full scan never having seen the
-		// entity.
-		if e := kg.Graph.Get(id); e != nil {
+		// entity. The loaded records are the graph's immutable shared entities
+		// — scoring and clustering only read them, so candidate loading pays
+		// no clone per entity.
+		if e := kg.Graph.GetShared(id); e != nil {
 			pl.kgEnts = append(pl.kgEnts, e)
 		}
 	}
@@ -145,8 +154,8 @@ func (pl typeLinkPlan) solve(params LinkParams) typeResolution {
 		blocking = GeneratePairs(combined, params.Blocker, GenerateParams{MaxBlockSize: params.MaxBlockSize})
 	}
 	matcher := params.Matchers.For(pl.entityType)
-	scored := ScorePairsParallel(blocking.Pairs, byID, matcher, params.Workers)
-	clusters := ResolveParallel(nodes, scored, params.Cluster, params.Workers)
+	scored := scorePairsParallel(blocking.Pairs, byID, matcher, params.Workers, params.budget)
+	clusters := resolveParallel(nodes, scored, params.Cluster, params.Workers, params.budget)
 	return typeResolution{entityType: pl.entityType, src: pl.src, byID: byID, clusters: clusters, blocking: blocking}
 }
 

@@ -54,7 +54,7 @@ func NewAliasResolver(g *triple.Graph, ont *ontology.Ontology) *AliasResolver {
 		byAlias:  make(map[string][]aliasEntry),
 		keysByID: make(map[triple.EntityID][]string),
 	}
-	g.Range(func(e *triple.Entity) bool {
+	g.RangeShared(func(e *triple.Entity) bool {
 		r.insertLocked(e)
 		return true
 	})
@@ -115,7 +115,7 @@ func (r *AliasResolver) Refresh(g *triple.Graph, ids ...triple.EntityID) {
 	defer r.mu.Unlock()
 	for _, id := range ids {
 		r.removeLocked(id)
-		if e := g.Get(id); e != nil {
+		if e := g.GetShared(id); e != nil {
 			r.insertLocked(e)
 		}
 	}

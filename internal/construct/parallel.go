@@ -25,11 +25,65 @@ func effectiveWorkers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// WorkerBudget is a shared cap on helper goroutines for nested parallel
+// stages. The consume path stacks pools three deep — deltas × type groups ×
+// candidate-graph components — and before the budget each level sized itself
+// independently, so a large batch could run O(deltas · types · workers)
+// goroutines at once. A budget holds workers−1 tokens; every stage that wants
+// to fan out takes as many tokens as are free (never blocking) and runs the
+// rest of its work inline on the calling goroutine. Total helper goroutines
+// across all nested stages therefore never exceed the budget, every stage
+// always makes progress inline, and — because results are written to fixed
+// indices — the budget changes scheduling only, never output.
+type WorkerBudget struct {
+	tokens chan struct{}
+}
+
+// NewWorkerBudget creates a budget of n helper-goroutine tokens (a pipeline
+// with W workers shares W−1: the calling goroutine is the W-th worker).
+// n <= 0 yields a budget that admits no helpers, i.e. fully inline execution.
+func NewWorkerBudget(n int) *WorkerBudget {
+	if n < 0 {
+		n = 0
+	}
+	b := &WorkerBudget{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		b.tokens <- struct{}{}
+	}
+	return b
+}
+
+// tryAcquire takes up to k tokens without blocking, returning how many it got.
+func (b *WorkerBudget) tryAcquire(k int) int {
+	got := 0
+	for got < k {
+		select {
+		case <-b.tokens:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// release returns one token.
+func (b *WorkerBudget) release() { b.tokens <- struct{}{} }
+
 // runIndexed executes fn(i) for every i in [0, n) on a bounded pool of
 // workers. With one worker (or one task) it runs inline, which is the
 // sequential reference path; results must be written to index i so output
 // order never depends on scheduling.
 func runIndexed(workers, n int, fn func(int)) {
+	runIndexedBudget(nil, workers, n, fn)
+}
+
+// runIndexedBudget is runIndexed drawing its helper goroutines from a shared
+// budget: the calling goroutine always participates, and up to workers−1
+// helpers are spawned only while budget tokens are free (each helper returns
+// its token as soon as it finishes). A nil budget reproduces runIndexed's
+// standalone sizing.
+func runIndexedBudget(b *WorkerBudget, workers, n int, fn func(int)) {
 	if n == 0 {
 		return
 	}
@@ -37,7 +91,11 @@ func runIndexed(workers, n int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	helpers := workers - 1
+	if b != nil && helpers > 0 {
+		helpers = b.tryAcquire(helpers)
+	}
+	if helpers <= 0 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -45,10 +103,13 @@ func runIndexed(workers, n int, fn func(int)) {
 	}
 	var next int64
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(helpers)
+	for w := 0; w < helpers; w++ {
 		go func() {
 			defer wg.Done()
+			if b != nil {
+				defer b.release()
+			}
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
@@ -57,6 +118,13 @@ func runIndexed(workers, n int, fn func(int)) {
 				fn(i)
 			}
 		}()
+	}
+	for {
+		i := int(atomic.AddInt64(&next, 1)) - 1
+		if i >= n {
+			break
+		}
+		fn(i)
 	}
 	wg.Wait()
 }
@@ -142,13 +210,19 @@ const scoreChunk = 128
 // unknown entities skipped). The matcher must be safe for concurrent use —
 // all built-in matchers are, as scoring is read-only.
 func ScorePairsParallel(pairs []Pair, byID map[triple.EntityID]*triple.Entity, m Matcher, workers int) []ScoredPair {
+	return scorePairsParallel(pairs, byID, m, workers, nil)
+}
+
+// scorePairsParallel is ScorePairsParallel drawing helper goroutines from a
+// shared budget (nil budget sizes the pool standalone).
+func scorePairsParallel(pairs []Pair, byID map[triple.EntityID]*triple.Entity, m Matcher, workers int, budget *WorkerBudget) []ScoredPair {
 	if effectiveWorkers(workers) <= 1 || len(pairs) <= scoreChunk {
 		return ScorePairs(pairs, byID, m)
 	}
 	scored := make([]ScoredPair, len(pairs))
 	valid := make([]bool, len(pairs))
 	chunks := (len(pairs) + scoreChunk - 1) / scoreChunk
-	runIndexed(workers, chunks, func(ci int) {
+	runIndexedBudget(budget, workers, chunks, func(ci int) {
 		lo := ci * scoreChunk
 		hi := lo + scoreChunk
 		if hi > len(pairs) {
@@ -178,6 +252,12 @@ func ScorePairsParallel(pairs []Pair, byID map[triple.EntityID]*triple.Entity, m
 // pivot only ever absorbs neighbors connected by a candidate pair (always in
 // its own component), and both paths order clusters by smallest member.
 func ResolveParallel(nodes []triple.EntityID, scored []ScoredPair, params ClusterParams, workers int) []Cluster {
+	return resolveParallel(nodes, scored, params, workers, nil)
+}
+
+// resolveParallel is ResolveParallel drawing helper goroutines from a shared
+// budget (nil budget sizes the pool standalone).
+func resolveParallel(nodes []triple.EntityID, scored []ScoredPair, params ClusterParams, workers int, budget *WorkerBudget) []Cluster {
 	if effectiveWorkers(workers) <= 1 || len(nodes) < 2 {
 		return Resolve(nodes, scored, params)
 	}
@@ -186,7 +266,7 @@ func ResolveParallel(nodes []triple.EntityID, scored []ScoredPair, params Cluste
 		return Resolve(nodes, scored, params)
 	}
 	per := make([][]Cluster, len(shards))
-	runIndexed(workers, len(shards), func(i int) {
+	runIndexedBudget(budget, workers, len(shards), func(i int) {
 		per[i] = Resolve(shards[i].Nodes, shards[i].Pairs, params)
 	})
 	var out []Cluster

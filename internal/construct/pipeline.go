@@ -252,8 +252,9 @@ func (p *Pipeline) validateDelta(d ingest.Delta) error {
 // and candidate load, or KG-view materialization) — against the KG's current
 // state. With the block index enabled this is O(|delta|). The returned
 // preparedDelta is self-contained: computeDelta never touches the KG, which
-// is what lets commits of earlier deltas overlap it.
-func (p *Pipeline) snapshotDelta(d ingest.Delta) *preparedDelta {
+// is what lets commits of earlier deltas overlap it. b is the consume call's
+// shared helper-goroutine budget.
+func (p *Pipeline) snapshotDelta(d ingest.Delta, b *WorkerBudget) *preparedDelta {
 	pd := &preparedDelta{delta: d}
 
 	// Updated entities that lost their link (for example after an on-demand
@@ -281,12 +282,12 @@ func (p *Pipeline) snapshotDelta(d ingest.Delta) *preparedDelta {
 	pd.plans = make([]typeLinkPlan, len(pd.addTypes))
 	params := p.Link.withDefaults()
 	index := p.Index
-	runIndexed(p.workers(), len(pd.addTypes), func(i int) {
+	runIndexedBudget(b, p.workers(), len(pd.addTypes), func(i int) {
 		typ := pd.addTypes[i]
 		if index != nil {
 			pd.plans[i] = gatherTypeGroupIndexed(pd.addGroups[typ], p.KG, index, typ, params)
 		} else {
-			pd.plans[i] = gatherTypeGroup(pd.addGroups[typ], p.KG.KGView(typ), typ)
+			pd.plans[i] = gatherTypeGroup(pd.addGroups[typ], p.KG.KGViewShared(typ), typ)
 		}
 	})
 	return pd
@@ -297,26 +298,37 @@ func (p *Pipeline) snapshotDelta(d ingest.Delta) *preparedDelta {
 // clustering on the worker pool. It reads no KG state, so it may overlap any
 // commit; both paths produce identical resolutions for every cluster
 // containing source entities.
-func (p *Pipeline) computeDelta(pd *preparedDelta) {
+func (p *Pipeline) computeDelta(pd *preparedDelta, b *WorkerBudget) {
 	params := p.Link
 	if params.Workers == 0 {
 		params.Workers = p.workers()
 	}
+	params.budget = b
 	pd.resolutions = make([]typeResolution, len(pd.addTypes))
-	runIndexed(p.workers(), len(pd.addTypes), func(i int) {
+	runIndexedBudget(b, p.workers(), len(pd.addTypes), func(i int) {
 		pd.resolutions[i] = pd.plans[i].solve(params)
 	})
 }
 
 // prepareDelta runs the read-only half of the pipeline: validation, the KG
 // snapshot, and per-type blocking/matching/clustering on the worker pool.
-func (p *Pipeline) prepareDelta(d ingest.Delta) (*preparedDelta, error) {
+func (p *Pipeline) prepareDelta(d ingest.Delta, b *WorkerBudget) (*preparedDelta, error) {
 	if err := p.validateDelta(d); err != nil {
 		return nil, err
 	}
-	pd := p.snapshotDelta(d)
-	p.computeDelta(pd)
+	pd := p.snapshotDelta(d, b)
+	p.computeDelta(pd, b)
 	return pd, nil
+}
+
+// newBudget creates the shared helper-goroutine budget one top-level consume
+// call threads through all of its nested pools (delta preparation × type
+// groups × candidate-graph components × object resolution): the caller is
+// one worker, so the budget holds workers−1 helper tokens. Sharing one
+// budget closes the goroutine multiplication the independent pool sizing had
+// on large batches; scheduling changes, output never does.
+func (p *Pipeline) newBudget() *WorkerBudget {
+	return NewWorkerBudget(effectiveWorkers(p.workers()) - 1)
 }
 
 // fuseGroup is one batched-fusion unit: every fusion op of a commit that
@@ -334,7 +346,7 @@ type fuseGroup struct {
 // entity, one batched fuse per target. Because every write happens here, in
 // an order fixed by the input alone, parallel and sequential runs produce
 // byte-identical KGs.
-func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
+func (p *Pipeline) commitDelta(pd *preparedDelta, b *WorkerBudget) (SourceStats, error) {
 	d := pd.delta
 	stats := SourceStats{Source: d.Source}
 	fuser := p.Fuser
@@ -383,7 +395,7 @@ func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
 		entities = append(entities, u.ent)
 	}
 	pending := make([][]stubRef, len(entities))
-	runIndexed(p.workers(), len(entities), func(i int) {
+	runIndexedBudget(b, p.workers(), len(entities), func(i int) {
 		pending[i] = resolveObjects(entities[i], assignment, p.KG, resolver, p.Ont)
 	})
 	// Mint one stub per distinct dangling target, in canonical entity order,
@@ -560,11 +572,12 @@ func (p *Pipeline) commitDelta(pd *preparedDelta) (SourceStats, error) {
 // runs on the pipeline's worker pool; the commit phase serializes under the
 // fusion lock.
 func (p *Pipeline) ConsumeDelta(d ingest.Delta) (SourceStats, error) {
-	pd, err := p.prepareDelta(d)
+	b := p.newBudget()
+	pd, err := p.prepareDelta(d, b)
 	if err != nil {
 		return SourceStats{Source: d.Source}, err
 	}
-	return p.commitDelta(pd)
+	return p.commitDelta(pd, b)
 }
 
 // Consume processes multiple source deltas with a pipelined commit phase.
@@ -584,7 +597,8 @@ func (p *Pipeline) Consume(deltas []ingest.Delta) ([]SourceStats, error) {
 		// same computation without the cross-goroutine handoff.
 		return p.ConsumeBarrier(deltas)
 	}
-	pds, stats, err := p.snapshotBatch(deltas)
+	b := p.newBudget()
+	pds, stats, err := p.snapshotBatch(deltas, b)
 	if err != nil {
 		return stats, err
 	}
@@ -592,13 +606,13 @@ func (p *Pipeline) Consume(deltas []ingest.Delta) ([]SourceStats, error) {
 	for i := range computed {
 		computed[i] = make(chan struct{})
 	}
-	go runIndexed(p.workers(), len(deltas), func(i int) {
-		p.computeDelta(pds[i])
+	go runIndexedBudget(b, p.workers(), len(deltas), func(i int) {
+		p.computeDelta(pds[i], b)
 		close(computed[i])
 	})
 	for i := range pds {
 		<-computed[i]
-		s, err := p.commitDelta(pds[i])
+		s, err := p.commitDelta(pds[i], b)
 		if err != nil {
 			return stats, err
 		}
@@ -612,15 +626,16 @@ func (p *Pipeline) Consume(deltas []ingest.Delta) ([]SourceStats, error) {
 // and stats and exists as the ablation comparator for the commit-pipeline
 // overlap.
 func (p *Pipeline) ConsumeBarrier(deltas []ingest.Delta) ([]SourceStats, error) {
-	pds, stats, err := p.snapshotBatch(deltas)
+	b := p.newBudget()
+	pds, stats, err := p.snapshotBatch(deltas, b)
 	if err != nil {
 		return stats, err
 	}
-	runIndexed(p.workers(), len(deltas), func(i int) {
-		p.computeDelta(pds[i])
+	runIndexedBudget(b, p.workers(), len(deltas), func(i int) {
+		p.computeDelta(pds[i], b)
 	})
 	for i := range pds {
-		s, err := p.commitDelta(pds[i])
+		s, err := p.commitDelta(pds[i], b)
 		if err != nil {
 			return stats, err
 		}
@@ -632,7 +647,7 @@ func (p *Pipeline) ConsumeBarrier(deltas []ingest.Delta) ([]SourceStats, error) 
 // snapshotBatch validates every delta of a batch (so a bad delta aborts
 // before any commit, leaving the KG untouched) and snapshots each delta's KG
 // reads against the batch-start state on the worker pool.
-func (p *Pipeline) snapshotBatch(deltas []ingest.Delta) ([]*preparedDelta, []SourceStats, error) {
+func (p *Pipeline) snapshotBatch(deltas []ingest.Delta, b *WorkerBudget) ([]*preparedDelta, []SourceStats, error) {
 	stats := make([]SourceStats, len(deltas))
 	for i := range deltas {
 		if err := p.validateDelta(deltas[i]); err != nil {
@@ -640,8 +655,8 @@ func (p *Pipeline) snapshotBatch(deltas []ingest.Delta) ([]*preparedDelta, []Sou
 		}
 	}
 	pds := make([]*preparedDelta, len(deltas))
-	runIndexed(p.workers(), len(deltas), func(i int) {
-		pds[i] = p.snapshotDelta(deltas[i])
+	runIndexedBudget(b, p.workers(), len(deltas), func(i int) {
+		pds[i] = p.snapshotDelta(deltas[i], b)
 	})
 	return pds, stats, nil
 }

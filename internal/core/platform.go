@@ -173,7 +173,10 @@ func (p *Platform) publish(source string, stats construct.SourceStats) error {
 	if len(stats.Touched) > 0 {
 		payload := make([]*triple.Entity, 0, len(stats.Touched))
 		for _, id := range stats.Touched {
-			if e := p.KG.Graph.Get(id); e != nil {
+			// Shared records: Publish only serializes them into the staging
+			// store, and agents replay decoded copies, so the publish path
+			// pays no clone per touched entity.
+			if e := p.KG.Graph.GetShared(id); e != nil {
 				payload = append(payload, e)
 			}
 		}
@@ -190,7 +193,9 @@ func (p *Platform) publish(source string, stats construct.SourceStats) error {
 }
 
 // Checkpoint publishes a construction checkpoint and materializes all
-// registered views over a consistent snapshot of the graph replica.
+// registered views over a consistent snapshot of the graph replica. The
+// snapshot is copy-on-write (O(shards), not O(|KG|)), so a view refresh on a
+// large graph neither pays a deep copy nor stalls concurrent commits.
 func (p *Platform) Checkpoint() (views.RunStats, error) {
 	if _, err := p.Engine.Publish(oplog.OpCheckpoint, "construction", nil); err != nil {
 		return views.RunStats{}, err
@@ -214,8 +219,10 @@ func (p *Platform) RefreshServing() {
 	scores := importance.Compute(p.GraphReplica, importance.Options{})
 	boosts := make(map[triple.EntityID]float64, len(scores))
 	var stable []*triple.Entity
-	p.GraphReplica.Range(func(e *triple.Entity) bool {
-		stable = append(stable, e.Clone())
+	// Shared records suffice: the live store clones on Put, so the stable
+	// view loads without an extra copy of the whole KG.
+	p.GraphReplica.RangeShared(func(e *triple.Entity) bool {
+		stable = append(stable, e)
 		return true
 	})
 	for id, s := range scores {
@@ -226,7 +233,9 @@ func (p *Platform) RefreshServing() {
 
 // BuildNERD materializes the NERD Entity View over the current replica and
 // wires the stack into object resolution (construction), live mention
-// resolution, and intent argument resolution.
+// resolution, and intent argument resolution. The replica snapshot it reads
+// is copy-on-write, so rebuilding NERD on a large KG no longer deep-copies
+// the graph or blocks replica writes for the duration.
 func (p *Platform) BuildNERD() *nerd.NERD {
 	scores := importance.Compute(p.GraphReplica, importance.Options{})
 	view := nerd.BuildEntityView(p.GraphReplica.Snapshot(), scores)
@@ -285,7 +294,7 @@ func (p *Platform) ApplyCurationDecisions() (int, error) {
 			if _, err := p.Engine.PublishDelete(live.CurationSource, []triple.EntityID{d.Entity}); err != nil {
 				return 0, err
 			}
-		} else if e := p.KG.Graph.Get(d.Entity); e != nil {
+		} else if e := p.KG.Graph.GetShared(d.Entity); e != nil {
 			if _, err := p.Engine.Publish(oplog.OpCuration, live.CurationSource, []*triple.Entity{e}); err != nil {
 				return 0, err
 			}

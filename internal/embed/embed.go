@@ -59,7 +59,10 @@ func EdgesFromGraph(g *triple.Graph) *EdgeSet {
 	}
 	ids := g.IDs()
 	for _, id := range ids {
-		e := g.Get(id)
+		e := g.GetShared(id) // edge extraction only reads; skip the clone
+		if e == nil {
+			continue // deleted after the IDs() listing
+		}
 		for _, t := range e.Triples {
 			if !t.Object.IsRef() || t.Predicate == triple.PredSameAs {
 				continue

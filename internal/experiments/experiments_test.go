@@ -259,6 +259,31 @@ func TestBatchedFusionShape(t *testing.T) {
 	}
 }
 
+func TestGraphStoreShape(t *testing.T) {
+	// Slim config: the correctness bits are what this job asserts; the
+	// benchmark (CI bench job) gates the timing claims at full size.
+	res, err := graphStoreRun(graphStoreConfig{
+		base: 120, snapIters: 50, copyIters: 2,
+		reads: 4000, sharedReads: 8000, reps: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("single-shard, sharded, deep-copied, and snapshotted graphs diverged")
+	}
+	if !res.SnapshotFrozen {
+		t.Fatal("snapshot moved while the live graph advanced")
+	}
+	if res.SnapshotSmallUS <= 0 || res.SnapshotLargeUS <= 0 || res.DeepCopyLargeUS <= 0 {
+		t.Fatalf("timings not populated: %+v", res)
+	}
+	// Deliberately no wall-clock gates here: the plain/race test jobs run on
+	// loaded runners where a timing assertion would flake with no code
+	// change; BenchmarkSnapshotUnderLoad gates SnapshotFlat and the 1.15x
+	// shared-read speedup in the bench job.
+}
+
 func TestVolatileOverwriteShape(t *testing.T) {
 	res, err := VolatileOverwrite()
 	if err != nil {

@@ -61,8 +61,13 @@ func Compute(g *triple.Graph, opts Options) map[triple.EntityID]Scores {
 	}
 	out := make([][]int, n) // adjacency over reference edges
 	scores := make([]Scores, n)
-	g.Range(func(e *triple.Entity) bool {
-		i := idx[e.ID]
+	g.RangeShared(func(e *triple.Entity) bool {
+		i, ok := idx[e.ID]
+		if !ok {
+			// Inserted after the IDs() listing (the live replica can advance
+			// mid-computation); skip rather than corrupt slot 0.
+			return true
+		}
 		scores[i].Identities = len(e.SourceSet())
 		for _, ref := range e.References() {
 			j, ok := idx[ref]

@@ -68,13 +68,7 @@ func NewStore() *Store {
 }
 
 func (s *Store) shardFor(id triple.EntityID) *storeShard {
-	const offset64, prime64 = 14695981039346656037, 1099511628211
-	var h uint64 = offset64
-	for i := 0; i < len(id); i++ {
-		h ^= uint64(id[i])
-		h *= prime64
-	}
-	return s.shards[h%storeShards]
+	return s.shards[triple.HashID(id)%storeShards]
 }
 
 func attrKey(pred, valText string) string { return pred + "\x1f" + valText }

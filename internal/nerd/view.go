@@ -83,7 +83,7 @@ func NewEntityView() *EntityView {
 func BuildEntityView(g *triple.Graph, scores map[triple.EntityID]importance.Scores) *EntityView {
 	v := NewEntityView()
 	incoming := incomingRelations(g)
-	g.Range(func(e *triple.Entity) bool {
+	g.RangeShared(func(e *triple.Entity) bool {
 		rec := summarize(e, g)
 		mergeIncoming(rec, incoming[e.ID])
 		if scores != nil {
@@ -99,7 +99,7 @@ func BuildEntityView(g *triple.Graph, scores map[triple.EntityID]importance.Scor
 // referencing it.
 func incomingRelations(g *triple.Graph) map[triple.EntityID][]incomingRef {
 	out := make(map[triple.EntityID][]incomingRef)
-	g.Range(func(src *triple.Entity) bool {
+	g.RangeShared(func(src *triple.Entity) bool {
 		name := src.Name()
 		types := src.Types()
 		for _, t := range src.Triples {
@@ -170,7 +170,7 @@ func mergeIncoming(rec *EntityRecord, refs []incomingRef) {
 func (v *EntityView) Update(e *triple.Entity, g *triple.Graph, imp float64) {
 	rec := summarize(e, g)
 	var refs []incomingRef
-	g.Range(func(src *triple.Entity) bool {
+	g.RangeShared(func(src *triple.Entity) bool {
 		for _, t := range src.Triples {
 			if t.Object.IsRef() && t.Object.Ref() == e.ID {
 				pred := t.Predicate
@@ -278,7 +278,9 @@ func summarize(e *triple.Entity, g *triple.Graph) *EntityRecord {
 		if !t.Object.IsRef() {
 			continue
 		}
-		target := g.Get(t.Object.Ref())
+		// Neighbour summaries only read names/types; the shared record skips
+		// a clone per one-hop reference — the dominant cost of view builds.
+		target := g.GetShared(t.Object.Ref())
 		if target == nil {
 			continue
 		}

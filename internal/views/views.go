@@ -26,7 +26,11 @@ import (
 // intermediate results of Figure 7 (an analytics-engine view consumed by the
 // embedding trainer, for example); the Manager owns their lifecycle.
 type Context struct {
-	// Graph is the KG snapshot for this run.
+	// Graph is the KG snapshot for this run. Snapshots are copy-on-write
+	// (triple.Graph.Snapshot is O(shards)), so taking one per materialization
+	// run is cheap even on a large KG; view procedures should read it through
+	// the clone-free paths (GetShared, RangeShared) and never mutate the
+	// entities those return.
 	Graph *triple.Graph
 
 	mu        sync.RWMutex
