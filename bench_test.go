@@ -222,6 +222,38 @@ func BenchmarkPipelinedConsumeBatchedFusion(b *testing.B) {
 	b.Logf("\n%s", last)
 }
 
+// BenchmarkStandingFeedCrossBatch measures the cross-batch pipelining claim:
+// a stream of delta batches ingested through the standing feed — batch N+1's
+// validation/snapshot/compute starting at batch N's last commit, publishing
+// on the ordered async group-commit publisher — versus serial ConsumeDeltas
+// calls that pay the synchronous publish + agent catch-up between batches.
+// Both platforms run a durable operation log, both must leave the KG and the
+// graph replica byte-identical, and the feed must deliver at least 1.15x
+// end-to-end throughput. The name carries "StandingFeed" so the CI bench job
+// records the trajectory per commit in BENCH_ci.json, where the metric is
+// regression-gated against BENCH_baseline.json.
+func BenchmarkStandingFeedCrossBatch(b *testing.B) {
+	var last experiments.StandingFeedResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.StandingFeed(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Identical {
+			b.Fatal("standing feed KG or replica diverged from serial ConsumeDeltas")
+		}
+		if res.FeedSpeedup < 1.15 {
+			b.Fatalf("standing feed regressed against serial ConsumeDeltas: %.2fx (want >= 1.15x)", res.FeedSpeedup)
+		}
+		last = res
+	}
+	b.ReportMetric(last.FeedSpeedup, "feed-speedup-x")
+	b.ReportMetric(last.Conflation, "publish-conflation-x")
+	b.ReportMetric(last.SerialMS, "serial-ms")
+	b.ReportMetric(last.FeedMS, "feed-ms")
+	b.Logf("\n%s", last)
+}
+
 // BenchmarkSnapshotUnderLoad measures the sharded copy-on-write graph on the
 // serving path: Snapshot() latency must stay roughly flat as the KG grows 5x
 // (the deep-copy comparator grows linearly — that was the pre-COW Snapshot

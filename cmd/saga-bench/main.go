@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named experiment (fig8, reuse, fig12, fig14a, fig14b, latency, simrecall, embedding, construction, indexedlinking, batchedfusion, graphstore, blocking, resolution, volatile, pruning)")
+	only := flag.String("only", "", "run only the named experiment (fig8, reuse, fig12, fig14a, fig14b, latency, simrecall, embedding, construction, indexedlinking, batchedfusion, standingfeed, graphstore, blocking, resolution, volatile, pruning)")
 	workers := flag.Int("workers", 0, "worker count for the construction/resolution/indexed-linking ablations (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -34,6 +34,7 @@ func main() {
 		{"construction", func() (fmt.Stringer, error) { return experiments.ConstructionPipeline(*workers) }},
 		{"indexedlinking", func() (fmt.Stringer, error) { return experiments.IndexedLinking(*workers) }},
 		{"batchedfusion", func() (fmt.Stringer, error) { return experiments.BatchedFusion(*workers) }},
+		{"standingfeed", func() (fmt.Stringer, error) { return experiments.StandingFeed(*workers) }},
 		{"graphstore", func() (fmt.Stringer, error) { return experiments.GraphStore() }},
 		{"blocking", func() (fmt.Stringer, error) { return experiments.BlockingAblation(), nil }},
 		{"resolution", func() (fmt.Stringer, error) { return experiments.ResolutionAblation(*workers), nil }},

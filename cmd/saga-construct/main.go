@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 
+	"saga/internal/construct"
 	"saga/internal/core"
 	"saga/internal/ingest"
 	"saga/internal/workload"
@@ -23,14 +24,16 @@ func main() {
 	workers := flag.Int("workers", 0, "intra-delta construction workers (0 = GOMAXPROCS, 1 = sequential)")
 	fullScan := flag.Bool("fullscan", false, "link by scanning the full per-type KG view instead of probing the incremental block index")
 	perEntity := flag.Bool("perentity", false, "fuse payload entities one graph round-trip at a time instead of batching per target KG entity")
+	feedMode := flag.Bool("feed", false, "stream sources through the standing ingestion feed (async ordered publish) instead of synchronous per-delta consumes")
 	flag.Parse()
 
 	p, err := core.New(core.Options{OplogPath: *oplogPath, Workers: *workers, FullScanLinking: *fullScan, PerEntityFusion: *perEntity})
 	if err != nil {
 		log.Fatalf("saga-construct: %v", err)
 	}
-	fmt.Printf("constructing KG from %d sources (%d entities each, overlap %d)\n",
-		*sources, *perSource, *overlap)
+	fmt.Printf("constructing KG from %d sources (%d entities each, overlap %d, feed=%v)\n",
+		*sources, *perSource, *overlap, *feedMode)
+	deltas := make([]ingest.Delta, 0, *sources+1)
 	for s := 0; s < *sources; s++ {
 		spec := workload.SourceSpec{
 			Name:    fmt.Sprintf("src%02d", s),
@@ -39,22 +42,52 @@ func main() {
 			DupRate: 0.05, TypoRate: 0.1, RichFacts: 2,
 			Seed: int64(s + 1),
 		}
-		stats, err := p.ConsumeDelta(spec.Delta())
-		if err != nil {
-			log.Fatalf("saga-construct: %v", err)
-		}
-		fmt.Printf("  %s\n", stats)
+		deltas = append(deltas, spec.Delta())
 	}
 	// Incremental round: 5% of source 0 changes.
 	changed := workload.SourceSpec{
 		Name: "src00", Offset: 0, Count: *perSource / 20,
 		Seed: 999, RichFacts: 2,
 	}
-	stats, err := p.ConsumeDelta(ingest.Delta{Source: "src00", Updated: changed.Entities()[:*perSource/20]})
-	if err != nil {
-		log.Fatalf("saga-construct: %v", err)
+	deltas = append(deltas, ingest.Delta{Source: "src00", Updated: changed.Entities()[:*perSource/20]})
+
+	if *feedMode {
+		// Streaming mode: every delta is its own batch on the standing feed;
+		// the commit loop starts the next source the moment the previous
+		// one's last commit lands, while publishing trails asynchronously.
+		// Each source still links against every previously committed source,
+		// exactly as the synchronous loop below.
+		f, err := p.Feed(core.FeedOptions{})
+		if err != nil {
+			log.Fatalf("saga-construct: %v", err)
+		}
+		results := make([]<-chan construct.BatchResult, 0, len(deltas))
+		for _, d := range deltas {
+			results = append(results, f.Submit([]ingest.Delta{d}))
+		}
+		for _, ch := range results {
+			res := <-ch
+			if res.Err != nil {
+				log.Fatalf("saga-construct: batch %d: %v", res.Seq, res.Err)
+			}
+			fmt.Printf("  %s\n", res.Stats[0])
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("saga-construct: %v", err)
+		}
+		fs := f.Stats()
+		fmt.Printf("feed: %d batches submitted, %d committed, %d published in %d publish groups (%.1f batches/group)\n",
+			fs.Submitted, fs.Committed, fs.Published, fs.PublishGroups,
+			float64(fs.Published)/float64(max(fs.PublishGroups, 1)))
+	} else {
+		for _, d := range deltas {
+			stats, err := p.ConsumeDelta(d)
+			if err != nil {
+				log.Fatalf("saga-construct: %v", err)
+			}
+			fmt.Printf("  %s\n", stats)
+		}
 	}
-	fmt.Printf("incremental round: %s\n", stats)
 
 	conflicts := p.Pipeline.DrainConflicts()
 	st := p.Stats()

@@ -67,6 +67,14 @@ type Pipeline struct {
 	// batchedfusion experiment and benchmark measure against.
 	PerEntityFusion bool
 
+	// commitHook, when set (tests only), runs at the start of every
+	// commitDelta under the fusion lock, before any graph write; a non-nil
+	// error aborts that delta's commit cleanly, leaving the KG and the
+	// KG-derived caches exactly as the previous commit left them. It exists
+	// to exercise the mid-batch commit-error contract, which no production
+	// commit path currently triggers on its own.
+	commitHook func(source string) error
+
 	fuseMu      sync.Mutex
 	conflictsMu sync.Mutex
 	conflicts   []Conflict
@@ -158,6 +166,30 @@ func (p *Pipeline) kgResolver() *AliasResolver {
 	}
 	return p.aliasResolver
 }
+
+// BatchError reports a mid-batch commit failure inside Consume,
+// ConsumeBarrier, or a Feed batch. Commits are input-ordered and each delta's
+// commit is all-or-nothing, so the failure splits the batch exactly: deltas
+// [0, Index) are fully applied — the partial-prefix contract — the delta at
+// Index failed before writing anything, and nothing at or after Index is
+// applied. The KG and its derived caches (block index, alias-resolver cache)
+// are byte-identical to consuming just the prefix, and the returned stats
+// carry exactly the prefix's entries.
+type BatchError struct {
+	// Index is the input position of the delta whose commit failed; it is
+	// also the number of fully committed deltas (the prefix length).
+	Index int
+	// Err is the underlying commit error.
+	Err error
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("construct: batch commit failed at delta %d (deltas [0,%d) remain applied): %v", e.Index, e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying commit error.
+func (e *BatchError) Unwrap() error { return e.Err }
 
 // SourceStats summarizes one consumed delta.
 type SourceStats struct {
@@ -356,6 +388,12 @@ func (p *Pipeline) commitDelta(pd *preparedDelta, b *WorkerBudget) (SourceStats,
 
 	p.fuseMu.Lock()
 	defer p.fuseMu.Unlock()
+
+	if p.commitHook != nil {
+		if err := p.commitHook(d.Source); err != nil {
+			return stats, err
+		}
+	}
 
 	resolver := p.Resolver
 	if resolver == nil {
@@ -580,6 +618,64 @@ func (p *Pipeline) ConsumeDelta(d ingest.Delta) (SourceStats, error) {
 	return p.commitDelta(pd, b)
 }
 
+// batchRun carries a validated, snapshotted batch whose pure compute phase is
+// running on the worker pool: the reusable middle stage between beginBatch
+// and commitBatch that Consume and the standing Feed share.
+type batchRun struct {
+	pds      []*preparedDelta
+	computed []chan struct{} // computed[i] closes when delta i's compute is done
+	budget   *WorkerBudget
+}
+
+// wait blocks until every compute of the batch has settled. The commit path
+// calls it on errors so no compute goroutine outlives its batch.
+func (br *batchRun) wait() {
+	for _, ch := range br.computed {
+		<-ch
+	}
+}
+
+// beginBatch runs a validated batch's read stages: it snapshots each delta's
+// KG reads against the graph's current state on the worker pool and launches
+// the pure compute phase (blocking on the scan path, pair scoring, component
+// clustering) in the background. Callers must have validated the batch (so a
+// bad delta aborts before any commit, leaving the KG untouched). The
+// returned batchRun is ready for commitBatch; its computes overlap any
+// commits the caller interleaves.
+func (p *Pipeline) beginBatch(deltas []ingest.Delta) *batchRun {
+	b := p.newBudget()
+	pds := p.snapshotBatch(deltas, b)
+	br := &batchRun{pds: pds, budget: b, computed: make([]chan struct{}, len(pds))}
+	for i := range br.computed {
+		br.computed[i] = make(chan struct{})
+	}
+	go runIndexedBudget(b, p.workers(), len(pds), func(i int) {
+		p.computeDelta(pds[i], b)
+		close(br.computed[i])
+	})
+	return br
+}
+
+// commitBatch commits a begun batch's deltas in input order, filling stats[i]
+// as each commit lands; commit i starts as soon as delta i's compute and
+// commit i−1 are both done. On a commit error it first waits for the batch's
+// remaining in-flight computes to settle — no compute goroutine outlives the
+// batch — and returns a *BatchError carrying the partial-prefix contract:
+// deltas [0, Index) stay fully applied with their stats filled, nothing at or
+// after Index is applied.
+func (p *Pipeline) commitBatch(br *batchRun, stats []SourceStats) error {
+	for i := range br.pds {
+		<-br.computed[i]
+		s, err := p.commitDelta(br.pds[i], br.budget)
+		if err != nil {
+			br.wait()
+			return &BatchError{Index: i, Err: err}
+		}
+		stats[i] = s
+	}
+	return nil
+}
+
 // Consume processes multiple source deltas with a pipelined commit phase.
 // Every delta is validated, then every delta's KG reads are snapshotted
 // against the batch-start state, and then commit i — minting, object
@@ -591,74 +687,83 @@ func (p *Pipeline) ConsumeDelta(d ingest.Delta) (SourceStats, error) {
 // delta of a batch links against the KG state at batch start; deltas of one
 // batch never link against each other's output.) A validation error commits
 // nothing. Results are ordered as the input.
+//
+// A mid-batch commit error follows the partial-prefix contract: the returned
+// error is a *BatchError, deltas before its Index remain fully applied with
+// their stats entries filled (later entries are zero), the KG-derived caches
+// match the applied prefix, and every in-flight compute has settled before
+// Consume returns.
 func (p *Pipeline) Consume(deltas []ingest.Delta) ([]SourceStats, error) {
-	if p.workers() <= 1 {
-		// One worker means nothing can overlap; the barrier schedule is the
-		// same computation without the cross-goroutine handoff.
-		return p.ConsumeBarrier(deltas)
+	if err := p.validateBatch(deltas); err != nil {
+		return make([]SourceStats, len(deltas)), err
 	}
-	b := p.newBudget()
-	pds, stats, err := p.snapshotBatch(deltas, b)
-	if err != nil {
-		return stats, err
+	return p.consumeValidated(deltas)
+}
+
+// consumeValidated is Consume without the validation pass; the standing Feed
+// enters here because Submit already validated the batch. Single-delta
+// batches and single-worker pipelines take the barrier schedule — with
+// nothing to overlap it is the same computation without the cross-goroutine
+// handoff.
+func (p *Pipeline) consumeValidated(deltas []ingest.Delta) ([]SourceStats, error) {
+	stats := make([]SourceStats, len(deltas))
+	if len(deltas) <= 1 || p.workers() <= 1 {
+		return stats, p.commitBarrier(deltas, stats)
 	}
-	computed := make([]chan struct{}, len(deltas))
-	for i := range computed {
-		computed[i] = make(chan struct{})
-	}
-	go runIndexedBudget(b, p.workers(), len(deltas), func(i int) {
-		p.computeDelta(pds[i], b)
-		close(computed[i])
-	})
-	for i := range pds {
-		<-computed[i]
-		s, err := p.commitDelta(pds[i], b)
-		if err != nil {
-			return stats, err
-		}
-		stats[i] = s
-	}
-	return stats, nil
+	return stats, p.commitBatch(p.beginBatch(deltas), stats)
 }
 
 // ConsumeBarrier is the pre-pipelining Consume: every delta's compute
 // finishes before the first commit starts. It produces exactly Consume's KG
-// and stats and exists as the ablation comparator for the commit-pipeline
+// and stats (including the *BatchError partial-prefix contract on commit
+// errors) and exists as the ablation comparator for the commit-pipeline
 // overlap.
 func (p *Pipeline) ConsumeBarrier(deltas []ingest.Delta) ([]SourceStats, error) {
-	b := p.newBudget()
-	pds, stats, err := p.snapshotBatch(deltas, b)
-	if err != nil {
+	stats := make([]SourceStats, len(deltas))
+	if err := p.validateBatch(deltas); err != nil {
 		return stats, err
 	}
-	runIndexedBudget(b, p.workers(), len(deltas), func(i int) {
+	return stats, p.commitBarrier(deltas, stats)
+}
+
+// commitBarrier runs a validated batch on the barrier schedule: snapshot
+// all, compute all, then commit in input order, filling stats[i] per commit
+// (prefix-only on a *BatchError).
+func (p *Pipeline) commitBarrier(deltas []ingest.Delta, stats []SourceStats) error {
+	b := p.newBudget()
+	pds := p.snapshotBatch(deltas, b)
+	runIndexedBudget(b, p.workers(), len(pds), func(i int) {
 		p.computeDelta(pds[i], b)
 	})
 	for i := range pds {
 		s, err := p.commitDelta(pds[i], b)
 		if err != nil {
-			return stats, err
+			return &BatchError{Index: i, Err: err}
 		}
 		stats[i] = s
 	}
-	return stats, nil
+	return nil
 }
 
-// snapshotBatch validates every delta of a batch (so a bad delta aborts
-// before any commit, leaving the KG untouched) and snapshots each delta's KG
-// reads against the batch-start state on the worker pool.
-func (p *Pipeline) snapshotBatch(deltas []ingest.Delta, b *WorkerBudget) ([]*preparedDelta, []SourceStats, error) {
-	stats := make([]SourceStats, len(deltas))
+// validateBatch checks every delta of a batch before any state changes, so
+// a batch containing a bad delta commits nothing.
+func (p *Pipeline) validateBatch(deltas []ingest.Delta) error {
 	for i := range deltas {
 		if err := p.validateDelta(deltas[i]); err != nil {
-			return nil, stats, err
+			return err
 		}
 	}
+	return nil
+}
+
+// snapshotBatch snapshots each delta's KG reads against the batch-start
+// state on the worker pool. The batch must already be validated.
+func (p *Pipeline) snapshotBatch(deltas []ingest.Delta, b *WorkerBudget) []*preparedDelta {
 	pds := make([]*preparedDelta, len(deltas))
 	runIndexedBudget(b, p.workers(), len(deltas), func(i int) {
 		pds[i] = p.snapshotDelta(deltas[i], b)
 	})
-	return pds, stats, nil
+	return pds
 }
 
 // ConsumeSequential processes deltas one at a time; the ablation comparator

@@ -1,0 +1,312 @@
+package core
+
+// Platform-level coverage of the standing ingestion feed and the publish
+// error paths: the feed's async publisher must leave every store exactly
+// where serial ConsumeDeltas calls would, serving-side entry points must
+// drain the feed before reading, and an Engine.Publish failure must heal —
+// never leaving RefreshServing or the agents permanently diverged from the
+// KG.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"saga/internal/construct"
+	"saga/internal/ingest"
+	"saga/internal/views"
+	"saga/internal/workload"
+)
+
+// platformBatches builds `rounds` batches over `sources` type-disjoint
+// sources: round 0 adds, later rounds whole-source updates over a shifted
+// window (updates mixed with fresh adds).
+func platformBatches(rounds, sources, count int) [][]ingest.Delta {
+	out := make([][]ingest.Delta, rounds)
+	for r := range out {
+		deltas := make([]ingest.Delta, sources)
+		for s := range deltas {
+			spec := workload.SourceSpec{
+				Name:   fmt.Sprintf("src%02d", s),
+				Type:   fmt.Sprintf("kind%02d", s),
+				Offset: r * 4, Count: count,
+				DupRate: 0.1, TypoRate: 0.1, RichFacts: 2,
+				Seed: int64(r*100 + s + 1),
+			}
+			if r == 0 {
+				deltas[s] = spec.Delta()
+			} else {
+				deltas[s] = ingest.Delta{Source: spec.Name, Updated: spec.Entities()}
+			}
+		}
+		out[r] = deltas
+	}
+	return out
+}
+
+// TestPlatformFeedMatchesSerialConsumeDeltas: the feed must leave the KG,
+// the operation log, and every agent-derived store byte-identical to serial
+// ConsumeDeltas calls over the same batches.
+func TestPlatformFeedMatchesSerialConsumeDeltas(t *testing.T) {
+	batches := platformBatches(4, 3, 10)
+
+	serial, err := New(Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if _, err := serial.ConsumeDeltas(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fed, err := New(Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fed.Feed(FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]<-chan construct.BatchResult, 0, len(batches))
+	for _, b := range batches {
+		results = append(results, f.Submit(b))
+	}
+	for i, ch := range results {
+		if res := <-ch; res.Err != nil {
+			t.Fatalf("batch %d: %v", i, res.Err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := fed.KG.Graph.Triples(), serial.KG.Graph.Triples(); !reflect.DeepEqual(got, want) {
+		t.Fatal("feed KG diverged from serial ConsumeDeltas")
+	}
+	if got, want := fed.GraphReplica.Triples(), serial.GraphReplica.Triples(); !reflect.DeepEqual(got, want) {
+		t.Fatal("feed graph replica diverged from serial ConsumeDeltas")
+	}
+	if got, want := fed.Engine.Log.LastLSN(), serial.Engine.Log.LastLSN(); got != want {
+		t.Fatalf("log LSN = %d, serial %d", got, want)
+	}
+	// Every agent fully caught up before Close returned.
+	for _, name := range fed.Engine.Agents() {
+		if behind := fed.Engine.Freshness(name); behind != 0 {
+			t.Fatalf("agent %s is %d ops behind after Close", name, behind)
+		}
+	}
+}
+
+// TestFeedDrainBeforeServing: RefreshServing and Checkpoint must observe
+// every batch submitted before them, without the caller waiting on results.
+func TestFeedDrainBeforeServing(t *testing.T) {
+	p, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	if err := p.ViewCatalog.Register(views.Definition{
+		Name:   "count-view",
+		Create: func(ctx *views.Context) error { seen = ctx.Graph.Len(); return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Feed(FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range platformBatches(3, 2, 8) {
+		f.Submit(b) // results intentionally ignored: drain must cover them
+	}
+	p.RefreshServing()
+	if got, want := p.Live.Len(), p.KG.Graph.Len(); got < want {
+		t.Fatalf("live store has %d of %d KG entities after RefreshServing", got, want)
+	}
+	if _, err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := seen, p.KG.Graph.Len(); got != want {
+		t.Fatalf("checkpoint view saw %d of %d entities", got, want)
+	}
+	// A second feed while this one is open must be refused.
+	if _, err := p.Feed(FeedOptions{}); err == nil {
+		t.Fatal("second feed opened while one is active")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close a new feed may open.
+	f2, err := p.Feed(FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConsumeDeltasPublishFailureHeals: an Engine.Publish failure for one
+// delta must not stop the batch's other deltas from reaching the stores, and
+// the failed delta's effects must re-sync from the KG at the next publish
+// point — RefreshServing and the agents never stay diverged.
+func TestConsumeDeltasPublishFailureHeals(t *testing.T) {
+	p, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failErr := errors.New("injected publish failure")
+	p.publishHook = func(source string) error {
+		if source == "src01" {
+			return failErr
+		}
+		return nil
+	}
+	if _, err := p.ConsumeDeltas(platformBatches(1, 3, 8)[0]); !errors.Is(err, failErr) {
+		t.Fatalf("consume error = %v", err)
+	}
+	if p.KG.Graph.Len() == 0 {
+		t.Fatal("KG empty — commit should precede publish")
+	}
+	// The other deltas' publishes continued past the failure and agents were
+	// caught up on them.
+	if p.GraphReplica.Len() == 0 {
+		t.Fatal("replica empty: publish loop stopped at the first failure")
+	}
+	if p.GraphReplica.Len() >= p.KG.Graph.Len() {
+		t.Fatalf("replica unexpectedly complete: %d of %d", p.GraphReplica.Len(), p.KG.Graph.Len())
+	}
+	// Heal: the engine recovers, the next serving refresh re-syncs.
+	p.publishHook = nil
+	p.RefreshServing()
+	if got, want := p.GraphReplica.Triples(), p.KG.Graph.Triples(); !reflect.DeepEqual(got, want) {
+		t.Fatal("replica still diverged from the KG after the engine recovered")
+	}
+	if got, want := p.Live.Len(), p.KG.Graph.Len(); got < want {
+		t.Fatalf("live store has %d of %d entities", got, want)
+	}
+}
+
+// TestFeedPublishFailureHealsLaterBatchesCommit: a publish failure inside
+// the feed's async publisher fails that batch's result only; later batches
+// commit and publish, and the failed batch's effects heal at the next
+// publish point.
+func TestFeedPublishFailureHealsLaterBatchesCommit(t *testing.T) {
+	p, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failErr := errors.New("injected publish failure")
+	p.publishHook = func(source string) error {
+		if source == "src01" {
+			return failErr
+		}
+		return nil
+	}
+	batches := platformBatches(3, 2, 8)
+	f, err := p.Feed(FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []<-chan construct.BatchResult
+	for _, b := range batches {
+		results = append(results, f.Submit(b))
+	}
+	failed := 0
+	for _, ch := range results {
+		if res := <-ch; res.Err != nil {
+			if !errors.Is(res.Err, failErr) {
+				t.Fatalf("unexpected batch error: %v", res.Err)
+			}
+			failed++
+		}
+	}
+	if failed != len(batches) {
+		// src01 appears in every batch, so every batch's publish reports it.
+		t.Fatalf("failed batches = %d of %d", failed, len(batches))
+	}
+	if err := f.Close(); !errors.Is(err, failErr) {
+		t.Fatalf("Close sticky error = %v", err)
+	}
+	// src00's ops all published; src01's are pending.
+	if p.GraphReplica.Len() == 0 || p.GraphReplica.Len() >= p.KG.Graph.Len() {
+		t.Fatalf("replica %d of %d entities", p.GraphReplica.Len(), p.KG.Graph.Len())
+	}
+	p.publishHook = nil
+	if _, err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.GraphReplica.Triples(), p.KG.Graph.Triples(); !reflect.DeepEqual(got, want) {
+		t.Fatal("replica still diverged after the engine recovered")
+	}
+}
+
+// TestSyncConsumeRoutesThroughOpenFeed: with a feed open, the synchronous
+// consume paths submit to it instead of publishing directly, so the feed's
+// ordered publisher stays the engine's single producer — and the sync call
+// still returns fully published, caught-up state.
+func TestSyncConsumeRoutesThroughOpenFeed(t *testing.T) {
+	p, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Feed(FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := platformBatches(2, 2, 8)
+	f.Submit(batches[0])
+	stats, err := p.ConsumeDeltas(batches[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != len(batches[1]) || stats[0].Source != batches[1][0].Source {
+		t.Fatalf("routed stats = %+v", stats)
+	}
+	// The sync call resolved after its batch (and everything before it)
+	// committed and published.
+	for _, name := range p.Engine.Agents() {
+		if behind := p.Engine.Freshness(name); behind != 0 {
+			t.Fatalf("agent %s is %d ops behind after routed ConsumeDeltas", name, behind)
+		}
+	}
+	single, err := p.ConsumeDelta(batches[1][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Source != batches[1][0].Source {
+		t.Fatalf("routed single-delta stats = %+v", single)
+	}
+	fs := f.Stats()
+	if fs.Submitted != 3 {
+		t.Fatalf("feed saw %d batches, want 3 (sync consumes must route through it)", fs.Submitted)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.GraphReplica.Triples(), p.KG.Graph.Triples(); !reflect.DeepEqual(got, want) {
+		t.Fatal("replica diverged from KG")
+	}
+}
+
+// TestPlatformFeedEmptyBatch: the platform feed fast-paths empty batches.
+func TestPlatformFeedEmptyBatch(t *testing.T) {
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Feed(FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := <-f.Submit(nil); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Engine.Log.LastLSN(); got != 0 {
+		t.Fatalf("empty batch published %d ops", got)
+	}
+}

@@ -8,8 +8,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"saga/internal/construct"
 	"saga/internal/graphengine"
@@ -75,6 +77,31 @@ type Platform struct {
 	NERD *nerd.NERD
 
 	snapshots map[string]ingest.Snapshot
+
+	// feedMu guards the standing feed slot; at most one feed is open at a
+	// time so the pipeline's write path stays single-producer.
+	feedMu sync.Mutex
+	feed   *construct.Feed
+
+	// pendingMu guards publishes that failed against the engine; they are
+	// retried — re-synced against the KG's current state — at the next
+	// publish point so a transient Engine.Publish error cannot leave the
+	// serving stores permanently diverged from the KG.
+	pendingMu sync.Mutex
+	pending   []pendingPublish
+
+	// publishHook, when set (tests only), runs before every engine publish
+	// and can inject failures to exercise the retry path.
+	publishHook func(source string) error
+}
+
+// pendingPublish records a failed publish: the source and the KG entities
+// whose store state may be stale. A retry publishes the entities' *current*
+// KG state (upsert if present, delete if gone), which is convergent no
+// matter how many later commits touched them in between.
+type pendingPublish struct {
+	source string
+	ids    []triple.EntityID
 }
 
 // New assembles a platform.
@@ -137,15 +164,37 @@ func (p *Platform) IngestSource(src *ingest.Source, data io.Reader) (construct.S
 
 // ConsumeDelta runs one delta through construction and publishes the touched
 // entities to the Graph Engine, then replays agents so all stores converge.
+// With a standing feed open, the delta is routed through the feed instead —
+// submitted as a single-delta batch and awaited — so the feed's commit loop
+// and ordered publisher remain the engine's only producer and publishes can
+// never reorder against concurrently submitted batches.
 func (p *Platform) ConsumeDelta(d ingest.Delta) (construct.SourceStats, error) {
+	if f := p.openFeed(); f != nil {
+		res := <-f.Submit([]ingest.Delta{d})
+		if !errors.Is(res.Err, construct.ErrFeedClosed) {
+			if len(res.Stats) == 1 {
+				return res.Stats[0], res.Err
+			}
+			return construct.SourceStats{Source: d.Source}, res.Err
+		}
+		// Closed between openFeed and Submit: nothing consumed. Wait for
+		// the closing feed's backlog to finish publishing so the
+		// synchronous path below never runs as a second concurrent
+		// producer, then fall through.
+		f.Drain()
+	}
 	stats, err := p.Pipeline.ConsumeDelta(d)
 	if err != nil {
 		return stats, err
 	}
-	if err := p.publish(d.Source, stats); err != nil {
-		return stats, err
+	pubErr := p.flushPending()
+	if err := p.publishStats(stats); err != nil && pubErr == nil {
+		pubErr = err
 	}
-	return stats, nil
+	if err := p.Engine.CatchUp(); err != nil && pubErr == nil {
+		pubErr = err
+	}
+	return stats, pubErr
 }
 
 // ConsumeDeltas consumes several sources through the pipelined commit path
@@ -156,47 +205,318 @@ func (p *Platform) ConsumeDelta(d ingest.Delta) (construct.SourceStats, error) {
 // never merges two existing KG entities afterwards (≤1 graph entity per
 // cluster). Batch only independent sources; consume related sources in
 // separate calls so the later one links against the earlier one's output.
+// For a continuously arriving stream of batches, prefer Feed: it overlaps
+// this call's publish tail with the next batch's construction. With a
+// standing feed open, the batch is routed through it (submitted and awaited)
+// so the feed stays the engine's only producer.
+//
+// Error contract: a *construct.BatchError means the committed prefix (see
+// that type) stayed applied — its effects are still published so the stores
+// track the KG. A publish error does not lose data either: the failed ops are
+// queued and re-synced from the KG at the next publish point, and agents are
+// always caught up on whatever reached the log before this call returns.
 func (p *Platform) ConsumeDeltas(deltas []ingest.Delta) ([]construct.SourceStats, error) {
+	if f := p.openFeed(); f != nil {
+		res := <-f.Submit(deltas)
+		if !errors.Is(res.Err, construct.ErrFeedClosed) {
+			return res.Stats, res.Err
+		}
+		// Closed between openFeed and Submit: nothing consumed. Wait for
+		// the closing feed's backlog to finish publishing so the
+		// synchronous path below never runs as a second concurrent
+		// producer, then fall through.
+		f.Drain()
+	}
 	all, err := p.Pipeline.Consume(deltas)
+	pubErr := p.flushPending()
+	for i := range all {
+		// On a mid-batch commit error the uncommitted entries are zero
+		// (empty Touched/Removed), so exactly the applied prefix publishes.
+		if perr := p.publishStats(all[i]); perr != nil && pubErr == nil {
+			pubErr = perr
+		}
+	}
+	if cerr := p.Engine.CatchUp(); cerr != nil && pubErr == nil {
+		pubErr = cerr
+	}
 	if err != nil {
 		return all, err
 	}
-	for i := range all {
-		if err := p.publish(deltas[i].Source, all[i]); err != nil {
-			return all, err
-		}
-	}
-	return all, nil
+	return all, pubErr
 }
 
-func (p *Platform) publish(source string, stats construct.SourceStats) error {
-	if len(stats.Touched) > 0 {
-		payload := make([]*triple.Entity, 0, len(stats.Touched))
-		for _, id := range stats.Touched {
-			// Shared records: Publish only serializes them into the staging
-			// store, and agents replay decoded copies, so the publish path
-			// pays no clone per touched entity.
+// publishStats ships one commit's effects (upserts of its touched entities,
+// deletes of its removed ones) into the engine, without catching agents up;
+// callers batch one CatchUp per consume call.
+func (p *Platform) publishStats(stats construct.SourceStats) error {
+	if len(stats.Touched) == 0 && len(stats.Removed) == 0 {
+		return nil
+	}
+	payload := make([]*triple.Entity, 0, len(stats.Touched))
+	for _, id := range stats.Touched {
+		// Shared records: Publish only serializes them into the staging
+		// store, and agents replay decoded copies, so the publish path
+		// pays no clone per touched entity.
+		if e := p.KG.Graph.GetShared(id); e != nil {
+			payload = append(payload, e)
+		}
+	}
+	return p.publishRaw(stats.Source, payload, stats.Removed)
+}
+
+// publishRaw is the platform's single gate onto Engine.Publish. On failure it
+// queues the affected entity IDs for retry, so a transient engine error never
+// leaves the stores permanently behind the KG: the next publish point
+// re-syncs them from the KG's then-current state.
+func (p *Platform) publishRaw(source string, upserts []*triple.Entity, removed []triple.EntityID) error {
+	var err error
+	if p.publishHook != nil {
+		err = p.publishHook(source)
+	}
+	if err == nil && len(upserts) > 0 {
+		_, err = p.Engine.Publish(oplog.OpUpsert, source, upserts)
+	}
+	if err == nil && len(removed) > 0 {
+		_, err = p.Engine.PublishDelete(source, removed)
+	}
+	if err != nil {
+		ids := make([]triple.EntityID, 0, len(upserts)+len(removed))
+		for _, e := range upserts {
+			ids = append(ids, e.ID)
+		}
+		ids = append(ids, removed...)
+		p.pendingMu.Lock()
+		p.pending = append(p.pending, pendingPublish{source: source, ids: ids})
+		p.pendingMu.Unlock()
+	}
+	return err
+}
+
+// flushPending retries publishes that previously failed. Each retry syncs the
+// stores toward the KG's current state for the recorded entities — upsert the
+// ones still present, delete the ones gone — which is idempotent and safe to
+// interleave with any later successful publishes of the same entities. Still-
+// failing retries re-queue themselves (inside publishRaw).
+func (p *Platform) flushPending() error {
+	p.pendingMu.Lock()
+	pend := p.pending
+	p.pending = nil
+	p.pendingMu.Unlock()
+	var firstErr error
+	for _, pp := range pend {
+		var upserts []*triple.Entity
+		var removed []triple.EntityID
+		for _, id := range pp.ids {
 			if e := p.KG.Graph.GetShared(id); e != nil {
-				payload = append(payload, e)
+				upserts = append(upserts, e)
+			} else {
+				removed = append(removed, id)
 			}
 		}
-		if _, err := p.Engine.Publish(oplog.OpUpsert, source, payload); err != nil {
-			return err
+		if err := p.publishRaw(pp.source, upserts, removed); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	if len(stats.Removed) > 0 {
-		if _, err := p.Engine.PublishDelete(source, stats.Removed); err != nil {
-			return err
+	return firstErr
+}
+
+// FeedOptions configures the platform's standing ingestion feed.
+type FeedOptions struct {
+	// Queue bounds batches accepted but not yet committing; Submit blocks —
+	// backpressure — while full. 0 means construct.DefaultFeedQueue.
+	Queue int
+	// PublishQueue bounds committed batches awaiting the async publisher;
+	// the commit loop stalls while full, so a slow Graph Engine
+	// backpressures ingestion instead of growing an unbounded unpublished
+	// backlog. 0 means construct.DefaultFeedPublishQueue.
+	PublishQueue int
+}
+
+// Feed opens the platform's standing ingestion feed: a long-lived commit
+// loop over the construction pipeline in which batch N+1's validation,
+// KG-read snapshotting, and compute begin as soon as batch N's last commit
+// (not its publish) finishes, while publishing to the Graph Engine runs on
+// an ordered asynchronous publisher off the commit path. The KG a feed
+// constructs is byte-identical to back-to-back ConsumeDeltas calls over the
+// same batches; the serving stores converge to the same state once the feed
+// drains (a batch's BatchResult with a nil Err means it is committed,
+// published, and replayed into every agent).
+//
+// At most one feed is open at a time — the construction pipeline is the
+// polystore's single producer. While a feed is open, ConsumeDelta and
+// ConsumeDeltas route through it (submit and await), so every publish flows
+// through the feed's ordered publisher; checkpoint, serving-refresh, and
+// curation paths drain it first. Close the feed (or Drain it) before
+// reading the serving stores directly; quiesce submitters before applying
+// curation decisions so hot-fix publishes cannot interleave with captured
+// batch publishes.
+func (p *Platform) Feed(opts FeedOptions) (*construct.Feed, error) {
+	p.feedMu.Lock()
+	defer p.feedMu.Unlock()
+	if p.feed != nil && !p.feed.Terminated() {
+		// Closed-but-still-draining counts as open: its commit loop and
+		// publisher are still producing, and two feeds would break the
+		// engine's single-producer ordering.
+		return nil, fmt.Errorf("core: a standing feed is already open")
+	}
+	f := construct.NewFeed(p.Pipeline, construct.FeedOptions{
+		Queue:        opts.Queue,
+		PublishQueue: opts.PublishQueue,
+		OnCommit:     p.captureFeedBatch,
+		Publish:      p.publishFeedGroup,
+	})
+	p.feed = f
+	return f, nil
+}
+
+// capturedOp is one delta's publish payload, captured on the feed's commit
+// loop right after its batch commits. Capturing there (shared records — no
+// clone, just pointer grabs) pins exactly the entity states the commit
+// produced, so the async publisher appends the same operations to the log
+// that the synchronous path would have, no matter how far construction has
+// advanced by the time the publish runs.
+type capturedOp struct {
+	source  string
+	upserts []*triple.Entity
+	removed []triple.EntityID
+}
+
+// captureFeedBatch is the feed's OnCommit hook (commit loop, ordered).
+func (p *Platform) captureFeedBatch(b *construct.FeedBatch) {
+	ops := make([]capturedOp, 0, len(b.Stats))
+	for i := range b.Stats {
+		st := &b.Stats[i]
+		if len(st.Touched) == 0 && len(st.Removed) == 0 {
+			continue
+		}
+		op := capturedOp{source: st.Source, removed: st.Removed}
+		for _, id := range st.Touched {
+			if e := p.KG.Graph.GetShared(id); e != nil {
+				op.upserts = append(op.upserts, e)
+			}
+		}
+		ops = append(ops, op)
+	}
+	b.Payload = ops
+}
+
+// publishFeedGroup is the feed's Publish hook (publisher goroutine, ordered):
+// it retries any queued failed publishes, appends the group's captured
+// operations to the log, and catches every agent up — the expensive half of
+// the old synchronous publish path, now off the commit loop.
+//
+// The group is the publisher's whole backlog, which enables conflation
+// (group commit): an entity touched by several batches of the group is
+// published once, at its final captured state, under the source that wrote
+// it last. The stores converge to exactly the state per-batch publishing
+// would have reached — captured records are immutable and the final state is
+// the last batch's — while the log carries one operation per entity per
+// drain instead of one per entity per batch. On an update-heavy stream this
+// is what lets a publisher that falls behind catch back up instead of
+// lagging forever.
+func (p *Platform) publishFeedGroup(group []*construct.FeedBatch) error {
+	// Retry failures belong to the batch that first reported them; they stay
+	// queued (flushPending re-queues what still fails) without failing this
+	// group's results.
+	_ = p.flushPending()
+
+	// Flatten the group's captured ops into per-entity events, in capture
+	// order, then keep only each entity's last event. Consecutive survivors
+	// from the same source and kind collapse into one log operation, so op
+	// granularity adapts to however the sources interleave.
+	type event struct {
+		source string
+		id     triple.EntityID
+		e      *triple.Entity // nil means delete
+	}
+	var evs []event
+	for _, b := range group {
+		ops, _ := b.Payload.([]capturedOp)
+		for _, op := range ops {
+			for _, e := range op.upserts {
+				evs = append(evs, event{source: op.source, id: e.ID, e: e})
+			}
+			for _, id := range op.removed {
+				evs = append(evs, event{source: op.source, id: id})
+			}
 		}
 	}
-	return p.Engine.CatchUp()
+	last := make(map[triple.EntityID]int, len(evs))
+	for i, ev := range evs {
+		last[ev.id] = i
+	}
+	var firstErr error
+	flush := func(source string, upserts []*triple.Entity, removed []triple.EntityID) {
+		if len(upserts) == 0 && len(removed) == 0 {
+			return
+		}
+		if err := p.publishRaw(source, upserts, removed); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	var (
+		runSource  string
+		runUpserts []*triple.Entity
+		runRemoved []triple.EntityID
+	)
+	for i, ev := range evs {
+		if last[ev.id] != i {
+			continue // a later batch republished or deleted this entity
+		}
+		if ev.source != runSource {
+			flush(runSource, runUpserts, runRemoved)
+			runSource, runUpserts, runRemoved = ev.source, nil, nil
+		}
+		if ev.e != nil {
+			runUpserts = append(runUpserts, ev.e)
+		} else {
+			runRemoved = append(runRemoved, ev.id)
+		}
+	}
+	flush(runSource, runUpserts, runRemoved)
+	if err := p.Engine.CatchUp(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// openFeed returns the standing feed if one is open, nil otherwise.
+func (p *Platform) openFeed() *construct.Feed {
+	p.feedMu.Lock()
+	defer p.feedMu.Unlock()
+	if p.feed != nil && !p.feed.Closed() {
+		return p.feed
+	}
+	return nil
+}
+
+// drainFeed waits until the standing feed (if there is one — open or still
+// closing) has committed and published every batch submitted before this
+// call, so direct readers of the serving stores observe a state that
+// includes them. Batch errors surface on the per-batch result channels, not
+// here. Batches submitted concurrently with the drain land afterwards —
+// callers that need a quiescent platform (for example curation runs) should
+// stop submitting or Close the feed first.
+func (p *Platform) drainFeed() {
+	p.feedMu.Lock()
+	f := p.feed
+	p.feedMu.Unlock()
+	if f != nil {
+		f.Drain()
+	}
 }
 
 // Checkpoint publishes a construction checkpoint and materializes all
 // registered views over a consistent snapshot of the graph replica. The
 // snapshot is copy-on-write (O(shards), not O(|KG|)), so a view refresh on a
-// large graph neither pays a deep copy nor stalls concurrent commits.
+// large graph neither pays a deep copy nor stalls concurrent commits. An open
+// standing feed is drained first — the checkpoint covers every batch
+// submitted before this call.
 func (p *Platform) Checkpoint() (views.RunStats, error) {
+	p.drainFeed()
+	if err := p.flushPending(); err != nil {
+		return views.RunStats{}, err
+	}
 	if _, err := p.Engine.Publish(oplog.OpCheckpoint, "construction", nil); err != nil {
 		return views.RunStats{}, err
 	}
@@ -214,8 +534,14 @@ func (p *Platform) Checkpoint() (views.RunStats, error) {
 // RefreshServing pushes the stable KG into the live store (the stable view
 // the live KG unions with streaming sources) with importance-based boosts,
 // and points live mention resolution plus the intent handler at NERD when
-// built.
+// built. An open standing feed is drained first and queued publish retries
+// are flushed, so the stable view includes every batch submitted before this
+// call (best-effort: a still-failing engine leaves the replica at its last
+// converged state).
 func (p *Platform) RefreshServing() {
+	p.drainFeed()
+	_ = p.flushPending()
+	_ = p.Engine.CatchUp() // converge agents on whatever reached the log
 	scores := importance.Compute(p.GraphReplica, importance.Options{})
 	boosts := make(map[triple.EntityID]float64, len(scores))
 	var stable []*triple.Entity
@@ -237,6 +563,9 @@ func (p *Platform) RefreshServing() {
 // is copy-on-write, so rebuilding NERD on a large KG no longer deep-copies
 // the graph or blocks replica writes for the duration.
 func (p *Platform) BuildNERD() *nerd.NERD {
+	p.drainFeed()
+	_ = p.flushPending()
+	_ = p.Engine.CatchUp()
 	scores := importance.Compute(p.GraphReplica, importance.Options{})
 	view := nerd.BuildEntityView(p.GraphReplica.Snapshot(), scores)
 	p.NERD = nerd.New(view, nerd.NewModel(nil))
@@ -259,6 +588,15 @@ func (p *Platform) ApplyCurationDecisions() (int, error) {
 	decisions := p.Curation.DrainDecisions()
 	if len(decisions) == 0 {
 		return 0, nil
+	}
+	// Curation writes the graph directly and publishes through the engine;
+	// serialize behind the standing feed so hot fixes land on (and publish
+	// after) every batch submitted before them. Submitters racing this call
+	// can still commit afterwards — quiesce the feed around curation runs
+	// if hot fixes must not interleave with in-flight batches.
+	p.drainFeed()
+	if err := p.flushPending(); err != nil {
+		return 0, err
 	}
 	for _, d := range decisions {
 		switch d.Kind {

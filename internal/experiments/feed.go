@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"saga/internal/construct"
+	"saga/internal/core"
+	"saga/internal/ingest"
+	"saga/internal/triple"
+	"saga/internal/workload"
+)
+
+// StandingFeedResult is the cross-batch pipelining ablation: the same stream
+// of delta batches ingested by serial Platform.ConsumeDeltas calls (each
+// batch pays its synchronous publish + agent catch-up before the next may
+// start) and by the standing feed (batch N+1's validation, snapshotting, and
+// compute start right after batch N's last commit, while publishing runs on
+// the ordered async publisher). Both platforms use a durable operation log
+// and staging store, so publish carries the real fsync + serialization +
+// replay cost the feed moves off the commit path. The two runs must leave
+// the KG and the graph replica byte-identical; the speedup is end-to-end
+// wall time over the whole stream, feed timing inclusive of its drain.
+type StandingFeedResult struct {
+	Batches int // batches in the stream (1 add round + update rounds)
+	Sources int // type-disjoint sources per batch
+	Count   int // entities per source per batch
+
+	SerialMS    float64 // serial ConsumeDeltas, min over reps
+	FeedMS      float64 // standing feed Submit…Close, min over reps
+	FeedSpeedup float64 // SerialMS / FeedMS
+
+	// Identical reports that KG and replica matched byte-for-byte between
+	// the serial and feed platforms.
+	Identical bool
+	// SerialOps and FeedOps are the operations each mode appended to its
+	// log; their ratio is the publisher's conflation factor (the async
+	// publisher drains its backlog as one group and ships each entity's
+	// final state once, so an update-heavy stream appends far fewer ops).
+	SerialOps, FeedOps uint64
+	// Conflation is SerialOps / FeedOps.
+	Conflation float64
+}
+
+// String renders the ablation.
+func (r StandingFeedResult) String() string {
+	return fmt.Sprintf("Standing-feed ablation: %d batches x %d sources x %d entities, durable log; serial=%.1fms/%d ops, feed=%.1fms/%d ops (%.2fx end-to-end, %.1fx op conflation); identical=%v\n",
+		r.Batches, r.Sources, r.Count, r.SerialMS, r.SerialOps, r.FeedMS, r.FeedOps, r.FeedSpeedup, r.Conflation, r.Identical)
+}
+
+// standingFeedBatches builds the stream: round 0 is a rich add batch, round
+// 1 a whole-source update round (real linking and fusion work), and every
+// later round volatile popularity churn over the same entities — the
+// paper's high-churn regime (§2.4), where construction is a cheap partition
+// overwrite but each publish ships the entity's full rich payload. That is
+// the regime a synchronous publish throttles hardest and the async
+// publisher's group commit conflates best. Sources are type-disjoint, so
+// the deltas of one batch are independent and serial/feed runs agree
+// exactly.
+func standingFeedBatches(rounds, sources, count, richFacts int) [][]ingest.Delta {
+	out := make([][]ingest.Delta, rounds)
+	for r := range out {
+		deltas := make([]ingest.Delta, sources)
+		for s := range deltas {
+			src := fmt.Sprintf("src%02d", s)
+			spec := workload.SourceSpec{
+				Name: src,
+				Type: fmt.Sprintf("kind%02d", s),
+				// Round 1 shifts the window: updates mixed with fresh adds.
+				Offset: min(r, 1) * 6, Count: count,
+				DupRate: 0.05, TypoRate: 0.1, RichFacts: richFacts,
+				Seed: int64(min(r, 1)*100 + s + 1),
+			}
+			switch r {
+			case 0:
+				deltas[s] = spec.Delta()
+			case 1:
+				deltas[s] = ingest.Delta{Source: src, Updated: spec.Entities()}
+			default:
+				churn := make([]*triple.Entity, 0, count)
+				for u := spec.Offset; u < spec.Offset+count; u++ {
+					e := triple.NewEntity(triple.EntityID(fmt.Sprintf("%s:e%d", src, u)))
+					e.Add(triple.New("", "popularity", triple.Float(float64(r)+float64(u)/1000)).WithSource(src, 0.9))
+					churn = append(churn, e)
+				}
+				deltas[s] = ingest.Delta{Source: src, Volatile: churn}
+			}
+		}
+		out[r] = deltas
+	}
+	return out
+}
+
+// StandingFeed runs the cross-batch pipelining ablation. Every timing is the
+// minimum over reps repetitions; each run gets a fresh platform over a fresh
+// durable log directory. workers sizes the pipelines; 0 means GOMAXPROCS.
+func StandingFeed(workers int) (StandingFeedResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// min-of-3 reps per mode: durable-log fsync latency is the noisiest
+	// input on shared runners, and the minimum over three runs keeps the
+	// gated speedup ratio stable.
+	const rounds, sources, count, richFacts, reps = 12, 4, 36, 6, 3
+	res := StandingFeedResult{Batches: rounds, Sources: sources, Count: count}
+	batches := standingFeedBatches(rounds, sources, count, richFacts)
+
+	newPlatform := func() (*core.Platform, string, error) {
+		dir, err := os.MkdirTemp("", "saga-standingfeed-*")
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := core.New(core.Options{OplogPath: dir + "/ops.log", Workers: workers})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, "", err
+		}
+		return p, dir, nil
+	}
+
+	type run struct {
+		ms float64
+		p  *core.Platform
+	}
+	serialRun := func() (run, error) {
+		p, dir, err := newPlatform()
+		if err != nil {
+			return run{}, err
+		}
+		defer os.RemoveAll(dir)
+		start := time.Now()
+		for _, b := range batches {
+			if _, err := p.ConsumeDeltas(b); err != nil {
+				return run{}, err
+			}
+		}
+		return run{ms: float64(time.Since(start).Microseconds()) / 1000, p: p}, nil
+	}
+	feedRun := func() (run, error) {
+		p, dir, err := newPlatform()
+		if err != nil {
+			return run{}, err
+		}
+		defer os.RemoveAll(dir)
+		start := time.Now()
+		f, err := p.Feed(core.FeedOptions{})
+		if err != nil {
+			return run{}, err
+		}
+		results := make([]<-chan construct.BatchResult, 0, len(batches))
+		for _, b := range batches {
+			results = append(results, f.Submit(b))
+		}
+		if err := f.Close(); err != nil {
+			return run{}, err
+		}
+		for i, ch := range results {
+			if r := <-ch; r.Err != nil {
+				return run{}, fmt.Errorf("feed batch %d: %w", i, r.Err)
+			}
+		}
+		return run{ms: float64(time.Since(start).Microseconds()) / 1000, p: p}, nil
+	}
+
+	minMS := func(cur, v float64) float64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
+	for rep := 0; rep < reps; rep++ {
+		ser, err := serialRun()
+		if err != nil {
+			return res, err
+		}
+		fed, err := feedRun()
+		if err != nil {
+			return res, err
+		}
+		res.SerialMS = minMS(res.SerialMS, ser.ms)
+		res.FeedMS = minMS(res.FeedMS, fed.ms)
+		if rep == 0 {
+			res.SerialOps = ser.p.Engine.Log.LastLSN()
+			res.FeedOps = fed.p.Engine.Log.LastLSN()
+			res.Identical = reflect.DeepEqual(ser.p.KG.Graph.Triples(), fed.p.KG.Graph.Triples()) &&
+				reflect.DeepEqual(ser.p.GraphReplica.Triples(), fed.p.GraphReplica.Triples())
+		}
+		ser.p.Engine.Log.Close()
+		fed.p.Engine.Log.Close()
+	}
+	res.FeedSpeedup = res.SerialMS / res.FeedMS
+	if res.FeedOps > 0 {
+		res.Conflation = float64(res.SerialOps) / float64(res.FeedOps)
+	}
+	return res, nil
+}

@@ -25,8 +25,11 @@ import (
 // ephemeral deployments; the directory implementation persists payloads so a
 // durable operation log can be replayed after a restart.
 type ObjectStore interface {
-	// Stage writes a payload and returns its generated staging key.
-	Stage(payload []byte) string
+	// Stage durably writes a payload and returns its generated staging key.
+	// A staging error must surface here: the payload has to exist before
+	// the log records an operation referencing it, or replay stalls every
+	// agent at that LSN forever.
+	Stage(payload []byte) (string, error)
 	// Get reads a staged payload.
 	Get(key string) ([]byte, bool)
 	// Delete removes a staged payload after retention.
@@ -47,13 +50,13 @@ func NewObjectStore() ObjectStore {
 	return &memObjectStore{data: make(map[string][]byte)}
 }
 
-func (s *memObjectStore) Stage(payload []byte) string {
+func (s *memObjectStore) Stage(payload []byte) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
 	key := fmt.Sprintf("staging/%08d", s.seq)
 	s.data[key] = payload
-	return key
+	return key, nil
 }
 
 func (s *memObjectStore) Get(key string) ([]byte, bool) {
@@ -108,14 +111,43 @@ func (s *dirObjectStore) path(key string) string {
 	return filepath.Join(s.dir, strings.TrimPrefix(key, "staging/")+".blob")
 }
 
-func (s *dirObjectStore) Stage(payload []byte) string {
+func (s *dirObjectStore) Stage(payload []byte) (string, error) {
 	s.mu.Lock()
 	s.seq++
 	key := fmt.Sprintf("staging/%08d", s.seq)
 	s.mu.Unlock()
-	// Best-effort write; Get reports absence if the write failed.
-	_ = os.WriteFile(s.path(key), payload, 0o644)
-	return key
+	// The payload must be durable before the log records an operation that
+	// references it: a recovered log pointing at a lost payload would stall
+	// every agent at that LSN, so a failed write aborts the publish instead
+	// of poisoning the log.
+	f, err := os.OpenFile(s.path(key), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("graphengine: stage %s: %w", key, err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return "", fmt.Errorf("graphengine: stage %s: %w", key, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", fmt.Errorf("graphengine: stage %s: %w", key, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("graphengine: stage %s: %w", key, err)
+	}
+	// Sync the directory too: the file's fsync persists its contents, but
+	// the new directory entry needs its own fsync, or a crash can recover a
+	// log op whose payload file never became visible.
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return "", fmt.Errorf("graphengine: stage %s: %w", key, err)
+	}
+	serr := d.Sync()
+	d.Close()
+	if serr != nil {
+		return "", fmt.Errorf("graphengine: stage %s: sync dir: %w", key, serr)
+	}
+	return key, nil
 }
 
 func (s *dirObjectStore) Get(key string) ([]byte, bool) {
@@ -197,6 +229,18 @@ func (m *MetadataStore) MinLSN() uint64 {
 
 // Engine wires the log, staging store, metadata store, and agents into the
 // polystore coordinator.
+//
+// Publish ordering contract: operations take effect in LSN order, and LSNs
+// are assigned in Publish/PublishDelete call order (the log serializes
+// appends). The engine does not reorder or deduplicate — whoever calls
+// Publish concurrently gets whatever interleaving the log's lock produced.
+// The platform therefore routes every publish through a single producer at a
+// time: either a synchronous consume call or the standing feed's ordered
+// publisher goroutine, never both (with a feed open, synchronous consumes
+// are routed through it, and the remaining direct producers — checkpoint
+// and curation — drain it first). CatchUp is
+// additionally serialized internally, so a replay triggered from one
+// goroutine can never double-apply operations racing a replay from another.
 type Engine struct {
 	Log      *oplog.Log
 	Staging  ObjectStore
@@ -204,6 +248,10 @@ type Engine struct {
 
 	mu     sync.RWMutex
 	agents []Agent
+
+	// catchupMu serializes CatchUp: agent Apply methods and the per-agent
+	// LSN bookkeeping assume one replayer at a time.
+	catchupMu sync.Mutex
 }
 
 // New constructs an engine over the given log with in-memory staging.
@@ -248,7 +296,11 @@ func (e *Engine) Publish(kind oplog.OpKind, source string, entities []*triple.En
 		if err != nil {
 			return 0, fmt.Errorf("graphengine: encode payload: %w", err)
 		}
-		op.StagingKey = e.Staging.Stage(payload)
+		key, err := e.Staging.Stage(payload)
+		if err != nil {
+			return 0, fmt.Errorf("graphengine: stage payload: %w", err)
+		}
+		op.StagingKey = key
 		for _, ent := range entities {
 			op.EntityIDs = append(op.EntityIDs, ent.ID)
 		}
@@ -268,25 +320,58 @@ func (e *Engine) PublishDelete(source string, ids []triple.EntityID) (uint64, er
 // CatchUp replays pending operations into every agent, in log order, and
 // advances each agent's LSN in the metadata store. Agents that fail stop
 // advancing (and their error is returned) but do not block other agents —
-// stores degrade independently, never inconsistently.
+// stores degrade independently, never inconsistently. A failed agent resumes
+// from its recorded LSN on the next CatchUp, so transient store errors heal
+// without data loss. CatchUp is safe for concurrent use: calls serialize, so
+// two replayers can never apply the same operation to an agent twice.
 func (e *Engine) CatchUp() error {
+	e.catchupMu.Lock()
+	defer e.catchupMu.Unlock()
 	e.mu.RLock()
 	agents := append([]Agent(nil), e.agents...)
 	e.mu.RUnlock()
+	if len(agents) == 0 {
+		return nil
+	}
+	// Replay op-major from the least-advanced agent, decoding each staged
+	// payload once and handing the decoded entities to every agent that
+	// still needs the op — not once per agent, which multiplied the decode
+	// cost of the publish path by the agent count. Agents replay decoded
+	// copies, so sharing the slice across agents is safe.
+	from := make([]uint64, len(agents))
+	min := uint64(0)
+	for i, a := range agents {
+		from[i] = e.Metadata.LSN(a.Name())
+		if i == 0 || from[i] < min {
+			min = from[i]
+		}
+	}
+	stopped := make([]bool, len(agents))
 	var firstErr error
-	for _, a := range agents {
-		from := e.Metadata.LSN(a.Name())
-		ops := e.Log.Read(from, 0)
-		for _, op := range ops {
-			entities, err := e.payloadOf(op)
+	for _, op := range e.Log.Read(min, 0) {
+		var entities []*triple.Entity
+		decoded := false
+		for i, a := range agents {
+			if stopped[i] || from[i] >= op.LSN {
+				continue
+			}
+			var err error
+			if !decoded {
+				entities, err = e.payloadOf(op)
+				decoded = err == nil
+			}
 			if err == nil {
 				err = a.Apply(op, entities)
 			}
 			if err != nil {
+				// The agent stops advancing (it resumes from its recorded
+				// LSN next CatchUp) but other agents keep replaying —
+				// stores degrade independently, never inconsistently.
+				stopped[i] = true
 				if firstErr == nil {
 					firstErr = fmt.Errorf("graphengine: agent %s at lsn %d: %w", a.Name(), op.LSN, err)
 				}
-				break
+				continue
 			}
 			e.Metadata.SetLSN(a.Name(), op.LSN)
 		}

@@ -130,7 +130,10 @@ func TestFailingAgentDoesNotAdvance(t *testing.T) {
 
 func TestStagingRoundTrip(t *testing.T) {
 	s := NewObjectStore()
-	key := s.Stage([]byte("payload"))
+	key, err := s.Stage([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, ok := s.Get(key)
 	if !ok || string(got) != "payload" {
 		t.Fatalf("staging = %q %v", got, ok)
