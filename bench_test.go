@@ -254,6 +254,36 @@ func BenchmarkStandingFeedCrossBatch(b *testing.B) {
 	b.Logf("\n%s", last)
 }
 
+// BenchmarkStandingFeedDiskBackend measures what the disk storage backend
+// (segment-file staging, mmap-read entity store, shared record log) costs on
+// the standing-feed workload against the memory backend's historical
+// configuration. The two runs must leave the KG, replica, entity store, and
+// text index byte-identical, and the disk platform must rebuild its replica
+// from its files after a reopen — the correctness bar always holds. The
+// disk-overhead ratio is the tracked metric; the name carries "StandingFeed"
+// so the CI bench regex records the trajectory per commit in BENCH_ci.json,
+// where the metric is regression-gated against BENCH_baseline.json.
+func BenchmarkStandingFeedDiskBackend(b *testing.B) {
+	var last experiments.StorageBackendsResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.StorageBackends(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Identical {
+			b.Fatal("disk backend state diverged from memory backend")
+		}
+		if !res.Recovered {
+			b.Fatal("disk backend failed to rebuild the replica after reopen")
+		}
+		last = res
+	}
+	b.ReportMetric(last.DiskOverheadX, "disk-overhead-x")
+	b.ReportMetric(last.MemoryMS, "memory-ms")
+	b.ReportMetric(last.DiskMS, "disk-ms")
+	b.Logf("\n%s", last)
+}
+
 // BenchmarkSnapshotUnderLoad measures the sharded copy-on-write graph on the
 // serving path: Snapshot() latency must stay roughly flat as the KG grows 5x
 // (the deep-copy comparator grows linearly — that was the pre-COW Snapshot

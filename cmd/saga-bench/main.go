@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named experiment (fig8, reuse, fig12, fig14a, fig14b, latency, simrecall, embedding, construction, indexedlinking, batchedfusion, standingfeed, graphstore, blocking, resolution, volatile, pruning)")
+	only := flag.String("only", "", "run only the named experiment (fig8, reuse, fig12, fig14a, fig14b, latency, simrecall, embedding, construction, indexedlinking, batchedfusion, standingfeed, storagebackends, graphstore, blocking, resolution, volatile, pruning)")
 	workers := flag.Int("workers", 0, "worker count for the construction/resolution/indexed-linking ablations (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -35,6 +35,7 @@ func main() {
 		{"indexedlinking", func() (fmt.Stringer, error) { return experiments.IndexedLinking(*workers) }},
 		{"batchedfusion", func() (fmt.Stringer, error) { return experiments.BatchedFusion(*workers) }},
 		{"standingfeed", func() (fmt.Stringer, error) { return experiments.StandingFeed(*workers) }},
+		{"storagebackends", func() (fmt.Stringer, error) { return experiments.StorageBackends(*workers) }},
 		{"graphstore", func() (fmt.Stringer, error) { return experiments.GraphStore() }},
 		{"blocking", func() (fmt.Stringer, error) { return experiments.BlockingAblation(), nil }},
 		{"resolution", func() (fmt.Stringer, error) { return experiments.ResolutionAblation(*workers), nil }},

@@ -21,16 +21,19 @@ func main() {
 	perSource := flag.Int("entities", 200, "entities per source")
 	overlap := flag.Int("overlap", 100, "universe overlap between consecutive sources")
 	oplogPath := flag.String("oplog", "", "durable operation log path (empty = memory)")
+	backend := flag.String("backend", "", "storage backend (memory, disk; empty = memory)")
+	dataDir := flag.String("data", "", "data directory for a durable backend (required with -backend=disk)")
 	workers := flag.Int("workers", 0, "intra-delta construction workers (0 = GOMAXPROCS, 1 = sequential)")
 	fullScan := flag.Bool("fullscan", false, "link by scanning the full per-type KG view instead of probing the incremental block index")
 	perEntity := flag.Bool("perentity", false, "fuse payload entities one graph round-trip at a time instead of batching per target KG entity")
 	feedMode := flag.Bool("feed", false, "stream sources through the standing ingestion feed (async ordered publish) instead of synchronous per-delta consumes")
 	flag.Parse()
 
-	p, err := core.New(core.Options{OplogPath: *oplogPath, Workers: *workers, FullScanLinking: *fullScan, PerEntityFusion: *perEntity})
+	p, err := core.New(core.Options{OplogPath: *oplogPath, Backend: *backend, DataDir: *dataDir, Workers: *workers, FullScanLinking: *fullScan, PerEntityFusion: *perEntity})
 	if err != nil {
 		log.Fatalf("saga-construct: %v", err)
 	}
+	defer p.Close()
 	fmt.Printf("constructing KG from %d sources (%d entities each, overlap %d, feed=%v)\n",
 		*sources, *perSource, *overlap, *feedMode)
 	deltas := make([]ingest.Delta, 0, *sources+1)

@@ -18,12 +18,16 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	oplogPath := flag.String("oplog", "", "durable operation log path (empty = memory)")
+	backend := flag.String("backend", "", "storage backend (memory, disk; empty = memory)")
+	dataDir := flag.String("data", "", "data directory for a durable backend (required with -backend=disk)")
 	flag.Parse()
 
-	p, err := core.New(core.Options{})
+	p, err := core.New(core.Options{OplogPath: *oplogPath, Backend: *backend, DataDir: *dataDir})
 	if err != nil {
 		log.Fatalf("saga-serve: %v", err)
 	}
+	defer p.Close()
 	for s := 0; s < 3; s++ {
 		spec := workload.SourceSpec{
 			Name: fmt.Sprintf("src%02d", s), Offset: s * 100, Count: 200,

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"flag"
+	"reflect"
+	"sort"
+	"testing"
+
+	"saga/internal/ingest"
+	"saga/internal/triple"
+	"saga/internal/workload"
+)
+
+// testBackend selects the storage backend the core test suite runs against:
+//
+//	go test ./internal/core -backend=disk
+//
+// Every test built on newTestPlatform then exercises the full platform over
+// that backend; CI runs the suite once per backend, which is the byte-level
+// half of the cross-backend identity guarantee (the other half is
+// TestBackendsByteIdentical, which compares the backends directly).
+var testBackend = flag.String("backend", "", "storage backend for platform tests (empty = memory)")
+
+// newTestPlatform builds a platform on the -backend backend, rooting durable
+// backends in a per-test temp directory, and closes it when the test ends.
+func newTestPlatform(t testing.TB, opts Options) *Platform {
+	t.Helper()
+	if *testBackend != "" {
+		opts.Backend = *testBackend
+		opts.DataDir = t.TempDir()
+	}
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := p.Close(); err != nil {
+			t.Errorf("close platform: %v", err)
+		}
+	})
+	return p
+}
+
+// backendState flattens everything a backend stores into comparable form.
+type backendState struct {
+	KG       []triple.Triple
+	Replica  []triple.Triple
+	Entities []triple.EntityID
+	Search   []string
+	LastLSN  uint64
+}
+
+func stateOf(t *testing.T, p *Platform) backendState {
+	t.Helper()
+	st := backendState{
+		KG:      p.KG.Graph.Triples(),
+		Replica: p.GraphReplica.Triples(),
+		LastLSN: p.Engine.Log.LastLSN(),
+	}
+	if err := p.EntityStore.Range(func(e *triple.Entity) bool {
+		st.Entities = append(st.Entities, e.ID)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(st.Entities, func(i, j int) bool { return st.Entities[i] < st.Entities[j] })
+	for _, h := range p.TextIndex.Search("name", 20) {
+		st.Search = append(st.Search, h.ID)
+	}
+	return st
+}
+
+// TestBackendsByteIdentical feeds the same delta stream through a platform
+// per registered byte-level configuration and requires the final KG, graph
+// replica, entity store contents, text search results, and log position to
+// match exactly: a storage backend may change where bytes live, never what
+// they are.
+func TestBackendsByteIdentical(t *testing.T) {
+	batches := make([][]ingest.Delta, 0, 4)
+	for r := 0; r < 3; r++ {
+		spec := workload.SourceSpec{
+			Name: "src", Count: 20, Offset: r * 5,
+			DupRate: 0.05, TypoRate: 0.1, RichFacts: 3, Seed: int64(r + 1),
+		}
+		if r == 0 {
+			batches = append(batches, []ingest.Delta{spec.Delta()})
+		} else {
+			batches = append(batches, []ingest.Delta{{Source: "src", Updated: spec.Entities()}})
+		}
+	}
+	churn := workload.SourceSpec{Name: "src", Count: 10, Seed: 42, RichFacts: 1}
+	batches = append(batches, []ingest.Delta{{Source: "src", Volatile: churn.Entities()}})
+
+	run := func(backend string) backendState {
+		opts := Options{Workers: 2}
+		if backend != "" {
+			opts.Backend = backend
+			opts.DataDir = t.TempDir()
+		}
+		p, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		for _, b := range batches {
+			if _, err := p.ConsumeDeltas(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := p.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		return stateOf(t, p)
+	}
+
+	mem := run("")
+	disk := run("disk")
+	if !reflect.DeepEqual(mem, disk) {
+		t.Errorf("memory and disk backends diverged:\n  memory: lsn=%d entities=%d kg=%d replica=%d search=%v\n  disk:   lsn=%d entities=%d kg=%d replica=%d search=%v",
+			mem.LastLSN, len(mem.Entities), len(mem.KG), len(mem.Replica), mem.Search,
+			disk.LastLSN, len(disk.Entities), len(disk.KG), len(disk.Replica), disk.Search)
+	}
+}
+
+// TestDiskBackendRecovery closes a disk-backed platform and reopens its data
+// directory: the oplog, staging store, and entity store must all come back,
+// and replaying the log must rebuild the same replica.
+func TestDiskBackendRecovery(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(Options{Backend: "disk", DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ConsumeDelta(workload.SourceSpec{Name: "s", Count: 8, Seed: 3, RichFacts: 2}.Delta()); err != nil {
+		t.Fatal(err)
+	}
+	lsn := p.Engine.Log.LastLSN()
+	want := p.GraphReplica.Triples()
+	wantEntities := p.EntityStore.Len()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := New(Options{Backend: "disk", DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Engine.Log.LastLSN(); got != lsn {
+		t.Fatalf("recovered lsn = %d, want %d", got, lsn)
+	}
+	if got := re.EntityStore.Len(); got != wantEntities {
+		t.Fatalf("recovered entity store has %d entities, want %d", got, wantEntities)
+	}
+	if err := re.Engine.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(re.GraphReplica.Triples(), want) {
+		t.Fatal("replica after recovery differs from pre-close replica")
+	}
+}

@@ -51,20 +51,14 @@ func platformBatches(rounds, sources, count int) [][]ingest.Delta {
 func TestPlatformFeedMatchesSerialConsumeDeltas(t *testing.T) {
 	batches := platformBatches(4, 3, 10)
 
-	serial, err := New(Options{Workers: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
+	serial := newTestPlatform(t, Options{Workers: 3})
 	for _, b := range batches {
 		if _, err := serial.ConsumeDeltas(b); err != nil {
 			t.Fatal(err)
 		}
 	}
 
-	fed, err := New(Options{Workers: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
+	fed := newTestPlatform(t, Options{Workers: 3})
 	f, err := fed.Feed(FeedOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -102,10 +96,7 @@ func TestPlatformFeedMatchesSerialConsumeDeltas(t *testing.T) {
 // TestFeedDrainBeforeServing: RefreshServing and Checkpoint must observe
 // every batch submitted before them, without the caller waiting on results.
 func TestFeedDrainBeforeServing(t *testing.T) {
-	p, err := New(Options{Workers: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := newTestPlatform(t, Options{Workers: 2})
 	seen := 0
 	if err := p.ViewCatalog.Register(views.Definition{
 		Name:   "count-view",
@@ -152,10 +143,7 @@ func TestFeedDrainBeforeServing(t *testing.T) {
 // the failed delta's effects must re-sync from the KG at the next publish
 // point — RefreshServing and the agents never stay diverged.
 func TestConsumeDeltasPublishFailureHeals(t *testing.T) {
-	p, err := New(Options{Workers: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := newTestPlatform(t, Options{Workers: 2})
 	failErr := errors.New("injected publish failure")
 	p.publishHook = func(source string) error {
 		if source == "src01" {
@@ -193,10 +181,7 @@ func TestConsumeDeltasPublishFailureHeals(t *testing.T) {
 // commit and publish, and the failed batch's effects heal at the next
 // publish point.
 func TestFeedPublishFailureHealsLaterBatchesCommit(t *testing.T) {
-	p, err := New(Options{Workers: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := newTestPlatform(t, Options{Workers: 2})
 	failErr := errors.New("injected publish failure")
 	p.publishHook = func(source string) error {
 		if source == "src01" {
@@ -247,10 +232,7 @@ func TestFeedPublishFailureHealsLaterBatchesCommit(t *testing.T) {
 // ordered publisher stays the engine's single producer — and the sync call
 // still returns fully published, caught-up state.
 func TestSyncConsumeRoutesThroughOpenFeed(t *testing.T) {
-	p, err := New(Options{Workers: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := newTestPlatform(t, Options{Workers: 2})
 	f, err := p.Feed(FeedOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -292,10 +274,7 @@ func TestSyncConsumeRoutesThroughOpenFeed(t *testing.T) {
 
 // TestPlatformFeedEmptyBatch: the platform feed fast-paths empty batches.
 func TestPlatformFeedEmptyBatch(t *testing.T) {
-	p, err := New(Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := newTestPlatform(t, Options{})
 	f, err := p.Feed(FeedOptions{})
 	if err != nil {
 		t.Fatal(err)

@@ -22,6 +22,8 @@ import (
 	"saga/internal/nerd"
 	"saga/internal/ontology"
 	"saga/internal/oplog"
+	"saga/internal/storage"
+	_ "saga/internal/storage/disk" // register the disk backend
 	"saga/internal/store/entitystore"
 	"saga/internal/store/textindex"
 	"saga/internal/triple"
@@ -33,7 +35,18 @@ type Options struct {
 	// Ontology defaults to ontology.Default().
 	Ontology *ontology.Ontology
 	// OplogPath makes the operation log durable; empty keeps it in memory.
+	// With a non-memory Backend the path overrides the backend's default log
+	// location under DataDir.
 	OplogPath string
+	// Backend names the storage backend ("memory", "disk", or any backend
+	// registered with the storage package); empty means memory. The memory
+	// backend keeps the platform's historical behavior exactly: volatile
+	// stores, with only the oplog (and a directory staging store alongside
+	// it) made durable when OplogPath is set.
+	Backend string
+	// DataDir roots a durable backend's files. Required for non-memory
+	// backends; ignored by memory.
+	DataDir string
 	// LinkParams tunes the construction linking stage.
 	LinkParams construct.LinkParams
 	// Workers bounds the construction pipeline's intra-delta parallelism
@@ -110,23 +123,67 @@ func New(opts Options) (*Platform, error) {
 	if ont == nil {
 		ont = ontology.Default()
 	}
-	log, err := oplog.Open(opts.OplogPath)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	staging := graphengine.NewObjectStore()
-	if opts.OplogPath != "" {
-		staging, err = graphengine.NewDirObjectStore(opts.OplogPath + ".staging")
+	var (
+		log     *oplog.Log
+		staging graphengine.ObjectStore
+		estore  *entitystore.Store
+		tindex  *textindex.Index
+		err     error
+	)
+	if opts.Backend == "" || opts.Backend == storage.DefaultBackend {
+		// The platform's historical configuration: volatile in-memory stores,
+		// with the oplog (plus a directory staging store alongside it) made
+		// durable when OplogPath is set.
+		log, err = oplog.Open(opts.OplogPath)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
+		staging = graphengine.NewObjectStore()
+		if opts.OplogPath != "" {
+			staging, err = graphengine.NewDirObjectStore(opts.OplogPath + ".staging")
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+		estore = entitystore.New()
+		tindex = textindex.New()
+	} else {
+		if opts.DataDir == "" {
+			return nil, fmt.Errorf("core: backend %q needs Options.DataDir", opts.Backend)
+		}
+		h, err := storage.Resolve(opts.Backend, storage.Options{Dir: opts.DataDir, Path: opts.OplogPath})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		rec, err := h.RecordLog()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		log, err = oplog.OpenStore(rec)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		staging, err = h.BlobStore()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		kv, err := h.EntityKV()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		estore = entitystore.NewWith(kv)
+		postings, err := h.Postings()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		tindex = textindex.NewWith(postings)
 	}
 	p := &Platform{
 		Ont:          ont,
 		KG:           construct.NewKG(),
 		Engine:       graphengine.NewWithStaging(log, staging),
-		EntityStore:  entitystore.New(),
-		TextIndex:    textindex.New(),
+		EntityStore:  estore,
+		TextIndex:    tindex,
 		GraphReplica: triple.NewGraph(),
 		ViewCatalog:  views.NewCatalog(),
 		Live:         live.NewStore(),
@@ -504,6 +561,36 @@ func (p *Platform) drainFeed() {
 	if f != nil {
 		f.Drain()
 	}
+}
+
+// Close shuts the platform down: an open standing feed is closed and its
+// backlog published, then the operation log, staging store, entity store,
+// and text index release their storage backends (for durable backends that
+// also syncs and closes their files). Close is not safe concurrently with
+// other platform calls; the platform is unusable afterwards.
+func (p *Platform) Close() error {
+	p.feedMu.Lock()
+	f := p.feed
+	p.feedMu.Unlock()
+	var firstErr error
+	if f != nil && !f.Closed() {
+		if err := f.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := p.Engine.Log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := p.Engine.Staging.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := p.EntityStore.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := p.TextIndex.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // Checkpoint publishes a construction checkpoint and materializes all

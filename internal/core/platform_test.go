@@ -32,10 +32,7 @@ func musicSource() *ingest.Source {
 }
 
 func TestEndToEndIngestServeQuery(t *testing.T) {
-	p, err := New(Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := newTestPlatform(t, Options{})
 	v1 := "id,name,genres,pop\na1,Mira Solane,pop|soul,0.9\na2,Dax Verro,rock,0.7\n"
 	stats, err := p.IngestSource(musicSource(), strings.NewReader(v1))
 	if err != nil {
@@ -75,10 +72,7 @@ func TestEndToEndIngestServeQuery(t *testing.T) {
 }
 
 func TestCrossSourceDeduplication(t *testing.T) {
-	p, err := New(Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := newTestPlatform(t, Options{})
 	// Overlapping sources must be consumed in sequence: linking of the
 	// second source runs against the KG view that already contains the
 	// first source's fused entities (§2.4's fusion synchronization point).
@@ -106,10 +100,7 @@ func TestCrossSourceDeduplication(t *testing.T) {
 }
 
 func TestCheckpointMaterializesViews(t *testing.T) {
-	p, err := New(Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := newTestPlatform(t, Options{})
 	ran := 0
 	if err := p.ViewCatalog.Register(views.Definition{
 		Name:   "count-view",
@@ -129,10 +120,7 @@ func TestCheckpointMaterializesViews(t *testing.T) {
 }
 
 func TestLiveStreamOverStableGraph(t *testing.T) {
-	p, err := New(Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := newTestPlatform(t, Options{})
 	teams := []string{"Northfield Comets", "Lakewood Pilots"}
 	for _, e := range workload.TeamsGraph(teams) {
 		p.KG.Graph.Put(e)
@@ -171,10 +159,7 @@ func TestLiveStreamOverStableGraph(t *testing.T) {
 }
 
 func TestCurationFlowsToStableKG(t *testing.T) {
-	p, err := New(Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := newTestPlatform(t, Options{})
 	if _, err := p.ConsumeDelta(workload.SourceSpec{Name: "s", Count: 3, Seed: 5}.Delta()); err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +227,7 @@ func TestDurableOplogRecovery(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	p, _ := New(Options{})
+	p := newTestPlatform(t, Options{})
 	if _, err := p.ConsumeDelta(workload.SourceSpec{Name: "s", Count: 2, Seed: 7}.Delta()); err != nil {
 		t.Fatal(err)
 	}

@@ -10,168 +10,33 @@ package graphengine
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
 	"sync"
 
 	"saga/internal/oplog"
+	"saga/internal/storage"
+	"saga/internal/storage/disk"
+	"saga/internal/storage/memory"
 	"saga/internal/triple"
 )
 
 // ObjectStore is the staging store for ingest payloads: a durable,
 // high-throughput blob store keyed by staging key — write once, read by any
-// agent, delete after retention. The memory implementation backs tests and
-// ephemeral deployments; the directory implementation persists payloads so a
-// durable operation log can be replayed after a restart.
-type ObjectStore interface {
-	// Stage durably writes a payload and returns its generated staging key.
-	// A staging error must surface here: the payload has to exist before
-	// the log records an operation referencing it, or replay stalls every
-	// agent at that LSN forever.
-	Stage(payload []byte) (string, error)
-	// Get reads a staged payload.
-	Get(key string) ([]byte, bool)
-	// Delete removes a staged payload after retention.
-	Delete(key string)
-	// Len returns the number of staged payloads.
-	Len() int
-}
-
-// memObjectStore is the in-memory staging store.
-type memObjectStore struct {
-	mu   sync.RWMutex
-	data map[string][]byte
-	seq  uint64
-}
+// agent, delete after retention. It is the storage.BlobStore role; the
+// memory backend serves tests and ephemeral deployments, durable backends
+// persist payloads so a durable operation log can be replayed after a
+// restart.
+type ObjectStore = storage.BlobStore
 
 // NewObjectStore constructs an empty in-memory staging store.
-func NewObjectStore() ObjectStore {
-	return &memObjectStore{data: make(map[string][]byte)}
-}
-
-func (s *memObjectStore) Stage(payload []byte) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.seq++
-	key := fmt.Sprintf("staging/%08d", s.seq)
-	s.data[key] = payload
-	return key, nil
-}
-
-func (s *memObjectStore) Get(key string) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.data[key]
-	return p, ok
-}
-
-func (s *memObjectStore) Delete(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.data, key)
-}
-
-func (s *memObjectStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.data)
-}
-
-// dirObjectStore persists each payload as a file under a directory, so
-// staged payloads survive restarts alongside a durable operation log.
-type dirObjectStore struct {
-	mu  sync.Mutex
-	dir string
-	seq uint64
-}
+func NewObjectStore() ObjectStore { return memory.NewBlobStore() }
 
 // NewDirObjectStore opens (creating if needed) a directory-backed staging
-// store. Existing payloads are retained and the key sequence resumes past
-// them.
+// store (one file per payload — the layout durable deployments shipped
+// with). Existing payloads are retained and the key sequence resumes past
+// them. The disk backend's segment-file store supersedes this for new
+// deployments.
 func NewDirObjectStore(dir string) (ObjectStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("graphengine: staging dir %s: %w", dir, err)
-	}
-	s := &dirObjectStore{dir: dir}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("graphengine: scan staging dir: %w", err)
-	}
-	for _, ent := range entries {
-		var n uint64
-		if _, err := fmt.Sscanf(ent.Name(), "%d.blob", &n); err == nil && n > s.seq {
-			s.seq = n
-		}
-	}
-	return s, nil
-}
-
-func (s *dirObjectStore) path(key string) string {
-	return filepath.Join(s.dir, strings.TrimPrefix(key, "staging/")+".blob")
-}
-
-func (s *dirObjectStore) Stage(payload []byte) (string, error) {
-	s.mu.Lock()
-	s.seq++
-	key := fmt.Sprintf("staging/%08d", s.seq)
-	s.mu.Unlock()
-	// The payload must be durable before the log records an operation that
-	// references it: a recovered log pointing at a lost payload would stall
-	// every agent at that LSN, so a failed write aborts the publish instead
-	// of poisoning the log.
-	f, err := os.OpenFile(s.path(key), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return "", fmt.Errorf("graphengine: stage %s: %w", key, err)
-	}
-	if _, err := f.Write(payload); err != nil {
-		f.Close()
-		return "", fmt.Errorf("graphengine: stage %s: %w", key, err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return "", fmt.Errorf("graphengine: stage %s: %w", key, err)
-	}
-	if err := f.Close(); err != nil {
-		return "", fmt.Errorf("graphengine: stage %s: %w", key, err)
-	}
-	// Sync the directory too: the file's fsync persists its contents, but
-	// the new directory entry needs its own fsync, or a crash can recover a
-	// log op whose payload file never became visible.
-	d, err := os.Open(s.dir)
-	if err != nil {
-		return "", fmt.Errorf("graphengine: stage %s: %w", key, err)
-	}
-	serr := d.Sync()
-	d.Close()
-	if serr != nil {
-		return "", fmt.Errorf("graphengine: stage %s: sync dir: %w", key, serr)
-	}
-	return key, nil
-}
-
-func (s *dirObjectStore) Get(key string) ([]byte, bool) {
-	data, err := os.ReadFile(s.path(key))
-	if err != nil {
-		return nil, false
-	}
-	return data, true
-}
-
-func (s *dirObjectStore) Delete(key string) { _ = os.Remove(s.path(key)) }
-
-func (s *dirObjectStore) Len() int {
-	entries, err := os.ReadDir(s.dir)
-	if err != nil {
-		return 0
-	}
-	n := 0
-	for _, ent := range entries {
-		if strings.HasSuffix(ent.Name(), ".blob") {
-			n++
-		}
-	}
-	return n
+	return disk.OpenDirBlobStore(dir)
 }
 
 // Agent is one orchestration agent: it encapsulates all store-specific logic

@@ -7,20 +7,20 @@
 // (LSNs) are the distributed synchronization primitive: an agent's replayed
 // LSN tells consumers how fresh that store is.
 //
-// The paper's log is a distributed service; this implementation is a
-// file-backed single-node log with CRC-framed records, which preserves the
-// properties the platform relies on: durability, total order, and replay
-// from an arbitrary LSN.
+// The paper's log is a distributed service; this implementation keeps the
+// decoded operations in memory and delegates record durability to a
+// storage.RecordLog, which preserves the properties the platform relies on:
+// durability, total order, and replay from an arbitrary LSN.
 package oplog
 
 import (
 	"encoding/json"
 	"fmt"
-	"io"
-	"os"
 	"sync"
 	"time"
 
+	"saga/internal/storage"
+	"saga/internal/storage/disk"
 	"saga/internal/triple"
 )
 
@@ -62,75 +62,72 @@ type Op struct {
 }
 
 // Log is a durable, append-only, totally ordered operation log. It is safe
-// for concurrent use: appends serialize, reads snapshot. A Log with an empty
-// path is memory-only (used by tests and examples); with a path it appends
-// CRC-framed records to the file and can recover after restart.
+// for concurrent use: appends serialize, reads snapshot. The decoded ops
+// slice is the read path; rec (nil for a volatile log) is the durability
+// backend — each append is JSON-encoded and handed to it as one record.
 type Log struct {
-	mu   sync.RWMutex
-	ops  []Op
-	file *os.File
-	path string
-	subs []chan uint64
+	mu     sync.RWMutex
+	ops    []Op
+	rec    storage.RecordLog // nil: volatile (memory-only) log
+	closed bool
+	subs   []chan uint64
 }
 
-// Open creates or recovers a log at path. An empty path yields a memory-only
-// log. Recovery replays the file and tolerates a truncated final record
-// (crash during append), dropping it.
+// Open creates or recovers a log at path. An empty path yields a volatile
+// memory-only log (used by tests and examples); otherwise the log is backed
+// by a disk record log at path, whose recovery tolerates a truncated final
+// record (crash during append), dropping it.
 func Open(path string) (*Log, error) {
-	l := &Log{path: path}
 	if path == "" {
-		return l, nil
+		return &Log{}, nil
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	rec, err := disk.OpenRecordLog(path)
 	if err != nil {
 		return nil, fmt.Errorf("oplog: open %s: %w", path, err)
 	}
-	// Replay existing records.
-	var offset int64
-	for {
-		payload, err := triple.ReadRecord(f)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			// A torn or corrupt tail is expected after a crash: keep the
-			// prefix, truncate the rest.
-			break
-		}
+	return OpenStore(rec)
+}
+
+// OpenStore builds a log over an already-opened record log, replaying its
+// records to rebuild the in-memory op sequence. A record that fails to
+// decode is treated as the start of a torn tail: the record log truncates it
+// along with everything after (the storage.RecordLog Replay contract).
+func OpenStore(rec storage.RecordLog) (*Log, error) {
+	l := &Log{rec: rec}
+	err := rec.Replay(func(payload []byte) error {
 		var op Op
 		if err := json.Unmarshal(payload, &op); err != nil {
-			break
+			return err
 		}
 		l.ops = append(l.ops, op)
-		pos, err := f.Seek(0, io.SeekCurrent)
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("oplog: seek %s: %w", path, err)
-		}
-		offset = pos
+		return nil
+	})
+	if err != nil {
+		rec.Close()
+		return nil, fmt.Errorf("oplog: replay: %w", err)
 	}
-	if err := f.Truncate(offset); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("oplog: truncate torn tail of %s: %w", path, err)
-	}
-	if _, err := f.Seek(offset, io.SeekStart); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("oplog: seek %s: %w", path, err)
-	}
-	l.file = f
 	return l, nil
 }
 
-// Close releases the backing file. Append after Close fails.
+// Close releases the backing record log and closes all subscriber channels
+// (so agents blocked on a subscription wake and observe shutdown). Append
+// and Subscribe after Close fail; Close is idempotent.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.file == nil {
+	if l.closed {
 		return nil
 	}
-	err := l.file.Close()
-	l.file = nil
-	l.path = "-closed-"
+	l.closed = true
+	for _, ch := range l.subs {
+		close(ch)
+	}
+	l.subs = nil
+	if l.rec == nil {
+		return nil
+	}
+	err := l.rec.Close()
+	l.rec = nil
 	return err
 }
 
@@ -138,23 +135,20 @@ func (l *Log) Close() error {
 func (l *Log) Append(op Op) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.path == "-closed-" {
+	if l.closed {
 		return 0, fmt.Errorf("oplog: append to closed log")
 	}
 	op.LSN = uint64(len(l.ops)) + 1
 	if op.Time == 0 {
 		op.Time = time.Now().UnixNano()
 	}
-	if l.file != nil {
+	if l.rec != nil {
 		payload, err := json.Marshal(op)
 		if err != nil {
 			return 0, fmt.Errorf("oplog: encode op: %w", err)
 		}
-		if err := triple.WriteRecord(l.file, payload); err != nil {
+		if err := l.rec.Append(payload); err != nil {
 			return 0, fmt.Errorf("oplog: write op: %w", err)
-		}
-		if err := l.file.Sync(); err != nil {
-			return 0, fmt.Errorf("oplog: sync: %w", err)
 		}
 	}
 	l.ops = append(l.ops, op)
@@ -194,11 +188,32 @@ func (l *Log) Read(after uint64, max int) []Op {
 // Subscribe returns a channel that receives the LSN of newly appended
 // operations. The channel has a small buffer; slow subscribers miss
 // notifications but never operations (they poll Read). Used by orchestration
-// agents to wake up promptly instead of busy-polling.
+// agents to wake up promptly instead of busy-polling. The channel is closed
+// by Log.Close or Unsubscribe; subscribing to a closed log returns an
+// already-closed channel.
 func (l *Log) Subscribe() <-chan uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	ch := make(chan uint64, 64)
+	if l.closed {
+		close(ch)
+		return ch
+	}
 	l.subs = append(l.subs, ch)
 	return ch
+}
+
+// Unsubscribe removes a channel returned by Subscribe and closes it, so a
+// departing agent doesn't leave the log notifying (and retaining) a dead
+// channel for its lifetime. Unknown channels are ignored.
+func (l *Log) Unsubscribe(ch <-chan uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, sub := range l.subs {
+		if sub == ch {
+			l.subs = append(l.subs[:i], l.subs[i+1:]...)
+			close(sub)
+			return
+		}
+	}
 }

@@ -119,14 +119,38 @@ func TestTornTailRecovery(t *testing.T) {
 }
 
 func TestAppendAfterCloseFails(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "ops.log")
-	l, err := Open(path)
-	if err != nil {
+	// Both modes must reject appends after Close: a memory log that kept
+	// accepting them would silently diverge from a file log's behavior.
+	t.Run("file", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "ops.log")
+		l, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		if _, err := l.Append(Op{Kind: OpUpsert}); err == nil {
+			t.Fatal("append after close succeeded")
+		}
+	})
+	t.Run("memory", func(t *testing.T) {
+		l, err := Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		if _, err := l.Append(Op{Kind: OpUpsert}); err == nil {
+			t.Fatal("append after close succeeded on memory log")
+		}
+	})
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	l, _ := Open("")
+	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	l.Close()
-	if _, err := l.Append(Op{Kind: OpUpsert}); err == nil {
-		t.Fatal("append after close succeeded")
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
 	}
 }
 
@@ -139,6 +163,48 @@ func TestSubscribe(t *testing.T) {
 	if lsn := <-ch; lsn != 1 {
 		t.Fatalf("notified lsn = %d, want 1", lsn)
 	}
+}
+
+func TestCloseReleasesSubscribers(t *testing.T) {
+	l, _ := Open("")
+	ch := l.Subscribe()
+	done := make(chan struct{})
+	go func() {
+		// Drain until the channel closes; a leaked (never-closed) channel
+		// would block this goroutine forever and the test would time out.
+		for range ch {
+		}
+		close(done)
+	}()
+	if _, err := l.Append(Op{Kind: OpUpsert}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// Subscribing after Close yields an already-closed channel.
+	if _, ok := <-l.Subscribe(); ok {
+		t.Fatal("subscribe on closed log returned an open channel")
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	l, _ := Open("")
+	ch1 := l.Subscribe()
+	ch2 := l.Subscribe()
+	l.Unsubscribe(ch1)
+	if _, ok := <-ch1; ok {
+		t.Fatal("unsubscribed channel not closed")
+	}
+	if _, err := l.Append(Op{Kind: OpUpsert}); err != nil {
+		t.Fatal(err)
+	}
+	if lsn := <-ch2; lsn != 1 {
+		t.Fatalf("remaining subscriber lsn = %d, want 1", lsn)
+	}
+	// Unsubscribing an unknown (or already-removed) channel is a no-op.
+	l.Unsubscribe(ch1)
 }
 
 func TestConcurrentAppends(t *testing.T) {

@@ -1,0 +1,578 @@
+// Package conformance is the shared contract test for storage backends:
+// every backend registered with the storage package must pass the same
+// suite, so the platform's correctness never depends on which backend is
+// resolved. The suite covers round trips for all five roles, concurrent
+// reader safety (meaningful under -race), and — for durable backends —
+// kill-and-reopen recovery with a torn final record plus a large-payload
+// test asserting that payload bytes stay off the Go heap.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"saga/internal/storage"
+)
+
+// Suite runs the backend contract against one named backend.
+type Suite struct {
+	// Backend is the registered backend name ("memory", "disk").
+	Backend string
+}
+
+// open resolves a fresh handle rooted at dir.
+func (s Suite) open(t testing.TB, dir string) storage.Handle {
+	t.Helper()
+	h, err := storage.Resolve(s.Backend, storage.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// tearNewestFile simulates a crash mid-append: it truncates a few bytes off
+// the most recently modified file under dir. Every durable role writes
+// CRC-framed records, so this tears exactly the final record.
+func tearNewestFile(t *testing.T, dir string) {
+	t.Helper()
+	var newest string
+	var newestMod int64
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.Mode().IsRegular() || info.Size() == 0 {
+			return nil
+		}
+		if mod := info.ModTime().UnixNano(); newest == "" || mod >= newestMod {
+			newest, newestMod = path, mod
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newest == "" {
+		t.Fatal("no file to tear under " + dir)
+	}
+	info, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(newest, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Run executes the full contract as subtests.
+func (s Suite) Run(t *testing.T) {
+	h, err := storage.Resolve(s.Backend, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := h.Durable()
+	t.Run("RecordLog", func(t *testing.T) { s.recordLog(t, durable) })
+	t.Run("BlobStore", func(t *testing.T) { s.blobStore(t, durable) })
+	t.Run("EntityKV", func(t *testing.T) { s.entityKV(t, durable) })
+	t.Run("Postings", func(t *testing.T) { s.postings(t) })
+	t.Run("Vectors", func(t *testing.T) { s.vectors(t) })
+	if durable {
+		t.Run("RecordLogTornTail", func(t *testing.T) { s.recordLogTornTail(t) })
+		t.Run("BlobStoreTornTail", func(t *testing.T) { s.blobStoreTornTail(t) })
+		t.Run("EntityKVTornTail", func(t *testing.T) { s.entityKVTornTail(t) })
+		t.Run("EntityKVLargePayloadOffHeap", func(t *testing.T) { s.entityKVOffHeap(t) })
+	}
+}
+
+func (s Suite) recordLog(t *testing.T, durable bool) {
+	dir := t.TempDir()
+	l, err := s.open(t, dir).RecordLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("record-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	var replayed []string
+	if err := l.Replay(func(p []byte) error {
+		replayed = append(replayed, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != n || replayed[0] != "record-000" || replayed[n-1] != fmt.Sprintf("record-%03d", n-1) {
+		t.Fatalf("replayed %d records, first %q", len(replayed), replayed[0])
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("late")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close not idempotent: %v", err)
+	}
+	if durable {
+		re, err := s.open(t, dir).RecordLog()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.Close()
+		if got := re.Len(); got != n {
+			t.Fatalf("reopened Len = %d, want %d", got, n)
+		}
+	}
+}
+
+func (s Suite) recordLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := s.open(t, dir).RecordLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	tearNewestFile(t, dir)
+	re, err := s.open(t, dir).RecordLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != 4 {
+		t.Fatalf("Len after torn tail = %d, want 4", got)
+	}
+	// The log must accept appends after recovery and stay readable.
+	if err := re.Append([]byte("r4-again")); err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	if err := re.Replay(func(p []byte) error { last = string(p); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if last != "r4-again" {
+		t.Fatalf("last record = %q", last)
+	}
+
+	// A record the replay callback rejects is a torn tail too: the log
+	// truncates it and everything after.
+	if err := re.Replay(func(p []byte) error {
+		if string(p) == "r3" {
+			return fmt.Errorf("undecodable")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Len(); got != 3 {
+		t.Fatalf("Len after rejected replay = %d, want 3", got)
+	}
+}
+
+func (s Suite) blobStore(t *testing.T, durable bool) {
+	dir := t.TempDir()
+	b, err := s.open(t, dir).BlobStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 10)
+	for i := range keys {
+		k, err := b.Stage([]byte(fmt.Sprintf("payload-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+	}
+	if got := b.Len(); got != len(keys) {
+		t.Fatalf("Len = %d, want %d", got, len(keys))
+	}
+	for i, k := range keys {
+		got, ok := b.Get(k)
+		if !ok || string(got) != fmt.Sprintf("payload-%03d", i) {
+			t.Fatalf("Get(%s) = %q, %v", k, got, ok)
+		}
+	}
+	if _, ok := b.Get("staging/99999999"); ok {
+		t.Fatal("phantom blob")
+	}
+	b.Delete(keys[0])
+	if _, ok := b.Get(keys[0]); ok {
+		t.Fatal("deleted blob still readable")
+	}
+	if got := b.Len(); got != len(keys)-1 {
+		t.Fatalf("Len after delete = %d, want %d", got, len(keys)-1)
+	}
+
+	// Concurrent readers while a writer stages (meaningful under -race).
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				b.Get(keys[1+i%(len(keys)-1)])
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := b.Stage([]byte("concurrent")); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	wg.Wait()
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if durable {
+		re, err := s.open(t, dir).BlobStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.Close()
+		got, ok := re.Get(keys[3])
+		if !ok || string(got) != "payload-003" {
+			t.Fatalf("reopened Get = %q, %v", got, ok)
+		}
+		if _, ok := re.Get(keys[0]); ok {
+			t.Fatal("delete did not survive reopen")
+		}
+		// The key sequence must resume past retained blobs, never reuse.
+		k, err := re.Stage([]byte("after-reopen"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, old := range keys {
+			if k == old {
+				t.Fatalf("reopened store reissued key %s", k)
+			}
+		}
+	}
+}
+
+func (s Suite) blobStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	b, err := s.open(t, dir).BlobStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 5)
+	for i := range keys {
+		if keys[i], err = b.Stage([]byte(fmt.Sprintf("blob-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	tearNewestFile(t, dir)
+	re, err := s.open(t, dir).BlobStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok := re.Get(keys[4]); ok {
+		t.Fatal("torn final blob still readable")
+	}
+	for i := 0; i < 4; i++ {
+		got, ok := re.Get(keys[i])
+		if !ok || string(got) != fmt.Sprintf("blob-%d", i) {
+			t.Fatalf("blob %d lost to tear: %q, %v", i, got, ok)
+		}
+	}
+	if _, err := re.Stage([]byte("post-recovery")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (s Suite) entityKV(t *testing.T, durable bool) {
+	dir := t.TempDir()
+	kv, err := s.open(t, dir).EntityKV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := kv.Put(fmt.Sprintf("kg:E%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite must replace, not append a second live version.
+	if err := kv.Put("kg:E0", []byte("v0-new")); err != nil {
+		t.Fatal(err)
+	}
+	if got := kv.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	v, ok, err := kv.Get("kg:E0")
+	if err != nil || !ok || string(v) != "v0-new" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := kv.Get("kg:nope"); ok {
+		t.Fatal("phantom key")
+	}
+	vals, err := kv.MultiGet([]string{"kg:E1", "kg:nope", "kg:E2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || string(vals[0]) != "v1" || vals[1] != nil || string(vals[2]) != "v2" {
+		t.Fatalf("MultiGet = %q", vals)
+	}
+	if ok, _ := kv.Delete("kg:E1"); !ok {
+		t.Fatal("delete reported false")
+	}
+	if ok, _ := kv.Delete("kg:E1"); ok {
+		t.Fatal("double delete reported true")
+	}
+	if kv.Bytes() <= 0 {
+		t.Fatal("Bytes not tracked")
+	}
+	seen := 0
+	if err := kv.Range(func(key string, value []byte) bool { seen++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != n-1 {
+		t.Fatalf("Range saw %d keys, want %d", seen, n-1)
+	}
+
+	// Concurrent readers racing a writer (meaningful under -race).
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				kv.Get(fmt.Sprintf("kg:E%d", 2+(r*100+i)%(n-2)))
+				if i%10 == 0 {
+					kv.MultiGet([]string{"kg:E2", "kg:E3", "kg:E4"})
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 50; i++ {
+		if err := kv.Put(fmt.Sprintf("kg:W%d", i), []byte("w")); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	wg.Wait()
+
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if durable {
+		re, err := s.open(t, dir).EntityKV()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.Close()
+		v, ok, err := re.Get("kg:E0")
+		if err != nil || !ok || string(v) != "v0-new" {
+			t.Fatalf("reopened Get = %q, %v, %v", v, ok, err)
+		}
+		if _, ok, _ := re.Get("kg:E1"); ok {
+			t.Fatal("delete did not survive reopen")
+		}
+	}
+}
+
+func (s Suite) entityKVTornTail(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := s.open(t, dir).EntityKV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := kv.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kv.Close()
+	tearNewestFile(t, dir)
+	re, err := s.open(t, dir).EntityKV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok, _ := re.Get("k4"); ok {
+		t.Fatal("torn final record still readable")
+	}
+	if got := re.Len(); got != 4 {
+		t.Fatalf("Len after torn tail = %d, want 4", got)
+	}
+	// Re-putting the lost key (what oplog replay does) must heal the store.
+	if err := re.Put("k4", []byte("v4")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := re.Get("k4")
+	if err != nil || !ok || string(v) != "v4" {
+		t.Fatalf("healed Get = %q, %v, %v", v, ok, err)
+	}
+}
+
+// entityKVOffHeap is the RAM-gating acceptance test: a payload volume far
+// larger than what the Go heap should retain flows through the store, and
+// the heap's growth must stay a small fraction of it — the payload bytes
+// belong to the data file and the page cache, with only keys and locations
+// on the heap.
+func (s Suite) entityKVOffHeap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-payload test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	kv, err := s.open(t, dir).EntityKV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+
+	const valSize = 256 << 10 // 256 KiB per entity payload
+	const count = 256         // 64 MiB total
+	val := bytes.Repeat([]byte{0xa5}, valSize)
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	for i := 0; i < count; i++ {
+		if err := kv.Put(fmt.Sprintf("kg:big%04d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a spread of keys so the read path has run too (reads copy one
+	// value at a time; they must not pin the whole mapping into the heap).
+	for i := 0; i < count; i += 16 {
+		v, ok, err := kv.Get(fmt.Sprintf("kg:big%04d", i))
+		if err != nil || !ok || len(v) != valSize {
+			t.Fatalf("Get big%04d = %d bytes, %v, %v", i, len(v), ok, err)
+		}
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	total := int64(valSize) * count
+	var growth int64
+	if after.HeapAlloc > before.HeapAlloc {
+		growth = int64(after.HeapAlloc - before.HeapAlloc)
+	}
+	if growth > total/4 {
+		t.Fatalf("heap grew %d bytes while storing %d payload bytes; payloads are on the heap, not disk", growth, total)
+	}
+	if kv.Bytes() != total {
+		t.Fatalf("Bytes = %d, want %d", kv.Bytes(), total)
+	}
+}
+
+func (s Suite) postings(t *testing.T) {
+	p, err := s.open(t, t.TempDir()).Postings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Put("d1", map[string]int{"alpha": 2, "beta": 1}, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put("d2", map[string]int{"beta": 4}, 4, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Docs(); got != 2 {
+		t.Fatalf("Docs = %d, want 2", got)
+	}
+	if err := p.Read(func(v storage.PostingsView) {
+		if m := v.Posting("beta"); len(m) != 2 || m["d2"] != 4 {
+			t.Errorf("Posting(beta) = %v", m)
+		}
+		if v.DocLen("d2") != 4 || v.TotalLen() != 7 {
+			t.Errorf("DocLen/TotalLen = %d/%d", v.DocLen("d2"), v.TotalLen())
+		}
+		if v.Boost("d1") != 1 || v.Boost("d2") != 2 {
+			t.Errorf("Boost = %v/%v (zero boost must default to 1)", v.Boost("d1"), v.Boost("d2"))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Put replaces: d1's old terms must vanish from the postings.
+	if err := p.Put("d1", map[string]int{"gamma": 1}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	p.Read(func(v storage.PostingsView) {
+		if m := v.Posting("alpha"); len(m) != 0 {
+			t.Errorf("stale posting survived replace: %v", m)
+		}
+		if v.TotalLen() != 5 {
+			t.Errorf("TotalLen after replace = %d, want 5", v.TotalLen())
+		}
+	})
+	if ok, _ := p.Delete("d2"); !ok {
+		t.Fatal("delete reported false")
+	}
+	if ok, _ := p.Delete("d2"); ok {
+		t.Fatal("double delete reported true")
+	}
+	if got := p.Docs(); got != 1 {
+		t.Fatalf("Docs after delete = %d, want 1", got)
+	}
+}
+
+func (s Suite) vectors(t *testing.T) {
+	vs, err := s.open(t, t.TempDir()).Vectors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vs.Close()
+	prev, err := vs.Put("v1", []float64{1, 0}, map[string]string{"type": "human"})
+	if err != nil || prev != nil {
+		t.Fatalf("first Put prev = %v, %v", prev, err)
+	}
+	prev, err = vs.Put("v1", []float64{0, 1}, nil)
+	if err != nil || len(prev) != 2 || prev[0] != 1 {
+		t.Fatalf("replacing Put prev = %v, %v", prev, err)
+	}
+	got, err := vs.Get("v1")
+	if err != nil || len(got) != 2 || got[1] != 1 {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if _, err := vs.Put("v2", []float64{1, 1}, map[string]string{"type": "song"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := vs.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if err := vs.Read(func(v storage.VectorsView) {
+		if vec := v.Vector("v2"); len(vec) != 2 {
+			t.Errorf("Vector(v2) = %v", vec)
+		}
+		if a := v.Attrs("v2"); a["type"] != "song" {
+			t.Errorf("Attrs(v2) = %v", a)
+		}
+		n := 0
+		v.Range(func(id string, vec []float64, attrs map[string]string) bool { n++; return true })
+		if n != 2 {
+			t.Errorf("Range saw %d vectors", n)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	removed, ok, err := vs.Delete("v1")
+	if err != nil || !ok || len(removed) != 2 {
+		t.Fatalf("Delete = %v, %v, %v", removed, ok, err)
+	}
+	if _, ok, _ := vs.Delete("v1"); ok {
+		t.Fatal("double delete reported true")
+	}
+}

@@ -1,0 +1,12 @@
+package conformance
+
+import (
+	"testing"
+
+	_ "saga/internal/storage/disk"
+	_ "saga/internal/storage/memory"
+)
+
+func TestMemoryBackend(t *testing.T) { Suite{Backend: "memory"}.Run(t) }
+
+func TestDiskBackend(t *testing.T) { Suite{Backend: "disk"}.Run(t) }

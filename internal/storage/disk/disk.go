@@ -1,0 +1,129 @@
+// Package disk implements the durable storage backend: CRC-framed,
+// torn-tail-recoverable files for the roles that gate RAM or durability.
+// It registers as "disk".
+//
+//   - RecordLog — one append-only file of CRC-framed records (the framing
+//     and torn-tail recovery idiom the operation log shipped with, factored
+//     behind storage.RecordLog).
+//   - BlobStore — a segment-file staging store: blobs append to rotating
+//     segment files instead of one file per payload, so staging a payload
+//     costs one write+fsync, not a file create + fsync + directory fsync.
+//   - EntityKV — an append-only data file with an in-memory key→location
+//     index and mmap-backed reads: entity payloads live in the page cache,
+//     not the Go heap, so the entity index can exceed RAM.
+//
+// Postings and Vectors delegate to the memory backend: both index derived
+// state that replays from the operation log, and neither holds the raw
+// payload bytes that dominate memory at scale. They move behind durable
+// implementations when a workload demands it; the interfaces are already
+// carved.
+//
+// Crash consistency: every file is a sequence of CRC-framed records
+// (triple.WriteRecord layout). Recovery replays a file and truncates at the
+// first torn or corrupt record — exactly the operation log's recovery
+// contract, now shared by every durable role. The entity KV additionally
+// leans on the platform's replay semantics: its content derives from the
+// log, and re-applied upserts are idempotent, so a tail lost between fsyncs
+// heals on the next catch-up.
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"saga/internal/storage"
+	"saga/internal/storage/memory"
+)
+
+type backend struct{}
+
+func init() { storage.Register("disk", backend{}) }
+
+// Name implements storage.Backend.
+func (backend) Name() string { return "disk" }
+
+// Durable implements storage.Backend.
+func (backend) Durable() bool { return true }
+
+// OpenRecordLog implements storage.Backend: Options.Path overrides the
+// default Dir/oplog.log location.
+func (backend) OpenRecordLog(o storage.Options) (storage.RecordLog, error) {
+	path := o.Path
+	if path == "" {
+		if o.Dir == "" {
+			return nil, fmt.Errorf("disk: record log needs Options.Dir or Options.Path")
+		}
+		path = filepath.Join(o.Dir, "oplog.log")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	return OpenRecordLog(path)
+}
+
+// OpenBlobStore implements storage.Backend.
+func (backend) OpenBlobStore(o storage.Options) (storage.BlobStore, error) {
+	if o.Dir == "" {
+		return nil, fmt.Errorf("disk: blob store needs Options.Dir")
+	}
+	return OpenSegmentBlobStore(filepath.Join(o.Dir, "staging"), o.SegmentBytes)
+}
+
+// OpenEntityKV implements storage.Backend.
+func (backend) OpenEntityKV(o storage.Options) (storage.EntityKV, error) {
+	if o.Dir == "" {
+		return nil, fmt.Errorf("disk: entity kv needs Options.Dir")
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	return OpenEntityKV(filepath.Join(o.Dir, "entities.dat"))
+}
+
+// OpenPostings implements storage.Backend, delegating to the memory
+// implementation (see the package comment).
+func (backend) OpenPostings(storage.Options) (storage.Postings, error) {
+	return memory.NewPostings(), nil
+}
+
+// OpenVectors implements storage.Backend, delegating to the memory
+// implementation (see the package comment).
+func (backend) OpenVectors(storage.Options) (storage.Vectors, error) {
+	return memory.NewVectors(), nil
+}
+
+// Keyed-record payload layout, shared by the entity KV and the segment blob
+// store: [op byte][uvarint keyLen][key][value...], framed by the CRC record
+// codec (triple.WriteRecord). The value's offset within the payload is
+// recorded at scan time so reads go straight to the value bytes.
+const (
+	opPut byte = 1
+	opDel byte = 2
+)
+
+// encodeKeyed builds a keyed-record payload.
+func encodeKeyed(op byte, key string, value []byte) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(key)+len(value))
+	buf = append(buf, op)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	return buf
+}
+
+// decodeKeyed parses a keyed-record payload, returning the op, the key, and
+// the value's offset within the payload.
+func decodeKeyed(payload []byte) (op byte, key string, valOff int, err error) {
+	if len(payload) < 2 {
+		return 0, "", 0, fmt.Errorf("disk: keyed record too short (%d bytes)", len(payload))
+	}
+	op = payload[0]
+	klen, n := binary.Uvarint(payload[1:])
+	if n <= 0 || 1+n+int(klen) > len(payload) {
+		return 0, "", 0, fmt.Errorf("disk: keyed record has corrupt key length")
+	}
+	valOff = 1 + n + int(klen)
+	return op, string(payload[1+n : valOff]), valOff, nil
+}

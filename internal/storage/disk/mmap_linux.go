@@ -1,0 +1,27 @@
+//go:build linux
+
+package disk
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared: writes through the
+// file descriptor become visible in the mapping, and the pages live in the
+// OS page cache rather than the Go heap. A zero size returns an empty
+// (nil) mapping — mmap rejects zero-length maps.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping from mmapFile.
+func munmapFile(m []byte) error {
+	if m == nil {
+		return nil
+	}
+	return syscall.Munmap(m)
+}

@@ -1,0 +1,21 @@
+//go:build !linux
+
+package disk
+
+import "os"
+
+// Non-linux fallback: "map" the file by reading the valid prefix into one
+// buffer. Reads behave identically; the RAM-gating property (payloads in
+// page cache, not heap) is linux-only.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func munmapFile(m []byte) error { return nil }

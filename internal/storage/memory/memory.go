@@ -1,0 +1,150 @@
+// Package memory implements the storage backend the platform shipped with:
+// every role held in process memory, sharded or mutex-guarded for concurrent
+// use. It registers as "memory" — the default backend — and is the
+// behavioral reference the disk backend's byte-identity tests compare
+// against. Nothing survives a restart; durability in memory deployments
+// comes from the operation log being replayable (or from accepting
+// volatility, as tests and examples do).
+package memory
+
+import (
+	"fmt"
+	"sync"
+
+	"saga/internal/storage"
+)
+
+// backend is the memory storage backend.
+type backend struct{}
+
+func init() { storage.Register("memory", backend{}) }
+
+// Name implements storage.Backend.
+func (backend) Name() string { return "memory" }
+
+// Durable implements storage.Backend.
+func (backend) Durable() bool { return false }
+
+// OpenRecordLog implements storage.Backend.
+func (backend) OpenRecordLog(storage.Options) (storage.RecordLog, error) {
+	return NewRecordLog(), nil
+}
+
+// OpenBlobStore implements storage.Backend.
+func (backend) OpenBlobStore(storage.Options) (storage.BlobStore, error) {
+	return NewBlobStore(), nil
+}
+
+// OpenEntityKV implements storage.Backend.
+func (backend) OpenEntityKV(storage.Options) (storage.EntityKV, error) {
+	return NewEntityKV(), nil
+}
+
+// OpenPostings implements storage.Backend.
+func (backend) OpenPostings(storage.Options) (storage.Postings, error) {
+	return NewPostings(), nil
+}
+
+// OpenVectors implements storage.Backend.
+func (backend) OpenVectors(storage.Options) (storage.Vectors, error) {
+	return NewVectors(), nil
+}
+
+// RecordLog is the in-memory record log: a slice of payload copies under a
+// mutex. It provides ordering and replay but no durability.
+type RecordLog struct {
+	mu      sync.Mutex
+	records [][]byte
+	closed  bool
+}
+
+// NewRecordLog constructs an empty in-memory record log.
+func NewRecordLog() *RecordLog { return &RecordLog{} }
+
+// Append implements storage.RecordLog.
+func (l *RecordLog) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("memory: append to closed record log")
+	}
+	l.records = append(l.records, append([]byte(nil), payload...))
+	return nil
+}
+
+// Replay implements storage.RecordLog: a record rejected by fn truncates the
+// log there (torn-tail semantics, mirroring the durable backends).
+func (l *RecordLog) Replay(fn func(payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, rec := range l.records {
+		if err := fn(rec); err != nil {
+			l.records = l.records[:i]
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len implements storage.RecordLog.
+func (l *RecordLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Close implements storage.RecordLog.
+func (l *RecordLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+// BlobStore is the in-memory staging store: a map of payload copies under a
+// RWMutex, with sequential key generation.
+type BlobStore struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+	seq  uint64
+}
+
+// NewBlobStore constructs an empty in-memory staging store.
+func NewBlobStore() *BlobStore {
+	return &BlobStore{data: make(map[string][]byte)}
+}
+
+// Stage implements storage.BlobStore.
+func (s *BlobStore) Stage(payload []byte) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	key := fmt.Sprintf("staging/%08d", s.seq)
+	s.data[key] = payload
+	return key, nil
+}
+
+// Get implements storage.BlobStore.
+func (s *BlobStore) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	p, ok := s.data[key]
+	s.mu.RUnlock()
+	return p, ok
+}
+
+// Delete implements storage.BlobStore.
+func (s *BlobStore) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// Len implements storage.BlobStore.
+func (s *BlobStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Close implements storage.BlobStore.
+func (s *BlobStore) Close() error { return nil }

@@ -1,0 +1,119 @@
+package memory
+
+import (
+	"sync"
+
+	"saga/internal/storage"
+)
+
+// Postings is the in-memory posting storage the text index shipped with:
+// term→doc→frequency maps plus per-document lengths, term lists (for
+// deletion), and boosts, under one RWMutex so a Read sees a consistent
+// index state.
+type Postings struct {
+	mu       sync.RWMutex
+	postings map[string]map[string]int // term -> docID -> term frequency
+	docLen   map[string]int
+	docTerms map[string][]string // for deletion
+	boost    map[string]float64
+	totalLen int
+}
+
+// NewPostings constructs an empty in-memory posting store.
+func NewPostings() *Postings {
+	return &Postings{
+		postings: make(map[string]map[string]int),
+		docLen:   make(map[string]int),
+		docTerms: make(map[string][]string),
+		boost:    make(map[string]float64),
+	}
+}
+
+// Put implements storage.Postings.
+func (p *Postings) Put(doc string, termFreqs map[string]int, length int, boost float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.deleteLocked(doc)
+	termList := make([]string, 0, len(termFreqs))
+	for t, f := range termFreqs {
+		m := p.postings[t]
+		if m == nil {
+			m = make(map[string]int)
+			p.postings[t] = m
+		}
+		m[doc] = f
+		termList = append(termList, t)
+	}
+	p.docTerms[doc] = termList
+	p.docLen[doc] = length
+	p.totalLen += length
+	if boost == 0 {
+		boost = 1
+	}
+	p.boost[doc] = boost
+	return nil
+}
+
+// Delete implements storage.Postings.
+func (p *Postings) Delete(doc string) (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.deleteLocked(doc), nil
+}
+
+func (p *Postings) deleteLocked(doc string) bool {
+	terms, ok := p.docTerms[doc]
+	if !ok {
+		return false
+	}
+	for _, t := range terms {
+		if m := p.postings[t]; m != nil {
+			delete(m, doc)
+			if len(m) == 0 {
+				delete(p.postings, t)
+			}
+		}
+	}
+	p.totalLen -= p.docLen[doc]
+	delete(p.docTerms, doc)
+	delete(p.docLen, doc)
+	delete(p.boost, doc)
+	return true
+}
+
+// Docs implements storage.Postings.
+func (p *Postings) Docs() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.docTerms)
+}
+
+// Read implements storage.Postings: fn runs under the store's read lock, so
+// it observes one index state end to end.
+func (p *Postings) Read(fn func(v storage.PostingsView)) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	fn(postingsView{p})
+	return nil
+}
+
+// Close implements storage.Postings.
+func (p *Postings) Close() error { return nil }
+
+// postingsView implements storage.PostingsView over the locked store.
+type postingsView struct{ p *Postings }
+
+// Posting implements storage.PostingsView.
+func (v postingsView) Posting(term string) map[string]int { return v.p.postings[term] }
+
+// DocLen implements storage.PostingsView.
+func (v postingsView) DocLen(doc string) int { return v.p.docLen[doc] }
+
+// TotalLen implements storage.PostingsView.
+func (v postingsView) TotalLen() int { return v.p.totalLen }
+
+// Boost implements storage.PostingsView.
+func (v postingsView) Boost(doc string) float64 { return v.p.boost[doc] }
+
+// Docs implements storage.PostingsView.
+func (v postingsView) Docs() int { return len(v.p.docTerms) }

@@ -1,0 +1,102 @@
+package memory
+
+import (
+	"sync"
+
+	"saga/internal/storage"
+)
+
+// Vectors is the in-memory vector storage the vector database shipped with:
+// id→vector and id→attributes maps under one RWMutex.
+type Vectors struct {
+	mu    sync.RWMutex
+	vecs  map[string][]float64
+	attrs map[string]map[string]string
+}
+
+// NewVectors constructs an empty in-memory vector store.
+func NewVectors() *Vectors {
+	return &Vectors{
+		vecs:  make(map[string][]float64),
+		attrs: make(map[string]map[string]string),
+	}
+}
+
+// Put implements storage.Vectors.
+func (s *Vectors) Put(id string, vec []float64, attrs map[string]string) ([]float64, error) {
+	v := append([]float64(nil), vec...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.vecs[id]
+	s.vecs[id] = v
+	if attrs != nil {
+		a := make(map[string]string, len(attrs))
+		for k, val := range attrs {
+			a[k] = val
+		}
+		s.attrs[id] = a
+	} else {
+		delete(s.attrs, id)
+	}
+	return prev, nil
+}
+
+// Delete implements storage.Vectors.
+func (s *Vectors) Delete(id string) ([]float64, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vecs[id]
+	if !ok {
+		return nil, false, nil
+	}
+	delete(s.vecs, id)
+	delete(s.attrs, id)
+	return v, true, nil
+}
+
+// Get implements storage.Vectors.
+func (s *Vectors) Get(id string) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vecs[id]
+	if !ok {
+		return nil, nil
+	}
+	return append([]float64(nil), v...), nil
+}
+
+// Len implements storage.Vectors.
+func (s *Vectors) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.vecs)
+}
+
+// Read implements storage.Vectors.
+func (s *Vectors) Read(fn func(v storage.VectorsView)) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(vectorsView{s})
+	return nil
+}
+
+// Close implements storage.Vectors.
+func (s *Vectors) Close() error { return nil }
+
+// vectorsView implements storage.VectorsView over the locked store.
+type vectorsView struct{ s *Vectors }
+
+// Vector implements storage.VectorsView.
+func (v vectorsView) Vector(id string) []float64 { return v.s.vecs[id] }
+
+// Attrs implements storage.VectorsView.
+func (v vectorsView) Attrs(id string) map[string]string { return v.s.attrs[id] }
+
+// Range implements storage.VectorsView.
+func (v vectorsView) Range(fn func(id string, vec []float64, attrs map[string]string) bool) {
+	for id, vec := range v.s.vecs {
+		if !fn(id, vec, v.s.attrs[id]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package storage defines the narrow backend contracts behind the Graph
+// Engine's storage roles and a registration/resolution registry that makes a
+// backend a runtime choice rather than a compile-time import.
+//
+// The paper's Graph Engine (§3.1) is a federation of *independent storage
+// engines* — entity index, search index, analytics store — all deriving
+// their state from one shared operation log. This package carves that
+// separation into five role interfaces the platform already consumes
+// implicitly:
+//
+//   - RecordLog — the operation log's record I/O (ordered, CRC-framed,
+//     torn-tail recoverable append storage; the oplog package layers LSNs,
+//     JSON op encoding, and subscriptions on top).
+//   - BlobStore — the staging object store for ingest payloads (write-once
+//     blobs keyed by generated staging keys).
+//   - EntityKV — the entity index's payload KV (serialized entity bytes by
+//     entity ID).
+//   - Postings — the full-text index's posting-list storage (the BM25
+//     scoring logic stays in textindex; backends store term→doc→tf).
+//   - Vectors — the vector database's id→vector storage (LSH acceleration
+//     stays in vectordb; backends store vectors and attributes).
+//
+// A Backend bundles one implementation of each role under a name. Backends
+// register at init time (storage.Register) and are resolved at runtime by
+// name (storage.Resolve), in the style of named-backend runtime resolution:
+// the caller picks "memory" or "disk" from a flag, not an import. Backends
+// that do not yet provide a durable implementation of a role may delegate
+// that role to another backend's implementation (the disk backend keeps
+// postings and vectors in memory: those roles index derived state that
+// replays from the log, and they do not gate RAM the way staged payloads
+// and entity payloads do).
+//
+// The conformance package (storage/conformance) holds the contract suite
+// every registered backend must pass.
+package storage
+
+// RecordLog is append-ordered durable record storage: the operation log's
+// I/O layer. Appends are atomic at record granularity — a reader never
+// observes a half record, because implementations frame records with a
+// length+CRC header and drop a torn tail at open (crash-during-append
+// recovery). Implementations are safe for concurrent use.
+type RecordLog interface {
+	// Append durably appends one record. The payload is owned by the caller
+	// and copied (or written out) before return.
+	Append(payload []byte) error
+	// Replay calls fn for every record in append order. A record rejected by
+	// fn (fn returns an error) is treated as the start of a torn tail: the
+	// log truncates itself to the last accepted record and Replay returns
+	// nil. This mirrors crash recovery — a record that fails its integrity
+	// check at the layer above (e.g. op decoding) is indistinguishable from
+	// tail corruption in an append-only log.
+	Replay(fn func(payload []byte) error) error
+	// Len returns the number of records currently in the log.
+	Len() int
+	// Close releases backing resources. Append after Close fails.
+	Close() error
+}
+
+// BlobStore is the staging object store for ingest payloads: a durable,
+// high-throughput blob store keyed by generated staging key — write once,
+// read by any agent, delete after retention. Implementations are safe for
+// concurrent use.
+type BlobStore interface {
+	// Stage durably writes a payload and returns its generated staging key.
+	// The store takes ownership of the payload slice. A staging error must
+	// surface here: the payload has to exist before the log records an
+	// operation referencing it, or replay stalls every agent at that LSN
+	// forever.
+	Stage(payload []byte) (string, error)
+	// Get reads a staged payload. The returned slice is shared with the
+	// store and must not be mutated.
+	Get(key string) ([]byte, bool)
+	// Delete removes a staged payload after retention.
+	Delete(key string)
+	// Len returns the number of staged payloads.
+	Len() int
+	// Close releases backing resources.
+	Close() error
+}
+
+// EntityKV is the entity index's payload storage: serialized entity bytes
+// keyed by entity ID. Implementations are safe for concurrent use and must
+// support concurrent readers without contention on disjoint keys.
+type EntityKV interface {
+	// Put stores (replacing) a value. The value is copied before return.
+	Put(key string, value []byte) error
+	// Get retrieves a value, or (nil, false, nil) when absent. The returned
+	// slice is the caller's (it stays valid after Close and later writes).
+	Get(key string) ([]byte, bool, error)
+	// MultiGet retrieves several values in one call, aligned with keys:
+	// out[i] is nil when keys[i] is absent. Implementations should amortize
+	// per-key synchronization (e.g. one lock acquisition per shard, not per
+	// key).
+	MultiGet(keys []string) ([][]byte, error)
+	// Delete removes a value, reporting whether it existed.
+	Delete(key string) (bool, error)
+	// Len returns the number of stored values.
+	Len() int
+	// Bytes returns the total stored value size, for capacity monitoring.
+	Bytes() int64
+	// Range calls fn for every key/value until fn returns false. The order
+	// is unspecified. The value slice is only valid during the call.
+	Range(fn func(key string, value []byte) bool) error
+	// Close releases backing resources.
+	Close() error
+}
+
+// Postings is the full-text index's storage: per-document posting lists,
+// document lengths, and static boosts. The ranking logic (BM25) lives in the
+// textindex package; this interface is only the state it scores over.
+// Implementations are safe for concurrent use.
+type Postings interface {
+	// Put stores (replacing) one document's postings: its term frequencies,
+	// token length, and static rank boost.
+	Put(doc string, termFreqs map[string]int, length int, boost float64) error
+	// Delete removes a document, reporting whether it existed.
+	Delete(doc string) (bool, error)
+	// Docs returns the number of stored documents.
+	Docs() int
+	// Read runs fn with a consistent read view: no Put/Delete is observed
+	// mid-fn, so a scorer sees one index state end to end.
+	Read(fn func(v PostingsView)) error
+	// Close releases backing resources.
+	Close() error
+}
+
+// PostingsView is a consistent read view of a Postings store, valid only
+// inside Postings.Read. Returned maps are shared and must not be mutated.
+type PostingsView interface {
+	// Posting returns term's doc→frequency posting list (nil when the term
+	// is unindexed).
+	Posting(term string) map[string]int
+	// DocLen returns doc's token length.
+	DocLen(doc string) int
+	// TotalLen returns the sum of all document lengths.
+	TotalLen() int
+	// Boost returns doc's static rank boost (1 when unset).
+	Boost(doc string) float64
+	// Docs returns the number of stored documents.
+	Docs() int
+}
+
+// Vectors is the vector database's storage: vectors with optional string
+// attributes by id. ANN acceleration (LSH) lives in the vectordb package;
+// this interface is only the vector state. Implementations are safe for
+// concurrent use.
+type Vectors interface {
+	// Put stores (replacing) a vector with optional attributes, returning
+	// the replaced vector (nil when the id was absent) so index structures
+	// layered above can unindex it.
+	Put(id string, vec []float64, attrs map[string]string) ([]float64, error)
+	// Delete removes a vector, returning it (nil, false when absent).
+	Delete(id string) ([]float64, bool, error)
+	// Get returns a copy of the stored vector, or nil.
+	Get(id string) ([]float64, error)
+	// Len returns the number of stored vectors.
+	Len() int
+	// Read runs fn with a consistent read view: no Put/Delete is observed
+	// mid-fn.
+	Read(fn func(v VectorsView)) error
+	// Close releases backing resources.
+	Close() error
+}
+
+// VectorsView is a consistent read view of a Vectors store, valid only
+// inside Vectors.Read. Returned slices/maps are shared and must not be
+// mutated.
+type VectorsView interface {
+	// Vector returns the stored vector (nil when absent).
+	Vector(id string) []float64
+	// Attrs returns the stored attributes (nil when none).
+	Attrs(id string) map[string]string
+	// Range calls fn for every stored vector until fn returns false.
+	Range(fn func(id string, vec []float64, attrs map[string]string) bool)
+}

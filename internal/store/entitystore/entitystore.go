@@ -1,49 +1,33 @@
 // Package entitystore implements the Graph Engine's entity index (§3.1): a
 // low-latency key-value store of serialized entity payloads supporting the
 // entity-retrieval workload (Entity Cards need the full payload of one entity
-// in microseconds). The store is sharded by entity ID hash so concurrent
-// readers on different shards never contend, and values are stored in the
-// compact binary codec of the triple package.
+// in microseconds). Values are stored in the compact binary codec of the
+// triple package; the raw bytes live in a storage.EntityKV backend — the
+// in-memory backend shards by entity ID hash so concurrent readers on
+// different shards never contend, the disk backend keeps payloads in the OS
+// page cache so the index can exceed RAM. Encoding and decoding happen here,
+// outside whatever synchronization the backend uses internally.
 package entitystore
 
 import (
 	"fmt"
-	"sync"
 
+	"saga/internal/storage"
+	"saga/internal/storage/memory"
 	"saga/internal/triple"
 )
 
-const shardCount = 64
-
-type shard struct {
-	mu   sync.RWMutex
-	data map[triple.EntityID][]byte
-}
-
-// Store is a sharded in-memory entity KV store. The zero value is not usable;
-// call New.
+// Store is an entity KV store over a pluggable byte-level backend. The zero
+// value is not usable; call New or NewWith.
 type Store struct {
-	shards [shardCount]*shard
+	kv storage.EntityKV
 }
 
-// New constructs an empty store.
-func New() *Store {
-	s := &Store{}
-	for i := range s.shards {
-		s.shards[i] = &shard{data: make(map[triple.EntityID][]byte)}
-	}
-	return s
-}
+// New constructs an empty in-memory store.
+func New() *Store { return NewWith(memory.NewEntityKV()) }
 
-func (s *Store) shardFor(id triple.EntityID) *shard {
-	const offset64, prime64 = 14695981039346656037, 1099511628211
-	var h uint64 = offset64
-	for i := 0; i < len(id); i++ {
-		h ^= uint64(id[i])
-		h *= prime64
-	}
-	return s.shards[h%shardCount]
-}
+// NewWith constructs a store over an explicit backend.
+func NewWith(kv storage.EntityKV) *Store { return &Store{kv: kv} }
 
 // Put stores (replacing) an entity payload.
 func (s *Store) Put(e *triple.Entity) error {
@@ -51,19 +35,18 @@ func (s *Store) Put(e *triple.Entity) error {
 	if err != nil {
 		return fmt.Errorf("entitystore: encode %s: %w", e.ID, err)
 	}
-	sh := s.shardFor(e.ID)
-	sh.mu.Lock()
-	sh.data[e.ID] = data
-	sh.mu.Unlock()
+	if err := s.kv.Put(string(e.ID), data); err != nil {
+		return fmt.Errorf("entitystore: put %s: %w", e.ID, err)
+	}
 	return nil
 }
 
 // Get retrieves an entity, or nil when absent.
 func (s *Store) Get(id triple.EntityID) (*triple.Entity, error) {
-	sh := s.shardFor(id)
-	sh.mu.RLock()
-	data, ok := sh.data[id]
-	sh.mu.RUnlock()
+	data, ok, err := s.kv.Get(string(id))
+	if err != nil {
+		return nil, fmt.Errorf("entitystore: get %s: %w", id, err)
+	}
 	if !ok {
 		return nil, nil
 	}
@@ -75,50 +58,64 @@ func (s *Store) Get(id triple.EntityID) (*triple.Entity, error) {
 }
 
 // MultiGet retrieves several entities in one call; absent IDs are skipped.
+// The backend amortizes per-key synchronization (the in-memory backend locks
+// each touched shard once, not once per ID) and decoding happens out here,
+// outside any backend lock.
 func (s *Store) MultiGet(ids []triple.EntityID) ([]*triple.Entity, error) {
+	keys := make([]string, len(ids))
+	for i, id := range ids {
+		keys[i] = string(id)
+	}
+	vals, err := s.kv.MultiGet(keys)
+	if err != nil {
+		return nil, fmt.Errorf("entitystore: multiget: %w", err)
+	}
 	out := make([]*triple.Entity, 0, len(ids))
-	for _, id := range ids {
-		e, err := s.Get(id)
-		if err != nil {
-			return nil, err
+	for i, data := range vals {
+		if data == nil {
+			continue
 		}
-		if e != nil {
-			out = append(out, e)
+		var e triple.Entity
+		if err := e.UnmarshalBinary(data); err != nil {
+			return nil, fmt.Errorf("entitystore: decode %s: %w", ids[i], err)
 		}
+		out = append(out, &e)
 	}
 	return out, nil
 }
 
 // Delete removes an entity, reporting whether it existed.
 func (s *Store) Delete(id triple.EntityID) bool {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	_, ok := sh.data[id]
-	delete(sh.data, id)
+	ok, _ := s.kv.Delete(string(id))
 	return ok
 }
 
 // Len returns the number of stored entities.
-func (s *Store) Len() int {
-	n := 0
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		n += len(sh.data)
-		sh.mu.RUnlock()
-	}
-	return n
-}
+func (s *Store) Len() int { return s.kv.Len() }
 
 // Bytes returns the total serialized payload size, for capacity monitoring.
-func (s *Store) Bytes() int {
-	n := 0
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		for _, d := range sh.data {
-			n += len(d)
+func (s *Store) Bytes() int { return int(s.kv.Bytes()) }
+
+// Range calls fn with each stored entity until fn returns false. Iteration
+// order is unspecified. Used for cross-backend state comparison.
+func (s *Store) Range(fn func(e *triple.Entity) bool) error {
+	var decodeErr error
+	err := s.kv.Range(func(key string, value []byte) bool {
+		var e triple.Entity
+		if err := e.UnmarshalBinary(value); err != nil {
+			decodeErr = fmt.Errorf("entitystore: decode %s: %w", key, err)
+			return false
 		}
-		sh.mu.RUnlock()
+		return fn(&e)
+	})
+	if decodeErr != nil {
+		return decodeErr
 	}
-	return n
+	if err != nil {
+		return fmt.Errorf("entitystore: range: %w", err)
+	}
+	return nil
 }
+
+// Close releases the backend.
+func (s *Store) Close() error { return s.kv.Close() }

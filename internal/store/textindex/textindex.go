@@ -2,15 +2,18 @@
 // (§3.1): a BM25-ranked inverted index over entity text (names, aliases,
 // descriptions) supporting the "full-text search with ranking" workload and
 // the ranked entity index view of Figure 7. The index supports incremental
-// Put/Delete so orchestration agents can replay KG updates.
+// Put/Delete so orchestration agents can replay KG updates. Posting storage
+// lives behind storage.Postings; the BM25 math runs here against a
+// consistent read view of whichever backend holds the postings.
 package textindex
 
 import (
 	"math"
 	"sort"
 	"strings"
-	"sync"
 
+	"saga/internal/storage"
+	"saga/internal/storage/memory"
 	"saga/internal/strsim"
 )
 
@@ -32,28 +35,20 @@ type Hit struct {
 	Score float64
 }
 
-// Index is a BM25 inverted index, safe for concurrent use.
+// Index is a BM25 index over a pluggable posting store, safe for concurrent
+// use. The zero value is not usable; call New or NewWith.
 type Index struct {
 	// K1 and B are the BM25 parameters; zero values default to 1.2 / 0.75.
 	K1, B float64
 
-	mu       sync.RWMutex
-	postings map[string]map[string]int // term -> docID -> term frequency
-	docLen   map[string]int
-	docTerms map[string][]string // for deletion
-	boost    map[string]float64
-	totalLen int
+	p storage.Postings
 }
 
-// New constructs an empty index.
-func New() *Index {
-	return &Index{
-		postings: make(map[string]map[string]int),
-		docLen:   make(map[string]int),
-		docTerms: make(map[string][]string),
-		boost:    make(map[string]float64),
-	}
-}
+// New constructs an empty index over in-memory postings.
+func New() *Index { return NewWith(memory.NewPostings()) }
+
+// NewWith constructs an index over an explicit posting store.
+func NewWith(p storage.Postings) *Index { return &Index{p: p} }
 
 // Tokenize normalizes and splits text into index terms.
 func Tokenize(text string) []string {
@@ -63,106 +58,66 @@ func Tokenize(text string) []string {
 // Put indexes (replacing) a document.
 func (ix *Index) Put(d Doc) {
 	terms := Tokenize(d.Text)
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.deleteLocked(d.ID)
 	freq := make(map[string]int, len(terms))
 	for _, t := range terms {
 		freq[t]++
 	}
-	termList := make([]string, 0, len(freq))
-	for t, f := range freq {
-		m := ix.postings[t]
-		if m == nil {
-			m = make(map[string]int)
-			ix.postings[t] = m
-		}
-		m[d.ID] = f
-		termList = append(termList, t)
-	}
-	ix.docTerms[d.ID] = termList
-	ix.docLen[d.ID] = len(terms)
-	ix.totalLen += len(terms)
-	b := d.Boost
-	if b == 0 {
-		b = 1
-	}
-	ix.boost[d.ID] = b
+	_ = ix.p.Put(d.ID, freq, len(terms), d.Boost)
 }
 
 // Delete removes a document, reporting whether it existed.
 func (ix *Index) Delete(id string) bool {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.deleteLocked(id)
-}
-
-func (ix *Index) deleteLocked(id string) bool {
-	terms, ok := ix.docTerms[id]
-	if !ok {
-		return false
-	}
-	for _, t := range terms {
-		if m := ix.postings[t]; m != nil {
-			delete(m, id)
-			if len(m) == 0 {
-				delete(ix.postings, t)
-			}
-		}
-	}
-	ix.totalLen -= ix.docLen[id]
-	delete(ix.docTerms, id)
-	delete(ix.docLen, id)
-	delete(ix.boost, id)
-	return true
+	ok, _ := ix.p.Delete(id)
+	return ok
 }
 
 // Len returns the number of indexed documents.
-func (ix *Index) Len() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.docTerms)
-}
+func (ix *Index) Len() int { return ix.p.Docs() }
+
+// Close releases the posting store.
+func (ix *Index) Close() error { return ix.p.Close() }
 
 // Search returns the top-k documents by boosted BM25 score for the query.
-// Ties break by ID for determinism.
+// Ties break by ID for determinism. Scoring runs inside the posting store's
+// read view, so it observes one index state end to end.
 func (ix *Index) Search(query string, k int) []Hit {
 	terms := Tokenize(query)
 	if len(terms) == 0 || k <= 0 {
 		return nil
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	n := len(ix.docTerms)
-	if n == 0 {
-		return nil
-	}
-	k1, b := ix.K1, ix.B
-	if k1 == 0 {
-		k1 = 1.2
-	}
-	if b == 0 {
-		b = 0.75
-	}
-	avgLen := float64(ix.totalLen) / float64(n)
-	scores := make(map[string]float64)
-	for _, t := range terms {
-		m := ix.postings[t]
-		if len(m) == 0 {
-			continue
+	var hits []Hit
+	_ = ix.p.Read(func(v storage.PostingsView) {
+		n := v.Docs()
+		if n == 0 {
+			return
 		}
-		idf := math.Log(1 + (float64(n)-float64(len(m))+0.5)/(float64(len(m))+0.5))
-		for id, tf := range m {
-			dl := float64(ix.docLen[id])
-			num := float64(tf) * (k1 + 1)
-			den := float64(tf) + k1*(1-b+b*dl/avgLen)
-			scores[id] += idf * num / den
+		k1, b := ix.K1, ix.B
+		if k1 == 0 {
+			k1 = 1.2
 		}
-	}
-	hits := make([]Hit, 0, len(scores))
-	for id, s := range scores {
-		hits = append(hits, Hit{ID: id, Score: s * ix.boost[id]})
-	}
+		if b == 0 {
+			b = 0.75
+		}
+		avgLen := float64(v.TotalLen()) / float64(n)
+		scores := make(map[string]float64)
+		for _, t := range terms {
+			m := v.Posting(t)
+			if len(m) == 0 {
+				continue
+			}
+			idf := math.Log(1 + (float64(n)-float64(len(m))+0.5)/(float64(len(m))+0.5))
+			for id, tf := range m {
+				dl := float64(v.DocLen(id))
+				num := float64(tf) * (k1 + 1)
+				den := float64(tf) + k1*(1-b+b*dl/avgLen)
+				scores[id] += idf * num / den
+			}
+		}
+		hits = make([]Hit, 0, len(scores))
+		for id, s := range scores {
+			hits = append(hits, Hit{ID: id, Score: s * v.Boost(id)})
+		}
+	})
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Score != hits[j].Score {
 			return hits[i].Score > hits[j].Score

@@ -76,6 +76,7 @@ var gates = []Gate{
 	{Bench: "PipelinedConsumeBatchedFusion", Metric: "batched-fusion-speedup-x", Higher: true},
 	{Bench: "SnapshotUnderLoad", Metric: "shared-read-speedup-x", Higher: true},
 	{Bench: "StandingFeedCrossBatch", Metric: "feed-speedup-x", Higher: true},
+	{Bench: "StandingFeedDiskBackend", Metric: "disk-overhead-x", Higher: false},
 	// Recorded but deliberately not gated here:
 	//   - snapshot-growth-x hovers around 1.0 (µs-scale measurements), so a
 	//     relative diff against the baseline amplifies noise; the benchmark
