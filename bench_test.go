@@ -325,6 +325,40 @@ func BenchmarkSnapshotUnderLoad(b *testing.B) {
 	b.Logf("\n%s", last)
 }
 
+// BenchmarkServeUnderIngest measures the production serving tier (§4, §6.1):
+// concurrent mixed KGQ/entity/search traffic over the /v1 HTTP API while a
+// standing feed churns stable construction and a streaming writer updates
+// live entities. Queries execute on versioned immutable snapshots routed
+// across live replicas, with plan caching and (plan, version)-keyed result
+// caching. Gated metrics: p99 request latency and queries/sec (absolute,
+// generous thresholds for runner noise) plus the cached-vs-uncached fast-path
+// speedup. The correctness property — cached and uncached execution pinned to
+// one snapshot return byte-identical results while ingestion writes — must
+// always hold. The name carries "ServeUnderIngest" so the CI bench job
+// records the trajectory per commit in BENCH_ci.json, where the metrics are
+// regression-gated against BENCH_baseline.json.
+func BenchmarkServeUnderIngest(b *testing.B) {
+	var last experiments.ServeUnderIngestResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ServeUnderIngest(0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheIdentical {
+			b.Fatal("cached and uncached query results diverged under concurrent ingestion")
+		}
+		if res.CachedSpeedup < 1.5 {
+			b.Fatalf("serving fast path regressed against uncached execution: %.2fx (want >= 1.5x)", res.CachedSpeedup)
+		}
+		last = res
+	}
+	b.ReportMetric(last.P99MS, "p99-ms")
+	b.ReportMetric(last.QPS, "qps")
+	b.ReportMetric(last.CachedSpeedup, "cached-speedup-x")
+	b.ReportMetric(last.HitRate, "result-hit-rate")
+	b.Logf("\n%s", last)
+}
+
 // BenchmarkBlockingAblation measures the blocking design choice: candidate
 // comparisons and quality vs quadratic pair generation.
 func BenchmarkBlockingAblation(b *testing.B) {

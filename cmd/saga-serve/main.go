@@ -1,18 +1,17 @@
 // Command saga-serve builds a KG from synthetic sources and serves it over
-// HTTP: GET /query?q=<KGQ> executes a live graph query, GET /entity?id=<id>
-// retrieves an entity payload, GET /search?q=<text> runs ranked text search,
-// and GET /stats reports platform statistics.
+// HTTP through the production serving tier (internal/serve): versioned
+// /v1/query, /v1/entity, /v1/search, /v1/stats, and /v1/healthz routes with
+// snapshot-isolated reads, replica routing, and plan/result caching.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"time"
 
 	"saga/internal/core"
-	"saga/internal/triple"
+	"saga/internal/serve"
 	"saga/internal/workload"
 )
 
@@ -21,9 +20,14 @@ func main() {
 	oplogPath := flag.String("oplog", "", "durable operation log path (empty = memory)")
 	backend := flag.String("backend", "", "storage backend (memory, disk; empty = memory)")
 	dataDir := flag.String("data", "", "data directory for a durable backend (required with -backend=disk)")
+	replicas := flag.Int("replicas", 1, "live serving replicas (reads route across them)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request handling timeout")
 	flag.Parse()
 
-	p, err := core.New(core.Options{OplogPath: *oplogPath, Backend: *backend, DataDir: *dataDir})
+	p, err := core.New(core.Options{
+		OplogPath: *oplogPath, Backend: *backend, DataDir: *dataDir,
+		LiveReplicas: *replicas,
+	})
 	if err != nil {
 		log.Fatalf("saga-serve: %v", err)
 	}
@@ -40,36 +44,9 @@ func main() {
 	p.RefreshServing()
 	p.BuildNERD()
 
-	writeJSON := func(w http.ResponseWriter, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(v); err != nil {
-			log.Printf("saga-serve: encode: %v", err)
-		}
+	srv := serve.New(p, serve.Options{Addr: *addr, RequestTimeout: *timeout})
+	log.Printf("saga-serve: listening on %s (try /v1/query?q=entity(type=%%22human%%22)|limit(3))", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("saga-serve: %v", err)
 	}
-	http.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("q")
-		res, err := p.Query(q)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, map[string]any{"ids": res.IDs, "values": res.Texts()})
-	})
-	http.HandleFunc("/entity", func(w http.ResponseWriter, r *http.Request) {
-		id := triple.EntityID(r.URL.Query().Get("id"))
-		e := p.Live.Get(id)
-		if e == nil {
-			http.Error(w, "not found", http.StatusNotFound)
-			return
-		}
-		writeJSON(w, e)
-	})
-	http.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, p.Live.SearchText(r.URL.Query().Get("q"), 10))
-	})
-	http.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, p.Stats())
-	})
-	log.Printf("saga-serve: listening on %s (try /query?q=entity(type=%%22human%%22)|limit(3))", *addr)
-	log.Fatal(http.ListenAndServe(*addr, nil))
 }

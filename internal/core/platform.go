@@ -64,6 +64,10 @@ type Options struct {
 	// and fuses payload entities one graph round-trip at a time, the
 	// pre-batching reference path kept as the ablation baseline.
 	PerEntityFusion bool
+	// LiveReplicas sets the live serving replica count (§4): writes
+	// replicate to every replica, reads route across them with health,
+	// version, and load awareness. 0 or 1 means a single replica.
+	LiveReplicas int
 }
 
 // Platform is the assembled knowledge platform.
@@ -80,7 +84,13 @@ type Platform struct {
 	ViewCatalog *views.Catalog
 	ViewManager *views.Manager
 
-	Live            *live.Store
+	// Live is the primary serving replica (Replicas.Replica(0)); direct
+	// reads against it are always valid. Writes go through Replicas so
+	// every replica stays in sync.
+	Live *live.Store
+	// Replicas is the live serving replica set; serving tiers route reads
+	// across it (live.ReplicaSet.RouteAcquire).
+	Replicas        *live.ReplicaSet
 	LiveConstructor *live.Constructor
 	LiveEngine      *kgq.Engine
 	Intents         *live.IntentHandler
@@ -186,7 +196,6 @@ func New(opts Options) (*Platform, error) {
 		TextIndex:    tindex,
 		GraphReplica: triple.NewGraph(),
 		ViewCatalog:  views.NewCatalog(),
-		Live:         live.NewStore(),
 		Curation:     live.NewQueue(),
 		snapshots:    make(map[string]ingest.Snapshot),
 	}
@@ -201,7 +210,13 @@ func New(opts Options) (*Platform, error) {
 	p.Engine.RegisterAgent(graphengine.EntityStoreAgent{Store: p.EntityStore})
 	p.Engine.RegisterAgent(graphengine.TextIndexAgent{Index: p.TextIndex})
 	p.Engine.RegisterAgent(graphengine.GraphAgent{Graph: p.GraphReplica})
-	p.LiveConstructor = &live.Constructor{Store: p.Live}
+	replicas := opts.LiveReplicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	p.Replicas = live.NewReplicaSet(replicas)
+	p.Live = p.Replicas.Replica(0)
+	p.LiveConstructor = &live.Constructor{Store: p.Replicas}
 	p.LiveEngine = kgq.NewEngine(p.Live)
 	p.Intents = live.NewIntentHandler(p.Live, nil)
 	return p, nil
@@ -662,9 +677,15 @@ func (p *Platform) BuildNERD() *nerd.NERD {
 	return p.NERD
 }
 
-// Query executes a KGQ query against the live engine.
+// Query executes a KGQ query against the live engine: the text compiles
+// once through the engine's plan cache (Parse → Plan), then the plan runs
+// against the current store snapshot with per-version result caching.
 func (p *Platform) Query(text string) (kgq.Result, error) {
-	return p.LiveEngine.Query(text)
+	plan, err := p.LiveEngine.PlanText(text)
+	if err != nil {
+		return kgq.Result{}, err
+	}
+	return p.LiveEngine.Execute(plan)
 }
 
 // ApplyCurationDecisions drains curation decisions from the live queue and

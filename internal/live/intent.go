@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"saga/internal/triple"
 )
@@ -43,23 +44,52 @@ type Route struct {
 
 // IntentHandler routes intents to KGQ-style executions over the live store
 // and maintains per-session context graphs for multi-turn interactions.
+// Intent routes compile once at registration into immutable plans; each
+// Execute runs its plan against one versioned store snapshot, so a turn's
+// reads are mutually consistent and never contend with ingestion.
 type IntentHandler struct {
 	Store *Store
 	// Resolver resolves argument mentions to entities.
 	Resolver EntityResolver
 
-	routes map[string][]Route
+	mu     sync.RWMutex
+	routes map[string]*routePlan
+}
+
+// routePlan is an intent's compiled routing table: the admissible routes in
+// trial order, frozen at registration. Plans are immutable — registration
+// replaces the plan wholesale — so Execute reads them without holding the
+// handler's lock.
+type routePlan struct {
+	routes []Route
 }
 
 // NewIntentHandler constructs a handler.
 func NewIntentHandler(store *Store, resolver EntityResolver) *IntentHandler {
-	return &IntentHandler{Store: store, Resolver: resolver, routes: make(map[string][]Route)}
+	return &IntentHandler{Store: store, Resolver: resolver, routes: make(map[string]*routePlan)}
 }
 
-// RegisterIntent adds routes for an intent name. Routes are tried in
-// registration order; the first whose type gate admits the argument wins.
+// RegisterIntent adds routes for an intent name, recompiling the intent's
+// plan. Routes are tried in registration order; the first whose type gate
+// admits the argument wins.
 func (h *IntentHandler) RegisterIntent(name string, routes ...Route) {
-	h.routes[name] = append(h.routes[name], routes...)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var prev []Route
+	if p := h.routes[name]; p != nil {
+		prev = p.routes
+	}
+	compiled := make([]Route, 0, len(prev)+len(routes))
+	compiled = append(compiled, prev...)
+	compiled = append(compiled, routes...)
+	h.routes[name] = &routePlan{routes: compiled}
+}
+
+// plan returns the intent's compiled route plan, or nil when unregistered.
+func (h *IntentHandler) plan(name string) *routePlan {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.routes[name]
 }
 
 // Answer is one intent execution result.
@@ -126,28 +156,32 @@ func (s *Session) Handle(intent Intent) (Answer, error) {
 	return ans, nil
 }
 
-// Execute routes and runs one intent with already-bound arguments.
+// Execute routes and runs one intent with already-bound arguments. All
+// reads for the turn — argument resolution, route gating, answer naming —
+// run against one store snapshot, so the answer reflects a single KG
+// version even under concurrent ingestion.
 func (h *IntentHandler) Execute(intent Intent) (Answer, error) {
-	routes, ok := h.routes[intent.Name]
-	if !ok {
+	plan := h.plan(intent.Name)
+	if plan == nil {
 		return Answer{}, fmt.Errorf("live: unknown intent %q", intent.Name)
 	}
 	if len(intent.Args) == 0 {
 		return Answer{}, fmt.Errorf("live: intent %s has no argument", intent.Name)
 	}
-	argEnt, err := h.resolveArg(intent.Args[0])
+	v := h.Store.Current()
+	argEnt, err := h.resolveArg(v, intent.Args[0])
 	if err != nil {
 		return Answer{}, fmt.Errorf("live: intent %s: %w", intent.Name, err)
 	}
-	ent := h.Store.Get(argEnt)
+	ent := v.GetShared(argEnt)
 	if ent == nil {
 		return Answer{}, fmt.Errorf("live: intent %s: entity %s not in live KG", intent.Name, argEnt)
 	}
 	types := ent.Types()
 	var route *Route
-	for i := range routes {
-		if routes[i].RequiredType == "" || containsStr(types, routes[i].RequiredType) {
-			route = &routes[i]
+	for i := range plan.routes {
+		if plan.routes[i].RequiredType == "" || containsStr(types, plan.routes[i].RequiredType) {
+			route = &plan.routes[i]
 			break
 		}
 	}
@@ -156,26 +190,27 @@ func (h *IntentHandler) Execute(intent Intent) (Answer, error) {
 			intent.Name, argEnt, types)
 	}
 	ans := Answer{Intent: intent, ArgEntity: argEnt}
-	for _, v := range ent.Get(route.Predicate) {
-		if v.IsRef() {
-			ans.Entities = append(ans.Entities, v.Ref())
-			if target := h.Store.Get(v.Ref()); target != nil && target.Name() != "" {
+	for _, val := range ent.Get(route.Predicate) {
+		if val.IsRef() {
+			ans.Entities = append(ans.Entities, val.Ref())
+			if target := v.GetShared(val.Ref()); target != nil && target.Name() != "" {
 				ans.Texts = append(ans.Texts, target.Name())
 			} else {
-				ans.Texts = append(ans.Texts, string(v.Ref()))
+				ans.Texts = append(ans.Texts, string(val.Ref()))
 			}
 		} else {
-			ans.Texts = append(ans.Texts, v.Text())
+			ans.Texts = append(ans.Texts, val.Text())
 		}
 	}
 	sort.Strings(ans.Texts)
 	return ans, nil
 }
 
-// resolveArg maps an argument mention to a live-KG entity: entity IDs pass
-// through; otherwise the resolver, then exact name lookup.
-func (h *IntentHandler) resolveArg(arg string) (triple.EntityID, error) {
-	if strings.Contains(arg, ":") && h.Store.Get(triple.EntityID(arg)) != nil {
+// resolveArg maps an argument mention to a live-KG entity within one read
+// view: entity IDs pass through; otherwise the resolver, then exact name
+// lookup.
+func (h *IntentHandler) resolveArg(v View, arg string) (triple.EntityID, error) {
+	if strings.Contains(arg, ":") && v.GetShared(triple.EntityID(arg)) != nil {
 		return triple.EntityID(arg), nil
 	}
 	if h.Resolver != nil {
@@ -183,7 +218,7 @@ func (h *IntentHandler) resolveArg(arg string) (triple.EntityID, error) {
 			return id, nil
 		}
 	}
-	if ids := h.Store.ByAttr(triple.PredName, arg); len(ids) > 0 {
+	if ids := v.ByAttr(triple.PredName, arg); len(ids) > 0 {
 		return ids[0], nil
 	}
 	return "", fmt.Errorf("cannot resolve argument %q", arg)

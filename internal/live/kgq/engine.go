@@ -26,47 +26,75 @@ func (r Result) Texts() []string {
 	return out
 }
 
-// Engine compiles and executes KGQ queries against a live store. It supports
-// virtual operators, operator pushdown, intra-query parallelism for wide
-// traversals, and version-tagged result caching (§4.2).
+// Engine compiles and executes KGQ queries against a live store. The public
+// contract is Parse → Plan → Execute: Parse turns text into a Query AST,
+// Plan compiles it (virtual expansion, operator pushdown) into an immutable
+// Plan safe for concurrent reuse, and Execute runs a Plan against a
+// versioned snapshot of the store. Query(text) wraps all three with an LRU
+// plan cache keyed on query text and a result cache keyed on
+// (plan, store version), so hot queries are invalidated exactly when the
+// live KG changes (§4.2). The engine also supports virtual operators and
+// intra-query parallelism for wide traversals.
 type Engine struct {
 	Store *live.Store
 	// FanOutThreshold is the entity-set size above which traversals run in
 	// parallel; default 64.
 	FanOutThreshold int
+	// Plans caches compiled plans by query text. NewEngine installs a
+	// private cache; replicated serving tiers may share one cache across
+	// per-replica engines, provided every engine registers the same virtual
+	// operators (plans bake virtuals in at compile time).
+	Plans *PlanCache
 
 	mu       sync.RWMutex
 	virtuals map[string]Query
 
-	cacheMu sync.Mutex
-	cache   map[string]cachedResult
+	results resultCache
 }
 
-type cachedResult struct {
-	version uint64
-	result  Result
-}
-
-// NewEngine constructs an engine over a live store.
+// NewEngine constructs an engine over a live store with a private plan
+// cache.
 func NewEngine(store *live.Store) *Engine {
-	return &Engine{Store: store, virtuals: make(map[string]Query), cache: make(map[string]cachedResult)}
+	return &Engine{
+		Store:    store,
+		Plans:    NewPlanCache(512),
+		virtuals: make(map[string]Query),
+		results:  newResultCache(1024),
+	}
 }
+
+// Plan is a compiled KGQ query: virtuals expanded, pushdown applied, stages
+// frozen. Plans are immutable and safe for concurrent reuse across
+// goroutines; compile once, execute many times.
+type Plan struct {
+	key    string
+	stages []Stage
+}
+
+// String renders the compiled pipeline as canonical KGQ text. Two queries
+// that compile to the same pipeline share the same string — and therefore
+// the same result-cache entries.
+func (p *Plan) String() string { return p.key }
 
 // RegisterVirtual defines a virtual operator: a named, reusable KGQ pipeline
 // with positional parameters $1, $2, ... that expands inline at compile time.
 // Virtual operators encapsulate complex expressions for reuse across use
-// cases (§4.2).
+// cases (§4.2). Registering purges the plan and result caches: existing
+// plans were compiled without the new operator.
 func (e *Engine) RegisterVirtual(name, definition string) error {
 	q, err := Parse(definition)
 	if err != nil {
 		return fmt.Errorf("kgq: virtual %s: %w", name, err)
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, dup := e.virtuals[name]; dup {
+		e.mu.Unlock()
 		return fmt.Errorf("kgq: virtual %s already registered", name)
 	}
 	e.virtuals[name] = q
+	e.mu.Unlock()
+	e.Plans.Purge()
+	e.results.purge()
 	return nil
 }
 
@@ -124,38 +152,39 @@ func parseParamIndex(s string) (int, error) {
 	return n, err
 }
 
-// Query parses, compiles, and executes KGQ text. Results are cached keyed by
-// the normalized query text and tagged with the store version, so a cache
-// hit is only served while the live KG has not changed.
+// Query parses, plans, and executes KGQ text — the thin compatibility
+// wrapper over PlanText + Execute. Hot query texts hit the plan cache; hot
+// (plan, store version) pairs hit the result cache.
 func (e *Engine) Query(text string) (Result, error) {
-	version := e.Store.Version()
-	e.cacheMu.Lock()
-	if c, ok := e.cache[text]; ok && c.version == version {
-		e.cacheMu.Unlock()
-		return c.result, nil
-	}
-	e.cacheMu.Unlock()
-
-	q, err := Parse(text)
+	p, err := e.PlanText(text)
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := e.Execute(q)
-	if err != nil {
-		return Result{}, err
-	}
-	e.cacheMu.Lock()
-	if len(e.cache) > 4096 { // bound the cache; version churn clears it anyway
-		e.cache = make(map[string]cachedResult)
-	}
-	e.cache[text] = cachedResult{version: version, result: res}
-	e.cacheMu.Unlock()
-	return res, nil
+	return e.Execute(p)
 }
 
-// Execute runs a parsed query: virtual expansion, pushdown compilation, then
-// stage-by-stage evaluation.
-func (e *Engine) Execute(q Query) (Result, error) {
+// PlanText compiles KGQ text into a Plan, consulting the engine's plan
+// cache keyed on the raw text.
+func (e *Engine) PlanText(text string) (*Plan, error) {
+	if p, ok := e.Plans.get(text); ok {
+		return p, nil
+	}
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	e.Plans.put(text, p)
+	return p, nil
+}
+
+// Plan compiles a parsed query: virtual expansion, operator pushdown, and a
+// defensive deep copy so the resulting Plan shares no mutable state with the
+// caller's Query or with other plans.
+func (e *Engine) Plan(q Query) (*Plan, error) {
 	e.mu.RLock()
 	virtuals := make(map[string]Query, len(e.virtuals))
 	for k, v := range e.virtuals {
@@ -164,19 +193,61 @@ func (e *Engine) Execute(q Query) (Result, error) {
 	e.mu.RUnlock()
 	q, err := expand(q, virtuals, 0)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	q = pushdown(q)
+	q = pushdown(copyQuery(q))
+	return &Plan{key: q.String(), stages: q.Stages}, nil
+}
+
+// copyQuery deep-copies stages and their arg slices so pushdown (and any
+// later holder of the plan) cannot alias the caller's memory.
+func copyQuery(q Query) Query {
+	out := Query{Stages: make([]Stage, len(q.Stages))}
+	for i, s := range q.Stages {
+		out.Stages[i] = Stage{Name: s.Name, Args: append([]Arg(nil), s.Args...)}
+	}
+	return out
+}
+
+// Execute runs a compiled plan against the current store snapshot. Reads
+// are lock-free and never contend with ingestion writes; the snapshot's
+// version keys the result cache, so a cached result is served only while
+// the live KG is byte-identical to when it was computed.
+func (e *Engine) Execute(p *Plan) (Result, error) {
+	return e.ExecuteOn(p, e.Store.Current())
+}
+
+// ExecuteOn runs a compiled plan against an explicit read view — a
+// *live.Snapshot pinned by the serving tier, or a *live.Store for locked
+// live reads. Results are cached per (plan, view version) when the view is
+// a snapshot; live-store views bypass the cache since their version can
+// move mid-query.
+func (e *Engine) ExecuteOn(p *Plan, v live.View) (Result, error) {
+	_, frozen := v.(*live.Snapshot)
+	version := v.Version()
+	if frozen {
+		if res, ok := e.results.get(p.key, version); ok {
+			return res, nil
+		}
+	}
+	x := executor{view: v, fanOutThreshold: e.FanOutThreshold}
 	var res Result
 	seeded := false
-	for _, stage := range q.Stages {
-		res, seeded, err = e.applyStage(res, seeded, stage)
+	var err error
+	for _, stage := range p.stages {
+		res, seeded, err = x.applyStage(res, seeded, stage)
 		if err != nil {
 			return Result{}, err
 		}
 	}
+	if frozen {
+		e.results.put(p.key, version, res)
+	}
 	return res, nil
 }
+
+// CacheStats reports result-cache hits and misses since construction.
+func (e *Engine) CacheStats() (hits, misses uint64) { return e.results.stats() }
 
 // pushdown merges filter(pred=..., eq=...) stages into a preceding entity()
 // seed so the equality runs against the inverted index instead of post-hoc
@@ -200,7 +271,15 @@ func pushdown(q Query) Query {
 	return out
 }
 
-func (e *Engine) applyStage(in Result, seeded bool, stage Stage) (Result, bool, error) {
+// executor evaluates plan stages against one read view. Entity reads use
+// GetShared — stored records are immutable after insert, so execution never
+// clones on the hot path.
+type executor struct {
+	view            live.View
+	fanOutThreshold int
+}
+
+func (x executor) applyStage(in Result, seeded bool, stage Stage) (Result, bool, error) {
 	switch stage.Name {
 	case "entity":
 		if len(stage.Args) == 0 {
@@ -209,9 +288,9 @@ func (e *Engine) applyStage(in Result, seeded bool, stage Stage) (Result, bool, 
 		var sets [][]triple.EntityID
 		for _, a := range stage.Args {
 			if a.Key == "type" {
-				sets = append(sets, e.Store.ByType(a.Str))
+				sets = append(sets, x.view.ByType(a.Str))
 			} else if a.Key != "" {
-				sets = append(sets, e.Store.ByAttr(a.Key, a.Text()))
+				sets = append(sets, x.view.ByAttr(a.Key, a.Text()))
 			} else {
 				return in, seeded, fmt.Errorf("kgq: entity() arguments must be key=value")
 			}
@@ -226,7 +305,7 @@ func (e *Engine) applyStage(in Result, seeded bool, stage Stage) (Result, bool, 
 		if ka, ok := stage.Arg("k", 1); ok && ka.IsNum {
 			k = int(ka.Num)
 		}
-		hits := e.Store.SearchText(qa.Str, k)
+		hits := x.view.SearchText(qa.Str, k)
 		ids := make([]triple.EntityID, len(hits))
 		for i, h := range hits {
 			ids[i] = triple.EntityID(h.ID)
@@ -235,7 +314,7 @@ func (e *Engine) applyStage(in Result, seeded bool, stage Stage) (Result, bool, 
 	case "id":
 		var ids []triple.EntityID
 		for _, a := range stage.Args {
-			if e.Store.Get(triple.EntityID(a.Str)) != nil {
+			if x.view.GetShared(triple.EntityID(a.Str)) != nil {
 				ids = append(ids, triple.EntityID(a.Str))
 			}
 		}
@@ -245,7 +324,7 @@ func (e *Engine) applyStage(in Result, seeded bool, stage Stage) (Result, bool, 
 		if !ok {
 			return in, seeded, fmt.Errorf("kgq: follow() needs a predicate")
 		}
-		return Result{IDs: e.follow(in.IDs, pa.Str)}, seeded, nil
+		return Result{IDs: x.follow(in.IDs, pa.Str)}, seeded, nil
 	case "in":
 		pa, ok := stage.Arg("pred", 0)
 		if !ok {
@@ -254,7 +333,7 @@ func (e *Engine) applyStage(in Result, seeded bool, stage Stage) (Result, bool, 
 		var out []triple.EntityID
 		seen := make(map[triple.EntityID]bool)
 		for _, id := range in.IDs {
-			for _, src := range e.Store.InRefs(pa.Str, id) {
+			for _, src := range x.view.InRefs(pa.Str, id) {
 				if !seen[src] {
 					seen[src] = true
 					out = append(out, src)
@@ -264,11 +343,11 @@ func (e *Engine) applyStage(in Result, seeded bool, stage Stage) (Result, bool, 
 		sortIDs(out)
 		return Result{IDs: out}, seeded, nil
 	case "filter":
-		return e.applyFilter(in, stage)
+		return x.applyFilter(in, stage)
 	case "rank":
 		ids := append([]triple.EntityID(nil), in.IDs...)
 		sort.SliceStable(ids, func(i, j int) bool {
-			bi, bj := e.Store.Boost(ids[i]), e.Store.Boost(ids[j])
+			bi, bj := x.view.Boost(ids[i]), x.view.Boost(ids[j])
 			if bi != bj {
 				return bi > bj
 			}
@@ -296,7 +375,7 @@ func (e *Engine) applyStage(in Result, seeded bool, stage Stage) (Result, bool, 
 		}
 		out := Result{IDs: in.IDs}
 		for _, id := range in.IDs {
-			if ent := e.Store.Get(id); ent != nil {
+			if ent := x.view.GetShared(id); ent != nil {
 				out.Values = append(out.Values, valuesOf(ent, pa.Str)...)
 			}
 		}
@@ -308,15 +387,15 @@ func (e *Engine) applyStage(in Result, seeded bool, stage Stage) (Result, bool, 
 
 // follow traverses reference edges; sets beyond FanOutThreshold shard across
 // goroutines (intra-query parallelism, §4.2).
-func (e *Engine) follow(ids []triple.EntityID, pred string) []triple.EntityID {
-	threshold := e.FanOutThreshold
+func (x executor) follow(ids []triple.EntityID, pred string) []triple.EntityID {
+	threshold := x.fanOutThreshold
 	if threshold == 0 {
 		threshold = 64
 	}
 	collect := func(ids []triple.EntityID) []triple.EntityID {
 		var out []triple.EntityID
 		for _, id := range ids {
-			ent := e.Store.Get(id)
+			ent := x.view.GetShared(id)
 			if ent == nil {
 				continue
 			}
@@ -368,7 +447,7 @@ func (e *Engine) follow(ids []triple.EntityID, pred string) []triple.EntityID {
 	return out
 }
 
-func (e *Engine) applyFilter(in Result, stage Stage) (Result, bool, error) {
+func (x executor) applyFilter(in Result, stage Stage) (Result, bool, error) {
 	pa, ok := stage.Arg("pred", 0)
 	if !ok {
 		return in, true, fmt.Errorf("kgq: filter() needs a predicate")
@@ -381,7 +460,7 @@ func (e *Engine) applyFilter(in Result, stage Stage) (Result, bool, error) {
 	}
 	var out []triple.EntityID
 	for _, id := range in.IDs {
-		ent := e.Store.Get(id)
+		ent := x.view.GetShared(id)
 		if ent == nil {
 			continue
 		}

@@ -1,0 +1,170 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"saga/internal/triple"
+)
+
+// ReplicaSet models geo-replicated serving (§4): N live store replicas with
+// writes applied to all replicas and reads routed with health, version, and
+// load awareness — standing in for locality routing at test scale. Each
+// replica can serve the full query load of its region.
+//
+// Routing picks among healthy replicas at the highest published store
+// version (a replica that missed writes, or was marked unhealthy, stops
+// taking reads until it catches back up), preferring the least-loaded
+// replica and breaking ties round-robin so equal replicas share traffic
+// evenly.
+type ReplicaSet struct {
+	replicas []*replica
+	mu       sync.Mutex
+	next     int
+}
+
+type replica struct {
+	store    *Store
+	inflight atomic.Int64
+	served   atomic.Uint64
+	healthy  atomic.Bool
+}
+
+// NewReplicaSet builds n replicas, all healthy.
+func NewReplicaSet(n int) *ReplicaSet {
+	rs := &ReplicaSet{}
+	for i := 0; i < n; i++ {
+		r := &replica{store: NewStore()}
+		r.healthy.Store(true)
+		rs.replicas = append(rs.replicas, r)
+	}
+	return rs
+}
+
+// Put applies the write to every replica (synchronous replication).
+func (rs *ReplicaSet) Put(e *triple.Entity, boost float64) {
+	for _, r := range rs.replicas {
+		r.store.Put(e, boost)
+	}
+}
+
+// Delete applies the delete to every replica, reporting whether any replica
+// held the entity.
+func (rs *ReplicaSet) Delete(id triple.EntityID) bool {
+	any := false
+	for _, r := range rs.replicas {
+		if r.store.Delete(id) {
+			any = true
+		}
+	}
+	return any
+}
+
+// Get reads the entity from the routed replica (a private copy, or nil).
+func (rs *ReplicaSet) Get(id triple.EntityID) *triple.Entity {
+	s, release := rs.RouteAcquire()
+	defer release()
+	return s.Get(id)
+}
+
+// Boost reads the entity's ranking boost from the routed replica.
+func (rs *ReplicaSet) Boost(id triple.EntityID) float64 {
+	s, release := rs.RouteAcquire()
+	defer release()
+	return s.Boost(id)
+}
+
+// RouteAcquire picks the replica to serve one read and marks it busy for
+// the read's duration; the returned release must be called when the read
+// finishes. Selection: healthy replicas at the highest published version,
+// least in-flight reads first, round-robin on ties. With every replica
+// unhealthy the set degrades to routing over all of them — serving stale or
+// suspect data beats serving nothing.
+func (rs *ReplicaSet) RouteAcquire() (*Store, func()) {
+	rs.mu.Lock()
+	pick := rs.pickLocked()
+	rs.mu.Unlock()
+	pick.inflight.Add(1)
+	return pick.store, func() {
+		pick.inflight.Add(-1)
+		pick.served.Add(1)
+	}
+}
+
+// pickLocked implements the routing policy; caller holds rs.mu.
+func (rs *ReplicaSet) pickLocked() *replica {
+	var maxVersion uint64
+	anyHealthy := false
+	for _, r := range rs.replicas {
+		if !r.healthy.Load() {
+			continue
+		}
+		anyHealthy = true
+		if v := r.store.Version(); v > maxVersion {
+			maxVersion = v
+		}
+	}
+	var pick *replica
+	var pickLoad int64
+	n := len(rs.replicas)
+	for i := 0; i < n; i++ {
+		r := rs.replicas[(rs.next+i)%n]
+		if anyHealthy && (!r.healthy.Load() || r.store.Version() != maxVersion) {
+			continue
+		}
+		load := r.inflight.Load()
+		if pick == nil || load < pickLoad {
+			pick, pickLoad = r, load
+		}
+	}
+	if pick == nil { // unreachable with n > 0; defensive
+		pick = rs.replicas[rs.next%n]
+	}
+	rs.next++
+	return pick
+}
+
+// Route returns the replica the routing policy would serve the next read
+// from. Prefer RouteAcquire on serving paths — it additionally tracks the
+// read's duration so least-loaded routing sees in-flight work.
+func (rs *ReplicaSet) Route() *Store {
+	s, release := rs.RouteAcquire()
+	release()
+	return s
+}
+
+// Replica returns replica i's store.
+func (rs *ReplicaSet) Replica(i int) *Store { return rs.replicas[i].store }
+
+// SetHealthy marks replica i in or out of the read rotation. Writes still
+// replicate to unhealthy replicas, so a replica marked healthy again serves
+// the current version immediately.
+func (rs *ReplicaSet) SetHealthy(i int, healthy bool) {
+	rs.replicas[i].healthy.Store(healthy)
+}
+
+// Healthy reports replica i's health flag.
+func (rs *ReplicaSet) Healthy(i int) bool { return rs.replicas[i].healthy.Load() }
+
+// Loads returns each replica's in-flight read count, index-aligned with
+// Replica.
+func (rs *ReplicaSet) Loads() []int64 {
+	out := make([]int64, len(rs.replicas))
+	for i, r := range rs.replicas {
+		out[i] = r.inflight.Load()
+	}
+	return out
+}
+
+// Served returns each replica's completed read count, index-aligned with
+// Replica — the routing distribution observability hook.
+func (rs *ReplicaSet) Served() []uint64 {
+	out := make([]uint64, len(rs.replicas))
+	for i, r := range rs.replicas {
+		out[i] = r.served.Load()
+	}
+	return out
+}
+
+// Size returns the replica count.
+func (rs *ReplicaSet) Size() int { return len(rs.replicas) }

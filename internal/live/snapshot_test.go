@@ -1,0 +1,168 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"saga/internal/triple"
+)
+
+// TestSnapshotImmutable pins the serving contract: a snapshot is frozen at
+// its version while the store keeps moving underneath it.
+func TestSnapshotImmutable(t *testing.T) {
+	s := NewStore()
+	s.Put(cityEntity("kg:C1", "Chicago", "kg:US", 2700000), 0.5)
+	s.Put(cityEntity("kg:C2", "Boston", "kg:US", 650000), 0.2)
+
+	sn := s.Snapshot()
+	if sn.Version() != s.Version() {
+		t.Fatalf("snapshot version %d != store version %d", sn.Version(), s.Version())
+	}
+	wantLen := sn.Len()
+	wantCities := len(sn.ByType("city"))
+	wantName := sn.GetShared("kg:C1").Name()
+
+	// Mutate the store in every indexed dimension.
+	s.Put(cityEntity("kg:C3", "Denver", "kg:US", 700000), 0.9)
+	renamed := cityEntity("kg:C1", "Second City", "kg:US", 2700000)
+	s.Put(renamed, 0.5)
+	s.Delete("kg:C2")
+
+	if sn.Len() != wantLen {
+		t.Fatalf("snapshot Len moved: %d -> %d", wantLen, sn.Len())
+	}
+	if got := len(sn.ByType("city")); got != wantCities {
+		t.Fatalf("snapshot ByType moved: %d -> %d", wantCities, got)
+	}
+	if got := sn.GetShared("kg:C1").Name(); got != wantName {
+		t.Fatalf("snapshot entity moved: %q -> %q", wantName, got)
+	}
+	if sn.GetShared("kg:C2") == nil {
+		t.Fatal("deleted entity vanished from the snapshot")
+	}
+	if len(sn.ByAttr(triple.PredName, "Denver")) != 0 {
+		t.Fatal("entity written after the cut is visible in the snapshot")
+	}
+	if len(sn.SearchText("Chicago", 3)) == 0 {
+		t.Fatal("snapshot text search lost the frozen doc")
+	}
+	// The live store sees everything.
+	if s.GetShared("kg:C2") != nil || s.GetShared("kg:C3") == nil {
+		t.Fatal("live store does not reflect the writes")
+	}
+	if s.GetShared("kg:C1").Name() != "Second City" {
+		t.Fatal("live store does not reflect the overwrite")
+	}
+}
+
+// TestCurrentReadYourWrites: Current republishes whenever the version moved,
+// so a Put is immediately visible through it.
+func TestCurrentReadYourWrites(t *testing.T) {
+	s := NewStore()
+	s.Put(cityEntity("kg:C1", "Chicago", "", 0), 0)
+	v := s.Current()
+	if v.Version() != s.Version() || v.GetShared("kg:C1") == nil {
+		t.Fatal("Current is stale after Put")
+	}
+	s.Put(cityEntity("kg:C2", "Boston", "", 0), 0)
+	if s.Current().GetShared("kg:C2") == nil {
+		t.Fatal("Current did not republish after the second Put")
+	}
+}
+
+// TestServingBoundedStaleness: Serving reuses the published snapshot inside
+// the staleness window and converges to the store's version after it.
+func TestServingBoundedStaleness(t *testing.T) {
+	s := NewStore()
+	s.Put(cityEntity("kg:C1", "Chicago", "", 0), 0)
+	sn := s.Serving()
+	if sn.Version() != s.Version() {
+		t.Fatalf("first Serving call lags: %d != %d", sn.Version(), s.Version())
+	}
+	s.Put(cityEntity("kg:C2", "Boston", "", 0), 0)
+	// Within the window Serving may return the previous cut, but never one
+	// older than it.
+	if got := s.Serving().Version(); got < sn.Version() {
+		t.Fatalf("Serving went backwards: %d < %d", got, sn.Version())
+	}
+	time.Sleep(2 * servingStaleness)
+	if got := s.Serving().Version(); got != s.Version() {
+		t.Fatalf("Serving stale beyond the window: %d != %d", got, s.Version())
+	}
+	// A quiesced store keeps returning the same published snapshot.
+	a, b := s.Serving(), s.Serving()
+	if a != b {
+		t.Fatal("Serving republished with no writes")
+	}
+}
+
+// TestReplicaSetHealthRouting: reads never route to a replica marked
+// unhealthy, and routing degrades to the full set when none are healthy.
+func TestReplicaSetHealthRouting(t *testing.T) {
+	rs := NewReplicaSet(3)
+	rs.Put(cityEntity("kg:C1", "Chicago", "", 0), 0)
+	down := rs.Replica(1)
+	rs.SetHealthy(1, false)
+	for i := 0; i < 12; i++ {
+		if rs.Route() == down {
+			t.Fatal("routed a read to an unhealthy replica")
+		}
+	}
+	rs.SetHealthy(0, false)
+	rs.SetHealthy(2, false)
+	if rs.Route() == nil {
+		t.Fatal("routing must degrade, not fail, with zero healthy replicas")
+	}
+	rs.SetHealthy(1, true)
+	for i := 0; i < 6; i++ {
+		if rs.Route() != down {
+			t.Fatal("the only healthy replica must serve every read")
+		}
+	}
+}
+
+// TestReplicaSetVersionRouting: when replicas diverge, reads route to the
+// healthy replicas at the highest version.
+func TestReplicaSetVersionRouting(t *testing.T) {
+	rs := NewReplicaSet(3)
+	rs.Put(cityEntity("kg:C1", "Chicago", "", 0), 0)
+	ahead := rs.Replica(2)
+	ahead.Put(cityEntity("kg:C2", "Boston", "", 0), 0) // replica 2 pulls ahead
+	for i := 0; i < 9; i++ {
+		if rs.Route() != ahead {
+			t.Fatal("read routed to a replica behind the max version")
+		}
+	}
+	// Catch the others up: routing spreads out again.
+	rs.Replica(0).Put(cityEntity("kg:C2", "Boston", "", 0), 0)
+	rs.Replica(1).Put(cityEntity("kg:C2", "Boston", "", 0), 0)
+	seen := map[*Store]bool{}
+	for i := 0; i < 9; i++ {
+		seen[rs.Route()] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("routing hit %d replicas after catch-up, want 3", len(seen))
+	}
+}
+
+// TestReplicaSetLoadRouting: an in-flight read steers the next one to a
+// less-loaded replica, and release restores the balance.
+func TestReplicaSetLoadRouting(t *testing.T) {
+	rs := NewReplicaSet(2)
+	rs.Put(cityEntity("kg:C1", "Chicago", "", 0), 0)
+	st1, release1 := rs.RouteAcquire()
+	st2, release2 := rs.RouteAcquire()
+	if st1 == st2 {
+		t.Fatal("second read routed to the busy replica")
+	}
+	loads := rs.Loads()
+	if loads[0]+loads[1] != 2 {
+		t.Fatalf("loads = %v, want one in-flight read each", loads)
+	}
+	release1()
+	release2()
+	loads = rs.Loads()
+	if loads[0] != 0 || loads[1] != 0 {
+		t.Fatalf("loads = %v after release, want zeros", loads)
+	}
+}

@@ -7,6 +7,11 @@
 // construction links streaming events' entity mentions to stable entities,
 // and the query engine (the kgq subpackage) serves ad-hoc structured queries
 // and query intents with multi-turn context.
+//
+// Serving reads go through versioned immutable snapshots (Store.Current):
+// the store publishes a copy-on-write view of every index at its current
+// version, so query evaluation never takes the store's locks and never
+// contends with streaming ingestion. See Snapshot for the contract.
 package live
 
 import (
@@ -14,6 +19,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"saga/internal/store/textindex"
 	"saga/internal/triple"
@@ -21,9 +27,57 @@ import (
 
 const storeShards = 32
 
+// View is a read view of the live KG: either the live *Store (reads take
+// the store's locks and observe writes immediately) or an immutable
+// *Snapshot (lock-free reads frozen at one version). The query engine and
+// the serving tier evaluate against a View, so the same execution code runs
+// on both. Entities returned by GetShared are shared records and must not
+// be mutated.
+type View interface {
+	// Version is the store version the view reads at; it increments on
+	// every write, so result caches key on it for exact invalidation.
+	Version() uint64
+	// Len returns the number of live entities.
+	Len() int
+	// Get returns a private copy of the entity, or nil.
+	Get(id triple.EntityID) *triple.Entity
+	// GetShared returns the stored record itself — read-only — or nil.
+	GetShared(id triple.EntityID) *triple.Entity
+	// ByAttr returns entities with pred equal (by normalized text) to value.
+	ByAttr(pred, value string) []triple.EntityID
+	// ByType returns entities of the given type.
+	ByType(typ string) []triple.EntityID
+	// InRefs returns entities whose predicate references the target.
+	InRefs(pred string, target triple.EntityID) []triple.EntityID
+	// Boost returns the entity's ranking boost.
+	Boost(id triple.EntityID) float64
+	// SearchText runs ranked token search over names/aliases/descriptions.
+	SearchText(query string, k int) []textindex.Hit
+}
+
+// Sink is the write half of the live serving tier: a single store or a
+// replica set fanning writes out to several. Live construction and the
+// stable-view loader write through a Sink so replication is transparent.
+type Sink interface {
+	// Put indexes (replacing) an entity with a ranking boost.
+	Put(e *triple.Entity, boost float64)
+	// Delete removes an entity, reporting whether it existed.
+	Delete(id triple.EntityID) bool
+}
+
+// idSet is one posting list: an entity set plus the snapshot epoch it was
+// last cloned at, so writers copy it before mutating if a snapshot still
+// references it (copy-on-write).
+type idSet struct {
+	ids   map[triple.EntityID]bool
+	epoch uint64
+}
+
 // Store is the live KG index: a graph KV store plus inverted indexes
 // optimized for low-latency retrieval under concurrent requests. All methods
-// are safe for concurrent use; shards bound contention.
+// are safe for concurrent use; shards bound contention on the entity KV, and
+// published snapshots (Current) take serving reads off the index locks
+// entirely.
 type Store struct {
 	shards [storeShards]*storeShard
 	// text is the token index over entity names/aliases used by search().
@@ -31,16 +85,34 @@ type Store struct {
 
 	mu sync.RWMutex
 	// attr maps predicate\x1fvalueText -> entity set (equality lookups).
-	attr map[string]map[triple.EntityID]bool
+	attr map[string]*idSet
 	// reverse maps predicate\x1ftargetID -> source entity set (in() walks).
-	reverse map[string]map[triple.EntityID]bool
+	reverse map[string]*idSet
 	// byType maps entity type -> entity set.
-	byType map[string]map[triple.EntityID]bool
+	byType map[string]*idSet
 	// boost holds per-entity ranking boosts (entity importance).
 	boost map[triple.EntityID]float64
 
 	// version increments on every write; query caches use it to invalidate.
 	version atomic.Uint64
+
+	// pubMu gates snapshot publication against writers: every write holds
+	// the read side for its whole operation (shard KV + inverted indexes +
+	// text index + version bump), and Snapshot takes the write side, so a
+	// snapshot always captures a write-atomic cut — a store version uniquely
+	// identifies index content.
+	pubMu sync.RWMutex
+	// snapEpoch counts published snapshots; idxEpoch records when the
+	// top-level index maps were last copied. Guarded by pubMu (writers read
+	// under RLock, Snapshot bumps under Lock).
+	snapEpoch uint64
+	idxEpoch  uint64
+
+	// cur is the most recently published snapshot; Current revalidates it
+	// against version and republishes when stale. snapAt records when it
+	// was captured (unix nanos) so Serving can bound republish frequency.
+	cur    atomic.Pointer[Snapshot]
+	snapAt atomic.Int64
 }
 
 // Version returns a counter that increments on every write, letting query
@@ -48,17 +120,18 @@ type Store struct {
 func (s *Store) Version() uint64 { return s.version.Load() }
 
 type storeShard struct {
-	mu   sync.RWMutex
-	data map[triple.EntityID]*triple.Entity
+	mu    sync.RWMutex
+	data  map[triple.EntityID]*triple.Entity
+	epoch uint64 // snapshot epoch data was last copied at
 }
 
 // NewStore constructs an empty live store.
 func NewStore() *Store {
 	s := &Store{
 		text:    textindex.New(),
-		attr:    make(map[string]map[triple.EntityID]bool),
-		reverse: make(map[string]map[triple.EntityID]bool),
-		byType:  make(map[string]map[triple.EntityID]bool),
+		attr:    make(map[string]*idSet),
+		reverse: make(map[string]*idSet),
+		byType:  make(map[string]*idSet),
 		boost:   make(map[triple.EntityID]float64),
 	}
 	for i := range s.shards {
@@ -73,18 +146,88 @@ func (s *Store) shardFor(id triple.EntityID) *storeShard {
 
 func attrKey(pred, valText string) string { return pred + "\x1f" + valText }
 
+// cowShardLocked clones the shard's entity map if a snapshot still
+// references it. Caller holds sh.mu and the store's pubMu read side.
+func (s *Store) cowShardLocked(sh *storeShard) {
+	if sh.epoch == s.snapEpoch {
+		return
+	}
+	sh.epoch = s.snapEpoch
+	data := make(map[triple.EntityID]*triple.Entity, len(sh.data))
+	for id, e := range sh.data {
+		data[id] = e
+	}
+	sh.data = data
+}
+
+// cowIndexLocked shallow-copies the top-level index maps the first time a
+// writer runs after a snapshot. Posting sets get their own per-key copy in
+// cowSetLocked. Caller holds s.mu and the pubMu read side.
+func (s *Store) cowIndexLocked() {
+	if s.idxEpoch == s.snapEpoch {
+		return
+	}
+	s.idxEpoch = s.snapEpoch
+	attr := make(map[string]*idSet, len(s.attr))
+	for k, v := range s.attr {
+		attr[k] = v
+	}
+	s.attr = attr
+	reverse := make(map[string]*idSet, len(s.reverse))
+	for k, v := range s.reverse {
+		reverse[k] = v
+	}
+	s.reverse = reverse
+	byType := make(map[string]*idSet, len(s.byType))
+	for k, v := range s.byType {
+		byType[k] = v
+	}
+	s.byType = byType
+	boost := make(map[triple.EntityID]float64, len(s.boost))
+	for k, v := range s.boost {
+		boost[k] = v
+	}
+	s.boost = boost
+}
+
+// cowSetLocked returns m[key]'s posting set ready for mutation, cloning it
+// first if a snapshot still references it; creates the set when absent.
+func (s *Store) cowSetLocked(m map[string]*idSet, key string) *idSet {
+	set := m[key]
+	if set == nil {
+		set = &idSet{ids: make(map[triple.EntityID]bool), epoch: s.snapEpoch}
+		m[key] = set
+		return set
+	}
+	if set.epoch < s.snapEpoch {
+		clone := &idSet{ids: make(map[triple.EntityID]bool, len(set.ids)), epoch: s.snapEpoch}
+		for id := range set.ids {
+			clone.ids[id] = true
+		}
+		m[key] = clone
+		return clone
+	}
+	return set
+}
+
 // Put indexes (replacing) an entity: KV payload, attribute postings, reverse
 // reference postings, type sets, and the token index. Streaming updates call
-// Put at high frequency; curation hot fixes call it directly too.
+// Put at high frequency; curation hot fixes call it directly too. The stored
+// record is a private clone and is never mutated afterwards, which is what
+// lets snapshots and GetShared hand it out without copying.
 func (s *Store) Put(e *triple.Entity, boost float64) {
+	s.pubMu.RLock()
+	defer s.pubMu.RUnlock()
 	clone := e.Clone()
 	sh := s.shardFor(clone.ID)
 	sh.mu.Lock()
+	s.cowShardLocked(sh)
 	old := sh.data[clone.ID]
 	sh.data[clone.ID] = clone
 	sh.mu.Unlock()
 
 	s.mu.Lock()
+	s.cowIndexLocked()
 	if old != nil {
 		s.unindexLocked(old)
 	}
@@ -97,15 +240,21 @@ func (s *Store) Put(e *triple.Entity, boost float64) {
 
 // Delete removes an entity from all indexes.
 func (s *Store) Delete(id triple.EntityID) bool {
+	s.pubMu.RLock()
+	defer s.pubMu.RUnlock()
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	old, ok := sh.data[id]
-	delete(sh.data, id)
+	if ok {
+		s.cowShardLocked(sh)
+		delete(sh.data, id)
+	}
 	sh.mu.Unlock()
 	if !ok {
 		return false
 	}
 	s.mu.Lock()
+	s.cowIndexLocked()
 	s.unindexLocked(old)
 	s.mu.Unlock()
 	s.text.Delete(string(id))
@@ -114,37 +263,31 @@ func (s *Store) Delete(id triple.EntityID) bool {
 }
 
 func (s *Store) indexLocked(e *triple.Entity, boost float64) {
-	add := func(m map[string]map[triple.EntityID]bool, key string, id triple.EntityID) {
-		set := m[key]
-		if set == nil {
-			set = make(map[triple.EntityID]bool)
-			m[key] = set
-		}
-		set[id] = true
-	}
 	for _, t := range e.Triples {
 		pred := t.Predicate
 		if t.IsComposite() {
 			pred = t.Predicate + "." + t.RelPred
 		}
-		add(s.attr, attrKey(pred, normText(t.Object.Text())), e.ID)
+		s.cowSetLocked(s.attr, attrKey(pred, normText(t.Object.Text()))).ids[e.ID] = true
 		if t.Object.IsRef() {
-			add(s.reverse, attrKey(pred, string(t.Object.Ref())), e.ID)
+			s.cowSetLocked(s.reverse, attrKey(pred, string(t.Object.Ref()))).ids[e.ID] = true
 		}
 	}
 	for _, typ := range e.Types() {
-		add(s.byType, typ, e.ID)
+		s.cowSetLocked(s.byType, typ).ids[e.ID] = true
 	}
 	s.boost[e.ID] = boost
 }
 
 func (s *Store) unindexLocked(e *triple.Entity) {
-	remove := func(m map[string]map[triple.EntityID]bool, key string, id triple.EntityID) {
-		if set := m[key]; set != nil {
-			delete(set, id)
-			if len(set) == 0 {
-				delete(m, key)
-			}
+	remove := func(m map[string]*idSet, key string, id triple.EntityID) {
+		if m[key] == nil {
+			return
+		}
+		set := s.cowSetLocked(m, key)
+		delete(set.ids, id)
+		if len(set.ids) == 0 {
+			delete(m, key)
 		}
 	}
 	for _, t := range e.Triples {
@@ -165,14 +308,21 @@ func (s *Store) unindexLocked(e *triple.Entity) {
 
 // Get returns a copy of the entity, or nil.
 func (s *Store) Get(id triple.EntityID) *triple.Entity {
-	sh := s.shardFor(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	e, ok := sh.data[id]
-	if !ok {
+	e := s.GetShared(id)
+	if e == nil {
 		return nil
 	}
 	return e.Clone()
+}
+
+// GetShared returns the stored record itself, or nil. Stored records are
+// immutable after insert (Put stores a private clone), so shared access is
+// safe for readers that do not mutate — the query engine's contract.
+func (s *Store) GetShared(id triple.EntityID) *triple.Entity {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.data[id]
 }
 
 // Len returns the number of live entities.
@@ -220,9 +370,157 @@ func (s *Store) Boost(id triple.EntityID) float64 {
 	return s.boost[id]
 }
 
-func setToSlice(set map[triple.EntityID]bool) []triple.EntityID {
-	out := make([]triple.EntityID, 0, len(set))
-	for id := range set {
+// Snapshot publishes an immutable, version-stamped view of the whole store:
+// entity KV, inverted indexes, boosts, and the text index, all captured at
+// one write-atomic cut. Taking a snapshot is O(shards), not O(|store|) —
+// the maps are shared with the live store and copied on the next write to
+// them (copy-on-write) — and reads against it take no locks, so serving
+// traffic pinned to a snapshot never contends with streaming ingestion.
+func (s *Store) Snapshot() *Snapshot {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.snapEpoch++
+	sn := &Snapshot{
+		version:  s.version.Load(),
+		attr:     s.attr,
+		reverse:  s.reverse,
+		byType:   s.byType,
+		boost:    s.boost,
+		text:     s.text.Snapshot(),
+		textLive: s.text,
+	}
+	for i, sh := range s.shards {
+		sn.shards[i] = sh.data
+	}
+	return sn
+}
+
+// Current returns the latest published snapshot, republishing first if the
+// store has advanced past it. The fast path is two atomic loads; the slow
+// path costs one snapshot capture (O(shards)). Freshness: read-your-writes —
+// the snapshot includes every write completed before the call.
+func (s *Store) Current() *Snapshot {
+	if sn := s.cur.Load(); sn != nil && sn.version == s.version.Load() {
+		return sn
+	}
+	sn := s.Snapshot()
+	s.cur.Store(sn)
+	s.snapAt.Store(time.Now().UnixNano())
+	return sn
+}
+
+// servingStaleness bounds how far behind the live store a Serving view may
+// lag while writes are streaming in.
+const servingStaleness = 5 * time.Millisecond
+
+// Serving returns a recent published snapshot with bounded staleness: if
+// the current snapshot is younger than servingStaleness it is reused even
+// though writes have landed since, so a request-per-snapshot serving tier
+// cannot force a republish (and the COW copying the next write pays) per
+// request. Under sustained ingestion the views served lag the store by at
+// most servingStaleness; an idle store converges to exact. Use Current for
+// read-your-writes.
+func (s *Store) Serving() *Snapshot {
+	sn := s.cur.Load()
+	if sn != nil && sn.version == s.version.Load() {
+		return sn
+	}
+	now := time.Now().UnixNano()
+	last := s.snapAt.Load()
+	if sn != nil && now-last < int64(servingStaleness) {
+		return sn
+	}
+	// One republisher at a time: CAS losers serve the (recent) snapshot the
+	// winner is about to replace rather than stacking up captures.
+	if !s.snapAt.CompareAndSwap(last, now) {
+		if sn := s.cur.Load(); sn != nil {
+			return sn
+		}
+	}
+	sn = s.Snapshot()
+	s.cur.Store(sn)
+	return sn
+}
+
+// Snapshot is an immutable view of a Store frozen at one version: reads are
+// lock-free, never observe later writes, and two snapshots at the same
+// version have identical content (writes are atomic with the version bump
+// under the store's publication gate). Entities returned by GetShared are
+// the stored records themselves and must not be mutated.
+type Snapshot struct {
+	version uint64
+	shards  [storeShards]map[triple.EntityID]*triple.Entity
+	attr    map[string]*idSet
+	reverse map[string]*idSet
+	byType  map[string]*idSet
+	boost   map[triple.EntityID]float64
+	// text is the frozen text searcher; textLive is the fallback when the
+	// posting store cannot snapshot (non-memory backends) — those searches
+	// take the live index's read lock and may observe later writes.
+	text     *textindex.Snapshot
+	textLive *textindex.Index
+}
+
+// Version implements View: the store version the snapshot is frozen at.
+func (sn *Snapshot) Version() uint64 { return sn.version }
+
+// Len implements View.
+func (sn *Snapshot) Len() int {
+	n := 0
+	for _, data := range sn.shards {
+		n += len(data)
+	}
+	return n
+}
+
+// Get implements View: a private copy of the entity, or nil.
+func (sn *Snapshot) Get(id triple.EntityID) *triple.Entity {
+	e := sn.GetShared(id)
+	if e == nil {
+		return nil
+	}
+	return e.Clone()
+}
+
+// GetShared implements View: the stored record itself (read-only), or nil.
+func (sn *Snapshot) GetShared(id triple.EntityID) *triple.Entity {
+	return sn.shards[triple.HashID(id)%storeShards][id]
+}
+
+// ByAttr implements View.
+func (sn *Snapshot) ByAttr(pred, value string) []triple.EntityID {
+	return setToSlice(sn.attr[attrKey(pred, normText(value))])
+}
+
+// ByType implements View.
+func (sn *Snapshot) ByType(typ string) []triple.EntityID {
+	return setToSlice(sn.byType[typ])
+}
+
+// InRefs implements View.
+func (sn *Snapshot) InRefs(pred string, target triple.EntityID) []triple.EntityID {
+	return setToSlice(sn.reverse[attrKey(pred, string(target))])
+}
+
+// Boost implements View.
+func (sn *Snapshot) Boost(id triple.EntityID) float64 { return sn.boost[id] }
+
+// SearchText implements View: ranked token search frozen at the snapshot
+// when the text index supports snapshots (it does on the memory backend the
+// live store uses), else a locked live search.
+func (sn *Snapshot) SearchText(query string, k int) []textindex.Hit {
+	if sn.text != nil {
+		return sn.text.Search(query, k)
+	}
+	return sn.textLive.Search(query, k)
+}
+
+func setToSlice(set *idSet) []triple.EntityID {
+	if set == nil {
+		return nil
+	}
+	out := make([]triple.EntityID, 0, len(set.ids))
+	for id := range set.ids {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -242,48 +540,3 @@ func docText(e *triple.Entity) string {
 	}
 	return b.String()
 }
-
-// ReplicaSet models geo-replicated serving (§4): N live store replicas with
-// reads routed round-robin (standing in for locality routing) and writes
-// applied to all replicas. Each replica can serve the full query load of its
-// region; the set exists to exercise the replication code path at test scale.
-type ReplicaSet struct {
-	replicas []*Store
-	mu       sync.Mutex
-	next     int
-}
-
-// NewReplicaSet builds n replicas.
-func NewReplicaSet(n int) *ReplicaSet {
-	rs := &ReplicaSet{}
-	for i := 0; i < n; i++ {
-		rs.replicas = append(rs.replicas, NewStore())
-	}
-	return rs
-}
-
-// Put applies the write to every replica (synchronous replication).
-func (rs *ReplicaSet) Put(e *triple.Entity, boost float64) {
-	for _, r := range rs.replicas {
-		r.Put(e, boost)
-	}
-}
-
-// Delete applies the delete to every replica.
-func (rs *ReplicaSet) Delete(id triple.EntityID) {
-	for _, r := range rs.replicas {
-		r.Delete(id)
-	}
-}
-
-// Route returns the next replica to serve a read.
-func (rs *ReplicaSet) Route() *Store {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	r := rs.replicas[rs.next%len(rs.replicas)]
-	rs.next++
-	return r
-}
-
-// Size returns the replica count.
-func (rs *ReplicaSet) Size() int { return len(rs.replicas) }

@@ -1,0 +1,337 @@
+// Package serve implements Saga's production serving tier (§4): a
+// constructor-injected HTTP server over an assembled platform, exposing the
+// live knowledge graph on versioned /v1 routes. Query reads run against
+// immutable store snapshots routed across the live replica set, KGQ text
+// compiles once through a plan cache shared by every replica's engine, and
+// results are cached per (plan, store version) so hot queries invalidate
+// exactly when ingestion advances the KG.
+//
+// Routes (all GET):
+//
+//	/v1/query?q=<KGQ>         execute a live graph query
+//	/v1/entity?id=<id>        retrieve an entity payload
+//	/v1/search?q=<text>&k=<n> ranked text search (k defaults to 10)
+//	/v1/stats                 platform + serving statistics
+//	/v1/healthz               liveness and current store version
+//
+// Errors use a structured envelope: {"error": {"code": "...", "message":
+// "..."}} with codes bad_query, bad_request, not_found, and
+// method_not_allowed.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"saga/internal/core"
+	"saga/internal/live"
+	"saga/internal/live/kgq"
+	"saga/internal/triple"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Addr is the listen address; default 127.0.0.1:8080.
+	Addr string
+	// RequestTimeout bounds each request's handling time; default 5s.
+	RequestTimeout time.Duration
+	// ReadHeaderTimeout bounds how long a client may dribble request
+	// headers; default 5s.
+	ReadHeaderTimeout time.Duration
+	// PlanCacheSize bounds the plan cache shared across replica engines;
+	// 0 means the kgq default.
+	PlanCacheSize int
+}
+
+// Server serves the live KG over HTTP. Construct with New; the zero value
+// is not usable.
+type Server struct {
+	platform *core.Platform
+	replicas *live.ReplicaSet
+	// engines holds one query engine per replica, all sharing one plan
+	// cache: a hot query text compiles once for the whole set, while each
+	// engine keeps its own result cache keyed on its replica's versions.
+	engines map[*live.Store]*kgq.Engine
+	plans   *kgq.PlanCache
+	opts    Options
+	handler http.Handler
+	srv     *http.Server
+}
+
+// New builds a server over an assembled platform.
+func New(p *core.Platform, opts Options) *Server {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:8080"
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 5 * time.Second
+	}
+	if opts.ReadHeaderTimeout <= 0 {
+		opts.ReadHeaderTimeout = 5 * time.Second
+	}
+	s := &Server{
+		platform: p,
+		replicas: p.Replicas,
+		engines:  make(map[*live.Store]*kgq.Engine),
+		plans:    kgq.NewPlanCache(opts.PlanCacheSize),
+		opts:     opts,
+	}
+	if s.replicas != nil {
+		for i := 0; i < s.replicas.Size(); i++ {
+			st := s.replicas.Replica(i)
+			eng := kgq.NewEngine(st)
+			eng.Plans = s.plans
+			s.engines[st] = eng
+		}
+	} else {
+		s.engines[p.Live] = p.LiveEngine
+		s.plans = p.LiveEngine.Plans
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/entity", s.handleEntity)
+	mux.HandleFunc("/v1/search", s.handleSearch)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.handler = http.TimeoutHandler(mux, opts.RequestTimeout,
+		`{"error":{"code":"timeout","message":"request exceeded the server's request timeout"}}`)
+	return s
+}
+
+// Handler returns the server's HTTP handler (method checks, envelopes, and
+// the request timeout included) for embedding in tests and benchmarks.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// ListenAndServe serves until the listener fails or Shutdown is called.
+func (s *Server) ListenAndServe() error {
+	s.srv = &http.Server{
+		Addr:              s.opts.Addr,
+		Handler:           s.handler,
+		ReadHeaderTimeout: s.opts.ReadHeaderTimeout,
+	}
+	err := s.srv.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops a running server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// route picks the replica to serve one read (health-, version-, and
+// load-aware) and returns its engine, a snapshot pinned for the request,
+// and the release that ends the read. The snapshot is the replica's Serving
+// view: immutable, lock-free, and with bounded staleness under sustained
+// ingestion, so request handling never republishes per request and never
+// contends with writers.
+func (s *Server) route() (*kgq.Engine, *live.Snapshot, func()) {
+	if s.replicas == nil {
+		eng := s.engines[s.platform.Live]
+		return eng, s.platform.Live.Serving(), func() {}
+	}
+	st, release := s.replicas.RouteAcquire()
+	return s.engines[st], st.Serving(), release
+}
+
+// errorEnvelope is the structured error body every non-2xx response carries.
+type errorEnvelope struct {
+	Error errorInfo `json:"error"`
+}
+
+type errorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: errorInfo{Code: code, Message: msg}})
+}
+
+// checkRequest enforces the route's method and parameter contract: GET
+// only (405 with Allow otherwise), and no unknown query parameters (400) —
+// a misspelled parameter fails loudly instead of silently serving the
+// unfiltered route.
+func checkRequest(w http.ResponseWriter, r *http.Request, params ...string) bool {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s is not allowed; use GET", r.Method))
+		return false
+	}
+	allowed := make(map[string]bool, len(params))
+	for _, p := range params {
+		allowed[p] = true
+	}
+	for name := range r.URL.Query() {
+		if !allowed[name] {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("unknown query parameter %q", name))
+			return false
+		}
+	}
+	return true
+}
+
+// queryResponse is /v1/query's success payload.
+type queryResponse struct {
+	IDs     []triple.EntityID `json:"ids"`
+	Values  []string          `json:"values"`
+	Version uint64            `json:"version"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !checkRequest(w, r, "q") {
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing required parameter q")
+		return
+	}
+	eng, view, release := s.route()
+	defer release()
+	plan, err := eng.PlanText(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return
+	}
+	res, err := eng.ExecuteOn(plan, view)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return
+	}
+	ids := res.IDs
+	if ids == nil {
+		ids = []triple.EntityID{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{IDs: ids, Values: res.Texts(), Version: view.Version()})
+}
+
+func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	if !checkRequest(w, r, "id") {
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing required parameter id")
+		return
+	}
+	_, view, release := s.route()
+	defer release()
+	// Shared record: stored entities are immutable after insert, so the
+	// encoder reads it without a clone.
+	e := view.GetShared(triple.EntityID(id))
+	if e == nil {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("entity %q is not in the live KG", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+// searchResponse is /v1/search's success payload.
+type searchResponse struct {
+	Hits    []searchHit `json:"hits"`
+	Version uint64      `json:"version"`
+}
+
+type searchHit struct {
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !checkRequest(w, r, "q", "k") {
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing required parameter q")
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		n, err := strconv.Atoi(ks)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "parameter k must be a positive integer")
+			return
+		}
+		k = n
+	}
+	_, view, release := s.route()
+	defer release()
+	hits := view.SearchText(q, k)
+	out := searchResponse{Hits: make([]searchHit, len(hits)), Version: view.Version()}
+	for i, h := range hits {
+		out.Hits[i] = searchHit{ID: h.ID, Score: h.Score}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ServingStats reports the serving tier's own counters next to platform
+// statistics on /v1/stats.
+type ServingStats struct {
+	// Version is the primary replica's current store version.
+	Version uint64 `json:"version"`
+	// Replicas is the serving replica count.
+	Replicas int `json:"replicas"`
+	// ReplicaServed counts reads completed per replica (routing balance).
+	ReplicaServed []uint64 `json:"replica_served,omitempty"`
+	// PlanCacheLen is the number of compiled plans cached across replicas.
+	PlanCacheLen int `json:"plan_cache_len"`
+	// ResultHits / ResultMisses aggregate result-cache traffic.
+	ResultHits   uint64 `json:"result_hits"`
+	ResultMisses uint64 `json:"result_misses"`
+}
+
+type statsResponse struct {
+	Platform core.Stats   `json:"platform"`
+	Serving  ServingStats `json:"serving"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !checkRequest(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, statsResponse{Platform: s.platform.Stats(), Serving: s.servingStats()})
+}
+
+func (s *Server) servingStats() ServingStats {
+	st := ServingStats{
+		Version:      s.platform.Live.Version(),
+		Replicas:     1,
+		PlanCacheLen: s.plans.Len(),
+	}
+	if s.replicas != nil {
+		st.Replicas = s.replicas.Size()
+		st.ReplicaServed = s.replicas.Served()
+	}
+	for _, eng := range s.engines {
+		h, m := eng.CacheStats()
+		st.ResultHits += h
+		st.ResultMisses += m
+	}
+	return st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !checkRequest(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "version": s.platform.Live.Version()})
+}

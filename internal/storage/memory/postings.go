@@ -10,6 +10,12 @@ import (
 // term→doc→frequency maps plus per-document lengths, term lists (for
 // deletion), and boosts, under one RWMutex so a Read sees a consistent
 // index state.
+//
+// Snapshot returns an immutable point-in-time view with copy-on-write
+// semantics: taking one is O(1), and the first write after a snapshot to a
+// given map (top-level maps once per snapshot, each term's posting list
+// individually) pays the copy. Snapshot views stay valid and lock-free
+// forever.
 type Postings struct {
 	mu       sync.RWMutex
 	postings map[string]map[string]int // term -> docID -> term frequency
@@ -17,29 +23,90 @@ type Postings struct {
 	docTerms map[string][]string // for deletion
 	boost    map[string]float64
 	totalLen int
+
+	// epoch counts snapshots; topEpoch / termEpoch record when the top-level
+	// maps / each term's posting list were last copied. A writer clones any
+	// map whose epoch lags the snapshot epoch before mutating it, so every
+	// snapshot's maps are frozen the moment a writer would touch them.
+	epoch     uint64
+	topEpoch  uint64
+	termEpoch map[string]uint64
 }
 
 // NewPostings constructs an empty in-memory posting store.
 func NewPostings() *Postings {
 	return &Postings{
-		postings: make(map[string]map[string]int),
-		docLen:   make(map[string]int),
-		docTerms: make(map[string][]string),
-		boost:    make(map[string]float64),
+		postings:  make(map[string]map[string]int),
+		docLen:    make(map[string]int),
+		docTerms:  make(map[string][]string),
+		boost:     make(map[string]float64),
+		termEpoch: make(map[string]uint64),
 	}
+}
+
+// cowLocked shallow-copies the top-level maps the first time a writer runs
+// after a snapshot, so the snapshot's map headers stay frozen. Values are
+// shared: posting lists get their own per-term copy in cowTermLocked, and
+// docTerms slices / scalar values are replaced wholesale, never mutated.
+func (p *Postings) cowLocked() {
+	if p.topEpoch == p.epoch {
+		return
+	}
+	p.topEpoch = p.epoch
+	postings := make(map[string]map[string]int, len(p.postings))
+	for t, m := range p.postings {
+		postings[t] = m
+	}
+	p.postings = postings
+	docLen := make(map[string]int, len(p.docLen))
+	for d, l := range p.docLen {
+		docLen[d] = l
+	}
+	p.docLen = docLen
+	docTerms := make(map[string][]string, len(p.docTerms))
+	for d, ts := range p.docTerms {
+		docTerms[d] = ts
+	}
+	p.docTerms = docTerms
+	boost := make(map[string]float64, len(p.boost))
+	for d, b := range p.boost {
+		boost[d] = b
+	}
+	p.boost = boost
+}
+
+// cowTermLocked returns term's posting list, cloned first if a snapshot
+// still references it. Returns nil when the term is unindexed.
+func (p *Postings) cowTermLocked(t string) map[string]int {
+	m := p.postings[t]
+	if m == nil {
+		return nil
+	}
+	if p.termEpoch[t] < p.epoch {
+		clone := make(map[string]int, len(m))
+		for d, f := range m {
+			clone[d] = f
+		}
+		p.postings[t] = clone
+		p.termEpoch[t] = p.epoch
+		return clone
+	}
+	return m
 }
 
 // Put implements storage.Postings.
 func (p *Postings) Put(doc string, termFreqs map[string]int, length int, boost float64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.cowLocked()
 	p.deleteLocked(doc)
 	termList := make([]string, 0, len(termFreqs))
 	for t, f := range termFreqs {
-		m := p.postings[t]
+		m := p.cowTermLocked(t)
 		if m == nil {
 			m = make(map[string]int)
 			p.postings[t] = m
+			p.termEpoch[t] = p.epoch
 		}
 		m[doc] = f
 		termList = append(termList, t)
@@ -58,6 +125,7 @@ func (p *Postings) Put(doc string, termFreqs map[string]int, length int, boost f
 func (p *Postings) Delete(doc string) (bool, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.cowLocked()
 	return p.deleteLocked(doc), nil
 }
 
@@ -67,10 +135,11 @@ func (p *Postings) deleteLocked(doc string) bool {
 		return false
 	}
 	for _, t := range terms {
-		if m := p.postings[t]; m != nil {
+		if m := p.cowTermLocked(t); m != nil {
 			delete(m, doc)
 			if len(m) == 0 {
 				delete(p.postings, t)
+				delete(p.termEpoch, t)
 			}
 		}
 	}
@@ -99,6 +168,47 @@ func (p *Postings) Read(fn func(v storage.PostingsView)) error {
 
 // Close implements storage.Postings.
 func (p *Postings) Close() error { return nil }
+
+// Snapshot returns an immutable point-in-time view of the postings. The
+// view is lock-free and stays valid indefinitely: the store copies any map
+// the snapshot references before the next write to it (copy-on-write).
+func (p *Postings) Snapshot() storage.PostingsView {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.epoch++
+	return postingsSnap{
+		postings: p.postings,
+		docLen:   p.docLen,
+		boost:    p.boost,
+		totalLen: p.totalLen,
+		docs:     len(p.docTerms),
+	}
+}
+
+// postingsSnap is a frozen storage.PostingsView: its maps are never mutated
+// after capture (writers copy-on-write instead), so reads need no lock.
+type postingsSnap struct {
+	postings map[string]map[string]int
+	docLen   map[string]int
+	boost    map[string]float64
+	totalLen int
+	docs     int
+}
+
+// Posting implements storage.PostingsView.
+func (s postingsSnap) Posting(term string) map[string]int { return s.postings[term] }
+
+// DocLen implements storage.PostingsView.
+func (s postingsSnap) DocLen(doc string) int { return s.docLen[doc] }
+
+// TotalLen implements storage.PostingsView.
+func (s postingsSnap) TotalLen() int { return s.totalLen }
+
+// Boost implements storage.PostingsView.
+func (s postingsSnap) Boost(doc string) float64 { return s.boost[doc] }
+
+// Docs implements storage.PostingsView.
+func (s postingsSnap) Docs() int { return s.docs }
 
 // postingsView implements storage.PostingsView over the locked store.
 type postingsView struct{ p *Postings }

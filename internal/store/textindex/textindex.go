@@ -87,37 +87,46 @@ func (ix *Index) Search(query string, k int) []Hit {
 	}
 	var hits []Hit
 	_ = ix.p.Read(func(v storage.PostingsView) {
-		n := v.Docs()
-		if n == 0 {
-			return
-		}
-		k1, b := ix.K1, ix.B
-		if k1 == 0 {
-			k1 = 1.2
-		}
-		if b == 0 {
-			b = 0.75
-		}
-		avgLen := float64(v.TotalLen()) / float64(n)
-		scores := make(map[string]float64)
-		for _, t := range terms {
-			m := v.Posting(t)
-			if len(m) == 0 {
-				continue
-			}
-			idf := math.Log(1 + (float64(n)-float64(len(m))+0.5)/(float64(len(m))+0.5))
-			for id, tf := range m {
-				dl := float64(v.DocLen(id))
-				num := float64(tf) * (k1 + 1)
-				den := float64(tf) + k1*(1-b+b*dl/avgLen)
-				scores[id] += idf * num / den
-			}
-		}
-		hits = make([]Hit, 0, len(scores))
-		for id, s := range scores {
-			hits = append(hits, Hit{ID: id, Score: s * v.Boost(id)})
-		}
+		hits = scoreView(v, terms, ix.K1, ix.B)
 	})
+	return topK(hits, k)
+}
+
+// scoreView runs boosted BM25 over one consistent postings view.
+func scoreView(v storage.PostingsView, terms []string, k1, b float64) []Hit {
+	n := v.Docs()
+	if n == 0 {
+		return nil
+	}
+	if k1 == 0 {
+		k1 = 1.2
+	}
+	if b == 0 {
+		b = 0.75
+	}
+	avgLen := float64(v.TotalLen()) / float64(n)
+	scores := make(map[string]float64)
+	for _, t := range terms {
+		m := v.Posting(t)
+		if len(m) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (float64(n)-float64(len(m))+0.5)/(float64(len(m))+0.5))
+		for id, tf := range m {
+			dl := float64(v.DocLen(id))
+			num := float64(tf) * (k1 + 1)
+			den := float64(tf) + k1*(1-b+b*dl/avgLen)
+			scores[id] += idf * num / den
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		hits = append(hits, Hit{ID: id, Score: s * v.Boost(id)})
+	}
+	return hits
+}
+
+func topK(hits []Hit, k int) []Hit {
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Score != hits[j].Score {
 			return hits[i].Score > hits[j].Score
@@ -128,4 +137,39 @@ func (ix *Index) Search(query string, k int) []Hit {
 		hits = hits[:k]
 	}
 	return hits
+}
+
+// Snapshot is an immutable point-in-time searcher over a frozen postings
+// view: searches are lock-free, never observe later writes, and two
+// searches of the same snapshot always return identical hits.
+type Snapshot struct {
+	v     storage.PostingsView
+	k1, b float64
+}
+
+// snapshotter is implemented by posting stores that can freeze themselves
+// (the memory backend's store does, via copy-on-write).
+type snapshotter interface {
+	Snapshot() storage.PostingsView
+}
+
+// Snapshot freezes the index into an immutable searcher, or returns nil
+// when the posting store cannot snapshot (non-memory backends); callers
+// then fall back to locked live searches.
+func (ix *Index) Snapshot() *Snapshot {
+	s, ok := ix.p.(snapshotter)
+	if !ok {
+		return nil
+	}
+	return &Snapshot{v: s.Snapshot(), k1: ix.K1, b: ix.B}
+}
+
+// Search returns the top-k documents by boosted BM25 score at the
+// snapshot's point in time.
+func (s *Snapshot) Search(query string, k int) []Hit {
+	terms := Tokenize(query)
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	return topK(scoreView(s.v, terms, s.k1, s.b), k)
 }
