@@ -165,8 +165,9 @@ func NewFeed(p *Pipeline, opts FeedOptions) *Feed {
 		done:     make(chan struct{}),
 	}
 	f.cond = sync.NewCond(&f.mu)
+	//saga:longlived the feed's two pipeline stages live until Close drains them
 	go f.commitLoop()
-	go f.publishLoop()
+	go f.publishLoop() //saga:longlived see above
 	return f
 }
 

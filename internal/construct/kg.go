@@ -90,7 +90,9 @@ func (kg *KG) KGView(entityType string) []*triple.Entity {
 // stored immutable records, which blocking, matching, and clustering only
 // ever read. The pipeline's scan-path candidate gather uses it so full-scan
 // linking stops paying a clone per KG entity per delta; callers must not
-// mutate the returned entities.
+// mutate the returned entities — clone first, or mark a deliberate ownership
+// transfer with //saga:owns. The sharedmut analyzer (cmd/saga-vet) enforces
+// this; see docs/INVARIANTS.md#cow-shared-records.
 func (kg *KG) KGViewShared(entityType string) []*triple.Entity {
 	ids := kg.Graph.IDsByType(entityType)
 	out := make([]*triple.Entity, 0, len(ids))

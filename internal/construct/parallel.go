@@ -105,6 +105,7 @@ func runIndexedBudget(b *WorkerBudget, workers, n int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(helpers)
 	for w := 0; w < helpers; w++ {
+		//saga:longlived this IS the budget pool: each worker holds a token acquired above
 		go func() {
 			defer wg.Done()
 			if b != nil {

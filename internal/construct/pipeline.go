@@ -649,6 +649,7 @@ func (p *Pipeline) beginBatch(deltas []ingest.Delta) *batchRun {
 	for i := range br.computed {
 		br.computed[i] = make(chan struct{})
 	}
+	//saga:longlived single overlap goroutine per batch; its inner workers are budgeted
 	go runIndexedBudget(b, p.workers(), len(pds), func(i int) {
 		p.computeDelta(pds[i], b)
 		close(br.computed[i])

@@ -188,8 +188,12 @@ func StandingFeed(workers int) (StandingFeedResult, error) {
 			res.Identical = reflect.DeepEqual(ser.p.KG.Graph.Triples(), fed.p.KG.Graph.Triples()) &&
 				reflect.DeepEqual(ser.p.GraphReplica.Triples(), fed.p.GraphReplica.Triples())
 		}
-		ser.p.Engine.Log.Close()
-		fed.p.Engine.Log.Close()
+		if err := ser.p.Engine.Log.Close(); err != nil {
+			return res, fmt.Errorf("close serial log: %w", err)
+		}
+		if err := fed.p.Engine.Log.Close(); err != nil {
+			return res, fmt.Errorf("close feed log: %w", err)
+		}
 	}
 	res.FeedSpeedup = res.SerialMS / res.FeedMS
 	if res.FeedOps > 0 {

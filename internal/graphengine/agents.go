@@ -67,7 +67,9 @@ func (a EntityStoreAgent) Apply(op oplog.Op, entities []*triple.Entity) error {
 		}
 	case oplog.OpDelete:
 		for _, id := range op.EntityIDs {
-			a.Store.Delete(id)
+			if _, err := a.Store.Delete(id); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -87,11 +89,15 @@ func (a TextIndexAgent) Apply(op oplog.Op, entities []*triple.Entity) error {
 	switch op.Kind {
 	case oplog.OpUpsert, oplog.OpCuration:
 		for _, e := range entities {
-			a.Index.Put(textindex.Doc{ID: string(e.ID), Text: EntityDocText(e)})
+			if err := a.Index.Put(textindex.Doc{ID: string(e.ID), Text: EntityDocText(e)}); err != nil {
+				return err
+			}
 		}
 	case oplog.OpDelete:
 		for _, id := range op.EntityIDs {
-			a.Index.Delete(string(id))
+			if _, err := a.Index.Delete(string(id)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

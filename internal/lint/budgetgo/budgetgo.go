@@ -1,0 +1,64 @@
+// Package budgetgo implements the saga-vet analyzer enforcing the bounded
+// goroutine contract (docs/INVARIANTS.md#bounded-goroutines).
+//
+// Helper parallelism in the construction, core, and serving layers draws
+// from the shared WorkerBudget: nested stages (deltas x type groups x
+// candidate components) size themselves against one token pool, so total
+// helper goroutines never exceed the configured worker count no matter how
+// stages stack. A raw `go` statement bypasses the budget — one forgotten
+// spawn point inside a per-delta loop reintroduces the O(deltas * types *
+// workers) goroutine explosion the budget exists to prevent.
+//
+// The analyzer reports every `go` statement in the budget-scoped packages
+// (construct, core, serve). The sanctioned exceptions — the feed's
+// long-lived commit/publish loops, the budget's own internal pool spawn,
+// and the singleton batch-overlap goroutine — are annotated
+// //saga:longlived with a one-line justification.
+package budgetgo
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"saga/internal/lint"
+)
+
+// Analyzer is the budgetgo pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "budgetgo",
+	Doc:      "report raw go statements bypassing the WorkerBudget bounded pools in construct/core/serve (docs/INVARIANTS.md#bounded-goroutines)",
+	URL:      "docs/INVARIANTS.md#bounded-goroutines",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// scopedPackages are the layers whose goroutines must draw from the budget:
+// the construction pipeline (where the nested pools stack), the platform
+// core (which owns the feed and publish wiring), and the serving tier
+// (whose handlers run per-request and must never fan out unboundedly).
+var scopedPackages = map[string]bool{
+	"construct": true,
+	"core":      true,
+	"serve":     true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scopedPackages[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	markers := lint.NewMarkers(pass.Fset, pass.Files)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		if lint.IsTestFile(pass.Fset, n.Pos()) {
+			return
+		}
+		if markers.Covers(n.Pos(), lint.MarkerLonglived) {
+			return
+		}
+		pass.Reportf(n.Pos(), "raw goroutine bypasses the WorkerBudget bounded pools — run the work via runIndexedBudget, or mark //saga:longlived with a justification (docs/INVARIANTS.md#bounded-goroutines)")
+	})
+	return nil, nil
+}

@@ -1,0 +1,14 @@
+package budgetgo_test
+
+import (
+	"testing"
+
+	"saga/internal/lint/budgetgo"
+	"saga/internal/lint/linttest"
+)
+
+func TestBudgetGo(t *testing.T) {
+	// "construct" is budget-scoped (violations + marker suppression);
+	// "other" asserts out-of-scope packages are untouched.
+	linttest.Run(t, linttest.TestData(t), budgetgo.Analyzer, "construct", "other")
+}

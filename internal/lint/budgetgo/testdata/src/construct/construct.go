@@ -1,0 +1,18 @@
+// Package construct exercises the budgetgo analyzer in a budget-scoped
+// package: raw spawns are flagged, //saga:longlived spawns are sanctioned.
+package construct
+
+func work(int) {}
+
+func rawSpawn() {
+	go work(1)  // want `raw goroutine bypasses the WorkerBudget bounded pools`
+	go func() { // want `raw goroutine bypasses the WorkerBudget bounded pools`
+		work(2)
+	}()
+}
+
+func sanctioned() {
+	//saga:longlived commit loop: one per feed, exits on Close
+	go work(1)
+	go work(2) //saga:longlived publisher loop: one per feed, exits on Close
+}

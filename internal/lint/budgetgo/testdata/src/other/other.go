@@ -1,0 +1,9 @@
+// Package other is outside the budget-scoped packages: raw goroutines are
+// not this analyzer's business here.
+package other
+
+func work() {}
+
+func rawSpawnElsewhere() {
+	go work()
+}

@@ -1,0 +1,147 @@
+// Package errdrop implements the saga-vet analyzer enforcing the durable
+// error contract (docs/INVARIANTS.md#durable-errors).
+//
+// Errors from the durable storage roles and the publish path are state, not
+// noise: a dropped RecordLog.Append error means an operation the platform
+// believes published never reached the log (replicas silently diverge); a
+// dropped BlobStore.Stage error records a log operation whose payload does
+// not exist (replay stalls every agent at that LSN forever); a dropped
+// Close/Sync error loses the only notification that buffered writes never
+// hit disk. Every such error must be returned, joined, logged with intent,
+// or explicitly waived.
+//
+// The analyzer reports calls to the durable entry points (methods of the
+// internal/storage role interfaces and backends, the entitystore wrapper,
+// oplog.Log.Append/Close, graphengine Engine.Publish*, and os.File.Sync)
+// whose error result is discarded: expression statements, `go` statements,
+// and assignments of the error position to the blank identifier. Deferred
+// cleanup calls (`defer f.Close()`) are exempt by convention. Intentional
+// discards are annotated //saga:errok with a justification.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"saga/internal/lint"
+)
+
+// Analyzer is the errdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "errdrop",
+	Doc:      "report discarded errors from durable storage and publish paths (docs/INVARIANTS.md#durable-errors)",
+	URL:      "docs/INVARIANTS.md#durable-errors",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	markers := lint.NewMarkers(pass.Fset, pass.Files)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodes := []ast.Node{(*ast.ExprStmt)(nil), (*ast.GoStmt)(nil), (*ast.AssignStmt)(nil)}
+	insp.Preorder(nodes, func(n ast.Node) {
+		if lint.IsTestFile(pass.Fset, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				check(pass, markers, call, -1)
+			}
+		case *ast.GoStmt:
+			check(pass, markers, n.Call, -1)
+		case *ast.AssignStmt:
+			checkAssign(pass, markers, n)
+		}
+	})
+	return nil, nil
+}
+
+// errResult returns the index of the trailing error result of the call's
+// callee, or -1 when the callee is not a monitored durable entry point or
+// returns no error. The label names the callee for the diagnostic.
+func errResult(pass *analysis.Pass, call *ast.CallExpr) (label string, idx int) {
+	fn := lint.StaticCallee(pass.TypesInfo, call)
+	label, ok := lint.DurableCall(fn)
+	if !ok {
+		return "", -1
+	}
+	sig := fn.Type().(*types.Signature)
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", -1
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", -1
+	}
+	return label, res.Len() - 1
+}
+
+// check reports a call whose entire result list is dropped (expression and
+// go statements). droppedIdx of -1 means all results are dropped.
+func check(pass *analysis.Pass, markers *lint.Markers, call *ast.CallExpr, droppedIdx int) {
+	label, errIdx := errResult(pass, call)
+	if errIdx < 0 {
+		return
+	}
+	if droppedIdx >= 0 && droppedIdx != errIdx {
+		return
+	}
+	report(pass, markers, call, label)
+}
+
+// checkAssign reports assignments that bind a monitored call's error result
+// to the blank identifier, including the multi-value form
+// `ok, _ := kv.Delete(k)`.
+func checkAssign(pass *analysis.Pass, markers *lint.Markers, n *ast.AssignStmt) {
+	if len(n.Rhs) != 1 {
+		// Parallel assignment: each RHS call has exactly one LHS, so an
+		// error-returning monitored call can only be fully consumed or
+		// impossible to blank-drop positionally; check pairwise.
+		for i, rhs := range n.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || i >= len(n.Lhs) {
+				continue
+			}
+			if isBlank(n.Lhs[i]) {
+				check(pass, markers, call, 0)
+			}
+		}
+		return
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	label, errIdx := errResult(pass, call)
+	if errIdx < 0 {
+		return
+	}
+	// Single-value context (`_ = c.Close()`) or multi-value spread
+	// (`ok, _ := c.Delete(k)`): the error position must not be blank.
+	if len(n.Lhs) == 1 && errIdx == 0 && isBlank(n.Lhs[0]) {
+		report(pass, markers, call, label)
+		return
+	}
+	if errIdx < len(n.Lhs) && len(n.Lhs) > 1 && isBlank(n.Lhs[errIdx]) {
+		report(pass, markers, call, label)
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func report(pass *analysis.Pass, markers *lint.Markers, call *ast.CallExpr, label string) {
+	if markers.Covers(call.Pos(), lint.MarkerErrOK) {
+		return
+	}
+	pass.Reportf(call.Pos(), "discarded error from %s: durable storage/publish errors must be handled — a dropped error diverges replica state or poisons the log; handle it, or mark //saga:errok with a justification (docs/INVARIANTS.md#durable-errors)", label)
+}

@@ -1,0 +1,14 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"saga/internal/lint/errdrop"
+	"saga/internal/lint/linttest"
+)
+
+func TestErrDrop(t *testing.T) {
+	// "a" consumes the miniature storage/oplog/graphengine packages
+	// (cross-package: the durable set is recognized through the import).
+	linttest.Run(t, linttest.TestData(t), errdrop.Analyzer, "a")
+}

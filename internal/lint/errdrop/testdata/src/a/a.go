@@ -1,0 +1,52 @@
+// Package a exercises the errdrop analyzer: dropped errors from the
+// durable entry points in every discard position, handled-error and
+// deferred-cleanup exemptions, and //saga:errok suppression.
+package a
+
+import (
+	"graphengine"
+	"oplog"
+	"storage"
+)
+
+func dropped(l storage.RecordLog, kv storage.EntityKV, bs storage.BlobStore, e *graphengine.Engine, ol *oplog.Log) {
+	l.Append(nil)           // want `discarded error from RecordLog.Append`
+	_ = l.Close()           // want `discarded error from RecordLog.Close`
+	ok, _ := kv.Delete("k") // want `discarded error from EntityKV.Delete`
+	_ = ok
+	v, _, _ := kv.Get("k") // want `discarded error from EntityKV.Get`
+	_ = v
+	bs.Stage(nil)         // want `discarded error from BlobStore.Stage`
+	go l.Append(nil)      // want `discarded error from RecordLog.Append`
+	e.Publish("src")      // want `discarded error from Engine.Publish`
+	ol.Append(oplog.Op{}) // want `discarded error from Log.Append`
+	ol.Close()            // want `discarded error from Log.Close`
+}
+
+func handled(l storage.RecordLog, kv storage.EntityKV, e *graphengine.Engine) error {
+	if err := l.Append(nil); err != nil {
+		return err
+	}
+	ok, err := kv.Delete("k")
+	_ = ok
+	if err != nil {
+		return err
+	}
+	lsn, err := e.Publish("src")
+	_ = lsn
+	return err
+}
+
+func deferredCleanup(l storage.RecordLog) {
+	defer l.Close() // deferred cleanup is exempt by convention
+}
+
+func unmonitored(ol *oplog.Log) {
+	ol.LastLSN() // results of non-durable calls may be ignored
+}
+
+func waived(l storage.RecordLog) {
+	//saga:errok teardown of a scratch log whose contents are discarded anyway
+	l.Append(nil)
+	_ = l.Close() //saga:errok same, trailing form
+}

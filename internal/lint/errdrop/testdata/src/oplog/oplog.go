@@ -1,0 +1,10 @@
+// Package oplog is a miniature of saga/internal/oplog for analyzer tests.
+package oplog
+
+type Op struct{ LSN uint64 }
+
+type Log struct{}
+
+func (l *Log) Append(op Op) (uint64, error) { return 0, nil }
+func (l *Log) Close() error                 { return nil }
+func (l *Log) LastLSN() uint64              { return 0 }

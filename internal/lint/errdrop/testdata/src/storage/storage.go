@@ -1,0 +1,22 @@
+// Package storage is a miniature of saga/internal/storage for analyzer
+// tests: the durable role interfaces whose errors must never be dropped.
+package storage
+
+type RecordLog interface {
+	Append(payload []byte) error
+	Len() int
+	Close() error
+}
+
+type BlobStore interface {
+	Stage(payload []byte) (string, error)
+	Get(key string) ([]byte, bool)
+	Close() error
+}
+
+type EntityKV interface {
+	Put(key string, value []byte) error
+	Get(key string) ([]byte, bool, error)
+	Delete(key string) (bool, error)
+	Close() error
+}

@@ -1,0 +1,272 @@
+// Package linttest runs saga-vet analyzers over testdata packages and
+// checks their diagnostics against // want annotations, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// The toolchain's vendored analysis framework ships without analysistest
+// (whose go/packages loader pulls a dependency tree the repo does not
+// vendor), so this harness loads testdata with the standard library alone:
+// packages under testdata/src/<importpath> are parsed with go/parser and
+// type-checked with go/types, sibling testdata imports resolve within the
+// tree (exercising cross-package flows), and standard-library imports
+// resolve through the source importer.
+//
+// Expectations are trailing comments on the line the diagnostic lands on:
+//
+//	g.GetShared(id).Name = "x" // want `mutation of shared`
+//
+// Each `// want` takes one or more quoted or backquoted regexps; every
+// diagnostic must match a want on its line and every want must be matched,
+// or the test fails.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("linttest: resolving testdata: %v", err)
+	}
+	return dir
+}
+
+// Run loads each package path from testdata/src, applies the analyzer, and
+// reports mismatches between diagnostics and // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(t, filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		l.check(a, path)
+	}
+}
+
+type pkgData struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	t       *testing.T
+	fset    *token.FileSet
+	srcDir  string
+	pkgs    map[string]*pkgData
+	std     types.Importer
+	results map[string]map[*analysis.Analyzer]any
+}
+
+func newLoader(t *testing.T, srcDir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		t:       t,
+		fset:    fset,
+		srcDir:  srcDir,
+		pkgs:    make(map[string]*pkgData),
+		std:     importer.ForCompiler(fset, "source", nil),
+		results: make(map[string]map[*analysis.Analyzer]any),
+	}
+}
+
+// importerFunc adapts the loader to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// load parses and type-checks one testdata package (or delegates to the
+// source importer for paths outside the testdata tree).
+func (l *loader) load(path string) (*pkgData, error) {
+	if pd, ok := l.pkgs[path]; ok {
+		return pd, nil
+	}
+	dir := filepath.Join(l.srcDir, path)
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		pkg, err := l.std.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("import %q: %w", path, err)
+		}
+		pd := &pkgData{pkg: pkg}
+		l.pkgs[path] = pd
+		return pd, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			pd, err := l.load(p)
+			if err != nil {
+				return nil, err
+			}
+			return pd.pkg, nil
+		}),
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pd := &pkgData{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = pd
+	return pd, nil
+}
+
+// run executes the analyzer (and, first, its Requires closure) on a loaded
+// package, memoizing results, and returns the diagnostics it reported.
+func (l *loader) run(a *analysis.Analyzer, path string) ([]analysis.Diagnostic, error) {
+	pd, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	byA := l.results[path]
+	if byA == nil {
+		byA = make(map[*analysis.Analyzer]any)
+		l.results[path] = byA
+	}
+	var diags []analysis.Diagnostic
+	resultOf := make(map[*analysis.Analyzer]any)
+	for _, req := range a.Requires {
+		if _, ok := byA[req]; !ok {
+			if _, err := l.run(req, path); err != nil {
+				return nil, err
+			}
+		}
+		resultOf[req] = byA[req]
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       l.fset,
+		Files:      pd.files,
+		Pkg:        pd.pkg,
+		TypesInfo:  pd.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:   os.ReadFile,
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", a.Name, path, err)
+	}
+	byA[a] = res
+	return diags, nil
+}
+
+// expectation is one // want regexp awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// wants collects // want expectations from the package's comments.
+func (l *loader) wants(pd *pkgData) []*expectation {
+	var out []*expectation
+	for _, f := range pd.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := l.fset.Position(c.Pos())
+				for _, tok := range wantRE.FindAllString(text[len("want "):], -1) {
+					pat := tok
+					if strings.HasPrefix(tok, "\"") {
+						unq, err := strconv.Unquote(tok)
+						if err != nil {
+							l.t.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, tok, err)
+							continue
+						}
+						pat = unq
+					} else {
+						pat = strings.Trim(tok, "`")
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						l.t.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, tok, err)
+						continue
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// check runs the analyzer over one package and diffs diagnostics against
+// expectations.
+func (l *loader) check(a *analysis.Analyzer, path string) {
+	l.t.Helper()
+	diags, err := l.run(a, path)
+	if err != nil {
+		l.t.Fatalf("linttest: %v", err)
+	}
+	pd := l.pkgs[path]
+	wants := l.wants(pd)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			l.t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			l.t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

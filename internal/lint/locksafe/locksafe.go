@@ -1,0 +1,370 @@
+// Package locksafe implements the saga-vet analyzer enforcing the shard
+// lock discipline (docs/INVARIANTS.md#shard-lock-discipline).
+//
+// Shard locks — the per-stripe mutexes of the triple graph's graphShard,
+// the entity KV's kvShard, and every other *Shard-suffixed stripe struct —
+// are leaf locks: they protect a few map operations and nothing else. The
+// whole point of striping is that a lock is held for nanoseconds; one
+// blocking call under a shard lock (a channel handoff, a publish, storage
+// I/O) turns a stripe into a platform-wide stall, and because entity IDs
+// hash uniformly, every writer eventually lands on the stalled stripe.
+// Acquiring a second shard lock while one is held deadlocks two goroutines
+// that pick opposite orders unless both follow the global index order.
+//
+// The analyzer walks each function's statements lexically, tracking regions
+// where a shard-struct mutex is held (Lock/RLock through the matching
+// Unlock/RUnlock, or function end for deferred unlocks), and reports:
+//
+//   - channel sends, receives, selects, and range-over-channel inside a
+//     region,
+//   - calls to the durable storage/publish entry points (the errdrop set)
+//     and to time.Sleep, sync.WaitGroup.Wait, or sync.Cond.Wait inside a
+//     region,
+//   - acquiring a different shard lock inside a region, unless both
+//     acquisitions index the stripe array with int literals in ascending
+//     order (range loops over the stripe slice are inherently
+//     index-ordered and produce a single lexical acquisition, which is not
+//     flagged).
+//
+// Function literals inside a region run later, outside the lock, and are
+// skipped. Intentional blocking is annotated //saga:locksafe; externally
+// guaranteed acquisition order is annotated //saga:lockorder.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"saga/internal/lint"
+)
+
+// Analyzer is the locksafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "locksafe",
+	Doc:      "report blocking calls under shard locks and unordered multi-shard acquisition (docs/INVARIANTS.md#shard-lock-discipline)",
+	URL:      "docs/INVARIANTS.md#shard-lock-discipline",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	markers := lint.NewMarkers(pass.Fset, pass.Files)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || lint.IsTestFile(pass.Fset, fd.Pos()) {
+			return
+		}
+		w := &walker{pass: pass, markers: markers}
+		w.stmts(fd.Body.List, nil)
+	})
+	return nil, nil
+}
+
+// heldLock is one active shard-lock region.
+type heldLock struct {
+	expr     string // rendered receiver, e.g. "s.mu" or "g.shards[0].mu"
+	index    int    // int-literal stripe index, or -1
+	deferred bool   // released by defer: held to function end
+}
+
+type walker struct {
+	pass    *analysis.Pass
+	markers *lint.Markers
+}
+
+// stmts walks one statement list in order, threading the held-lock set
+// through it, and returns the set still held at the end (locks acquired in
+// the list without a matching unlock leak to the caller, which models a
+// loop body that locks on one iteration and unlocks on a later one).
+func (w *walker) stmts(list []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *walker) stmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if expr, kind, isShard := shardLockCall(w.pass.TypesInfo, call); isShard {
+				switch kind {
+				case "Lock", "RLock":
+					return w.acquire(call, expr, held, false)
+				case "Unlock", "RUnlock":
+					return release(held, expr)
+				}
+			}
+		}
+		w.scanBlocking(s, held)
+		return held
+	case *ast.DeferStmt:
+		if expr, kind, isShard := shardLockCall(w.pass.TypesInfo, s.Call); isShard && (kind == "Unlock" || kind == "RUnlock") {
+			for i := range held {
+				if held[i].expr == expr {
+					held[i].deferred = true
+				}
+			}
+			return held
+		}
+		// Deferred work runs after every unlock in the function; never a
+		// blocking-under-lock hazard by itself.
+		return held
+	case *ast.BlockStmt:
+		inner := w.stmts(s.List, held)
+		return mergeHeld(held, inner)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.scanBlockingExpr(s.Cond, held)
+		w.stmts(s.Body.List, held)
+		if s.Else != nil {
+			w.stmt(s.Else, held)
+		}
+		return held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.scanBlockingExpr(s.Cond, held)
+		inner := w.stmts(s.Body.List, held)
+		return mergeHeld(held, inner)
+	case *ast.RangeStmt:
+		w.scanBlockingExpr(s.X, held)
+		if len(held) > 0 {
+			if t := w.pass.TypesInfo.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					w.reportBlocking(s.Pos(), "range over channel", held)
+				}
+			}
+		}
+		inner := w.stmts(s.Body.List, held)
+		return mergeHeld(held, inner)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		w.scanBlocking(s, held)
+		return held
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			w.reportBlocking(s.Pos(), "select", held)
+		}
+		return held
+	default:
+		w.scanBlocking(s, held)
+		return held
+	}
+}
+
+// acquire starts a region for a shard lock, first checking the multi-shard
+// order rule against regions already open.
+func (w *walker) acquire(call *ast.CallExpr, expr string, held []heldLock, deferred bool) []heldLock {
+	idx := stripeIndex(call)
+	for _, h := range held {
+		if h.expr == expr {
+			continue // re-render of the same lock: self-deadlock, vet's own checks apply
+		}
+		ordered := h.index >= 0 && idx >= 0 && h.index < idx
+		if !ordered && !w.markers.Covers(call.Pos(), lint.MarkerLockOrder) {
+			w.pass.Reportf(call.Pos(), "shard lock %s acquired while %s is held without a guaranteed index order — acquire shard locks in ascending stripe order, or mark //saga:lockorder with a justification (docs/INVARIANTS.md#shard-lock-discipline)", expr, h.expr)
+		}
+	}
+	return append(append([]heldLock(nil), held...), heldLock{expr: expr, index: idx, deferred: deferred})
+}
+
+func release(held []heldLock, expr string) []heldLock {
+	out := held[:0:0]
+	for _, h := range held {
+		if h.expr == expr && !h.deferred {
+			continue
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// mergeHeld reconciles the held set after a nested block that always runs
+// (plain blocks, for/range bodies): locks acquired inside and not released
+// stay held — modeling a loop that locks on one iteration and unlocks on a
+// later one, like Snapshot's lock-all sweep; locks released inside are
+// gone. Conditional branches (if bodies) do not propagate, so an early
+// unlock-and-return path never clears the fall-through region.
+func mergeHeld(_, inner []heldLock) []heldLock {
+	return inner
+}
+
+// scanBlocking walks a statement (excluding nested function literals, which
+// run later) for blocking operations while locks are held.
+func (w *walker) scanBlocking(n ast.Node, held []heldLock) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			w.reportBlocking(n.Pos(), "channel send", held)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.reportBlocking(n.Pos(), "channel receive", held)
+			}
+		case *ast.SelectStmt:
+			w.reportBlocking(n.Pos(), "select", held)
+		case *ast.CallExpr:
+			if label, ok := blockingCall(w.pass.TypesInfo, n); ok {
+				w.reportBlocking(n.Pos(), label, held)
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) scanBlockingExpr(e ast.Expr, held []heldLock) {
+	if e != nil {
+		w.scanBlocking(e, held)
+	}
+}
+
+func (w *walker) reportBlocking(pos token.Pos, what string, held []heldLock) {
+	if w.markers.Covers(pos, lint.MarkerLockSafe) {
+		return
+	}
+	w.pass.Reportf(pos, "%s while shard lock %s is held — shard locks are leaf locks: move channel operations, publishes, and storage I/O outside the critical section, or mark //saga:locksafe with a justification (docs/INVARIANTS.md#shard-lock-discipline)", what, held[len(held)-1].expr)
+}
+
+// blockingCall reports whether the call is a known-blocking operation: a
+// durable storage/publish entry point, time.Sleep, or a WaitGroup/Cond
+// Wait.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := lint.StaticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if label, ok := lint.DurableCall(fn); ok {
+		return "durable call " + label, true
+	}
+	if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+		return "time.Sleep", true
+	}
+	if fn.Name() == "Wait" && fn.Pkg().Path() == "sync" {
+		if recv := lint.Receiver(fn); recv != nil &&
+			(recv.Obj().Name() == "WaitGroup" || recv.Obj().Name() == "Cond") {
+			return "sync." + recv.Obj().Name() + ".Wait", true
+		}
+	}
+	return "", false
+}
+
+// shardLockCall matches calls of the form X.mu.Lock() where the mutex field
+// belongs to a *Shard-suffixed stripe struct, returning the rendered
+// receiver expression and the method kind.
+func shardLockCall(info *types.Info, call *ast.CallExpr) (expr, kind string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	kind = sel.Sel.Name
+	switch kind {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn := lint.StaticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if !receiverIsShardField(info, sel.X) {
+		return "", "", false
+	}
+	return render(sel.X), kind, true
+}
+
+// receiverIsShardField reports whether the mutex expression is a field of a
+// stripe struct — a named struct type whose name ends in "Shard" or
+// "shard".
+func receiverIsShardField(info *types.Info, mutexExpr ast.Expr) bool {
+	sel, ok := ast.Unparen(mutexExpr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return isShardName(named.Obj().Name())
+}
+
+// isShardName reports a "Shard"/"shard" type-name suffix — the stripe
+// struct naming convention the discipline keys on.
+func isShardName(name string) bool {
+	if len(name) < 5 {
+		return false
+	}
+	tail := name[len(name)-5:]
+	return tail == "Shard" || tail == "shard"
+}
+
+// stripeIndex extracts an int-literal stripe index from the lock receiver
+// (e.g. 1 from s.shards[1].mu.Lock()), or -1.
+func stripeIndex(call *ast.CallExpr) int {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return -1
+	}
+	mutexSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return -1
+	}
+	idx, ok := ast.Unparen(mutexSel.X).(*ast.IndexExpr)
+	if !ok {
+		return -1
+	}
+	lit, ok := ast.Unparen(idx.Index).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return -1
+	}
+	n, err := strconv.Atoi(lit.Value)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// render prints an expression compactly for diagnostics and region
+// matching.
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return render(e.X) + "[" + render(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return render(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return render(e.X)
+	case *ast.StarExpr:
+		return "*" + render(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + render(e.X)
+	default:
+		return "?"
+	}
+}

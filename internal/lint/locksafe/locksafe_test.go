@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"saga/internal/lint/linttest"
+	"saga/internal/lint/locksafe"
+)
+
+func TestLockSafe(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), locksafe.Analyzer, "shards")
+}

@@ -1,0 +1,151 @@
+// Package shards exercises the locksafe analyzer: blocking operations
+// under shard locks, multi-shard acquisition order, deferred unlock
+// regions, and the //saga:locksafe / //saga:lockorder suppressions.
+package shards
+
+import (
+	"storage"
+	"sync"
+	"time"
+)
+
+type dataShard struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type Table struct {
+	shards []*dataShard
+	events chan string
+}
+
+func sendUnderLock(t *Table, s *dataShard) {
+	s.mu.Lock()
+	t.events <- "put" // want `channel send while shard lock s\.mu is held`
+	s.mu.Unlock()
+}
+
+func receiveUnderDeferredUnlock(t *Table, s *dataShard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-t.events // want `channel receive while shard lock s\.mu is held`
+}
+
+func selectUnderLock(t *Table, s *dataShard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select while shard lock s\.mu is held`
+	case v := <-t.events:
+		_ = v
+	default:
+	}
+}
+
+func rangeChanUnderLock(t *Table, s *dataShard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range t.events { // want `range over channel while shard lock s\.mu is held`
+		_ = v
+	}
+}
+
+func durableUnderLock(s *dataShard, l storage.RecordLog) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return l.Append(nil) // want `durable call RecordLog\.Append while shard lock s\.mu is held`
+}
+
+func sleepUnderLock(s *dataShard) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while shard lock s\.mu is held`
+	s.mu.Unlock()
+}
+
+func waitUnderLock(s *dataShard, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while shard lock s\.mu is held`
+	s.mu.Unlock()
+}
+
+// clean: the blocking operations run after the critical section.
+func clean(t *Table, s *dataShard, l storage.RecordLog) error {
+	s.mu.Lock()
+	s.m["k"] = 1
+	s.mu.Unlock()
+	t.events <- "put"
+	return l.Append(nil)
+}
+
+// earlyUnlockReturn: conditional branches do not leak their releases, so
+// the fall-through region stays correct in both directions.
+func earlyUnlockReturn(t *Table, s *dataShard, bad bool) {
+	s.mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	t.events <- "ok" // lock released on the fall-through path: clean
+}
+
+// deferredWork: function literals and defers run outside the critical
+// section and are not scanned.
+func deferredWork(t *Table, s *dataShard) {
+	s.mu.Lock()
+	defer func() { t.events <- "done" }()
+	notify := func() { t.events <- "later" }
+	s.mu.Unlock()
+	notify()
+}
+
+// orderedLiterals: two stripes locked by ascending int literals follow the
+// global order and are allowed.
+func orderedLiterals(t *Table) {
+	t.shards[0].mu.Lock()
+	t.shards[1].mu.Lock()
+	t.shards[1].mu.Unlock()
+	t.shards[0].mu.Unlock()
+}
+
+func descendingLiterals(t *Table) {
+	t.shards[1].mu.Lock()
+	t.shards[0].mu.Lock() // want `shard lock t\.shards\[0\]\.mu acquired while t\.shards\[1\]\.mu is held`
+	t.shards[0].mu.Unlock()
+	t.shards[1].mu.Unlock()
+}
+
+func unorderedVariables(t *Table, i, j int) {
+	t.shards[i].mu.Lock()
+	t.shards[j].mu.Lock() // want `shard lock t\.shards\[j\]\.mu acquired while t\.shards\[i\]\.mu is held`
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+// orderGuaranteed: the caller sorts i < j before calling, recorded with the
+// marker.
+func orderGuaranteed(t *Table, i, j int) {
+	t.shards[i].mu.Lock()
+	//saga:lockorder caller guarantees i < j
+	t.shards[j].mu.Lock()
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+// lockAllSweep is the Snapshot pattern: a range over the stripe slice is
+// inherently index-ordered and produces one lexical acquisition.
+func lockAllSweep(t *Table) {
+	for _, s := range t.shards {
+		s.mu.Lock()
+	}
+	for _, s := range t.shards {
+		s.mu.Unlock()
+	}
+	t.events <- "snapshot" // all locks released by the second sweep: clean
+}
+
+// waived: a deliberate handoff under lock, justified at the site.
+func waived(t *Table, s *dataShard) {
+	s.mu.Lock()
+	t.events <- "sync-handoff" //saga:locksafe test fixture models an intentional rendezvous
+	s.mu.Unlock()
+}

@@ -1,0 +1,9 @@
+// Package storage is a miniature of saga/internal/storage for the
+// locksafe tests: durable calls are blocking and must not run under shard
+// locks.
+package storage
+
+type RecordLog interface {
+	Append(payload []byte) error
+	Close() error
+}

@@ -1,0 +1,16 @@
+package sharedmut_test
+
+import (
+	"testing"
+
+	"saga/internal/lint/linttest"
+	"saga/internal/lint/sharedmut"
+)
+
+func TestSharedMut(t *testing.T) {
+	// "a" holds the violation/suppression/flow cases; "construct" the
+	// cross-package *Shared re-export (clean itself); "triple" asserts the
+	// owning package is exempt (its internalRewrite mutates a shared
+	// record legally).
+	linttest.Run(t, linttest.TestData(t), sharedmut.Analyzer, "a", "construct", "triple")
+}

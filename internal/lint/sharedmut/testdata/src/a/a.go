@@ -1,0 +1,71 @@
+// Package a exercises the sharedmut analyzer: direct violations, taint
+// flow through locals, callback and cross-package flows, clone laundering,
+// and //saga:owns suppression.
+package a
+
+import (
+	"construct"
+	"triple"
+)
+
+func direct(g *triple.Graph, id triple.EntityID) {
+	e := g.GetShared(id)
+	e.ID = "x"                              // want `store into field of shared KG record`
+	e.Triples[0] = triple.Triple{}          // want `store into field of shared KG record`
+	e.Triples[0].Predicate = "p"            // want `store into field of shared KG record`
+	e.Attrs["k"] = "v"                      // want `store into field of shared KG record`
+	delete(e.Attrs, "k")                    // want `delete from shared map`
+	e.Add(triple.Triple{})                  // want `Add called on shared KG record`
+	g.GetShared(id).Triples[0].Object = "o" // want `store into field of shared KG record`
+}
+
+func cloningIsClean(g *triple.Graph, id triple.EntityID) {
+	e := g.Get(id) // cloning read path: caller owns the copy
+	e.ID = "y"
+	s := g.GetShared(id)
+	s = s.Clone() // laundering: the clone is a fresh private value
+	s.ID = "z"
+	c := g.GetShared(id).Clone()
+	c.Attrs["k"] = "v"
+}
+
+func throughLocals(g *triple.Graph, id triple.EntityID) {
+	e := g.GetShared(id)
+	ts := e.Triples
+	ts[0].Predicate = "p" // want `store into field of shared KG record`
+	p := &e.Triples[0]
+	p.Object = "o" // want `store into field of shared KG record`
+	alias := e
+	alias.ID = "a" // want `store into field of shared KG record`
+}
+
+func callbacks(g *triple.Graph) {
+	g.RangeShared(func(e *triple.Entity) bool {
+		e.ID = "w" // want `store into field of shared KG record`
+		return true
+	})
+	g.Range(func(e *triple.Entity) bool {
+		e.ID = "r" // want `store into field of shared KG record`
+		return true
+	})
+	g.RangeShared(func(e *triple.Entity) bool {
+		copied := e.Clone()
+		copied.ID = "ok"
+		return true
+	})
+}
+
+func crossPackage(kg *construct.KG) {
+	for _, v := range kg.KGViewShared("t") {
+		v.ID = "v" // want `store into field of shared KG record`
+	}
+	view := kg.KGViewShared("t")
+	view[0].ID = "w" // want `store into field of shared KG record`
+}
+
+func owned(g *triple.Graph, id triple.EntityID) {
+	e := g.GetShared(id)
+	//saga:owns test fixture: this graph is function-private, nothing else reads it
+	e.ID = "owned"
+	e.Triples[0].Object = "o" //saga:owns same fixture, trailing form
+}

@@ -1,0 +1,21 @@
+// Package construct is a miniature of saga/internal/construct for the
+// cross-package flow tests: it re-exports shared records through its own
+// *Shared API.
+package construct
+
+import "triple"
+
+type KG struct {
+	Graph *triple.Graph
+}
+
+// KGViewShared returns stored immutable records; callers must not mutate
+// them.
+func (kg *KG) KGViewShared(typ string) []*triple.Entity {
+	var out []*triple.Entity
+	kg.Graph.RangeShared(func(e *triple.Entity) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}

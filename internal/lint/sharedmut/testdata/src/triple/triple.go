@@ -1,0 +1,63 @@
+// Package triple is a miniature of saga/internal/triple for analyzer tests:
+// a record store with cloning and clone-free (shared) read paths.
+package triple
+
+type EntityID string
+
+type Triple struct {
+	Predicate string
+	Object    string
+}
+
+type Entity struct {
+	ID      EntityID
+	Triples []Triple
+	Attrs   map[string]string
+}
+
+func (e *Entity) Clone() *Entity {
+	out := &Entity{ID: e.ID, Triples: append([]Triple(nil), e.Triples...), Attrs: map[string]string{}}
+	for k, v := range e.Attrs {
+		out.Attrs[k] = v
+	}
+	return out
+}
+
+func (e *Entity) Add(ts ...Triple) { e.Triples = append(e.Triples, ts...) }
+
+func (e *Entity) Name() string { return string(e.ID) }
+
+type Graph struct {
+	entities map[EntityID]*Entity
+}
+
+// Get returns a private clone; callers may mutate it.
+func (g *Graph) Get(id EntityID) *Entity {
+	if e := g.entities[id]; e != nil {
+		return e.Clone()
+	}
+	return nil
+}
+
+// GetShared returns the stored immutable record; callers must not mutate it.
+func (g *Graph) GetShared(id EntityID) *Entity { return g.entities[id] }
+
+// RangeShared iterates the stored immutable records.
+func (g *Graph) RangeShared(fn func(*Entity) bool) {
+	for _, e := range g.entities {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Range is RangeShared's alias: the callback receives shared records.
+func (g *Graph) Range(fn func(*Entity) bool) { g.RangeShared(fn) }
+
+// internalRewrite mutates a record obtained from the shared path: legal
+// here — the triple package owns the store, and the analyzer exempts it.
+func (g *Graph) internalRewrite(id EntityID) {
+	if e := g.GetShared(id); e != nil {
+		e.ID = id
+	}
+}

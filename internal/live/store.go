@@ -234,7 +234,8 @@ func (s *Store) Put(e *triple.Entity, boost float64) {
 	s.indexLocked(clone, boost)
 	s.mu.Unlock()
 
-	s.text.Put(textindex.Doc{ID: string(clone.ID), Text: docText(clone), Boost: 1 + boost})
+	// The live text index is memory-backed (see New): Put cannot fail.
+	_ = s.text.Put(textindex.Doc{ID: string(clone.ID), Text: docText(clone), Boost: 1 + boost})
 	s.version.Add(1)
 }
 
@@ -257,7 +258,8 @@ func (s *Store) Delete(id triple.EntityID) bool {
 	s.cowIndexLocked()
 	s.unindexLocked(old)
 	s.mu.Unlock()
-	s.text.Delete(string(id))
+	// The live text index is memory-backed (see New): Delete cannot fail.
+	_, _ = s.text.Delete(string(id))
 	s.version.Add(1)
 	return true
 }

@@ -15,6 +15,7 @@ package oplog
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -103,7 +104,9 @@ func OpenStore(rec storage.RecordLog) (*Log, error) {
 		return nil
 	})
 	if err != nil {
-		rec.Close()
+		if cerr := rec.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, fmt.Errorf("oplog: replay: %w", err)
 	}
 	return l, nil

@@ -146,7 +146,9 @@ func (s Suite) recordLogTornTail(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 	tearNewestFile(t, dir)
 	re, err := s.open(t, dir).RecordLog()
 	if err != nil {
@@ -209,7 +211,9 @@ func (s Suite) blobStore(t *testing.T, durable bool) {
 	if _, ok := b.Get("staging/99999999"); ok {
 		t.Fatal("phantom blob")
 	}
-	b.Delete(keys[0])
+	if err := b.Delete(keys[0]); err != nil {
+		t.Fatal(err)
+	}
 	if _, ok := b.Get(keys[0]); ok {
 		t.Fatal("deleted blob still readable")
 	}
@@ -277,7 +281,9 @@ func (s Suite) blobStoreTornTail(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	b.Close()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
 	tearNewestFile(t, dir)
 	re, err := s.open(t, dir).BlobStore()
 	if err != nil {
@@ -321,7 +327,9 @@ func (s Suite) entityKV(t *testing.T, durable bool) {
 	if err != nil || !ok || string(v) != "v0-new" {
 		t.Fatalf("Get = %q, %v, %v", v, ok, err)
 	}
-	if _, ok, _ := kv.Get("kg:nope"); ok {
+	if _, ok, err := kv.Get("kg:nope"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("phantom key")
 	}
 	vals, err := kv.MultiGet([]string{"kg:E1", "kg:nope", "kg:E2"})
@@ -331,10 +339,14 @@ func (s Suite) entityKV(t *testing.T, durable bool) {
 	if len(vals) != 3 || string(vals[0]) != "v1" || vals[1] != nil || string(vals[2]) != "v2" {
 		t.Fatalf("MultiGet = %q", vals)
 	}
-	if ok, _ := kv.Delete("kg:E1"); !ok {
+	if ok, err := kv.Delete("kg:E1"); err != nil {
+		t.Fatal(err)
+	} else if !ok {
 		t.Fatal("delete reported false")
 	}
-	if ok, _ := kv.Delete("kg:E1"); ok {
+	if ok, err := kv.Delete("kg:E1"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("double delete reported true")
 	}
 	if kv.Bytes() <= 0 {
@@ -355,9 +367,13 @@ func (s Suite) entityKV(t *testing.T, durable bool) {
 		go func(r int) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				kv.Get(fmt.Sprintf("kg:E%d", 2+(r*100+i)%(n-2)))
+				if _, _, err := kv.Get(fmt.Sprintf("kg:E%d", 2+(r*100+i)%(n-2))); err != nil {
+					t.Error(err)
+				}
 				if i%10 == 0 {
-					kv.MultiGet([]string{"kg:E2", "kg:E3", "kg:E4"})
+					if _, err := kv.MultiGet([]string{"kg:E2", "kg:E3", "kg:E4"}); err != nil {
+						t.Error(err)
+					}
 				}
 			}
 		}(r)
@@ -383,7 +399,9 @@ func (s Suite) entityKV(t *testing.T, durable bool) {
 		if err != nil || !ok || string(v) != "v0-new" {
 			t.Fatalf("reopened Get = %q, %v, %v", v, ok, err)
 		}
-		if _, ok, _ := re.Get("kg:E1"); ok {
+		if _, ok, err := re.Get("kg:E1"); err != nil {
+			t.Fatal(err)
+		} else if ok {
 			t.Fatal("delete did not survive reopen")
 		}
 	}
@@ -400,14 +418,18 @@ func (s Suite) entityKVTornTail(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	kv.Close()
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
 	tearNewestFile(t, dir)
 	re, err := s.open(t, dir).EntityKV()
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer re.Close()
-	if _, ok, _ := re.Get("k4"); ok {
+	if _, ok, err := re.Get("k4"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("torn final record still readable")
 	}
 	if got := re.Len(); got != 4 {
@@ -510,18 +532,24 @@ func (s Suite) postings(t *testing.T) {
 	if err := p.Put("d1", map[string]int{"gamma": 1}, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	p.Read(func(v storage.PostingsView) {
+	if err := p.Read(func(v storage.PostingsView) {
 		if m := v.Posting("alpha"); len(m) != 0 {
 			t.Errorf("stale posting survived replace: %v", m)
 		}
 		if v.TotalLen() != 5 {
 			t.Errorf("TotalLen after replace = %d, want 5", v.TotalLen())
 		}
-	})
-	if ok, _ := p.Delete("d2"); !ok {
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := p.Delete("d2"); err != nil {
+		t.Fatal(err)
+	} else if !ok {
 		t.Fatal("delete reported false")
 	}
-	if ok, _ := p.Delete("d2"); ok {
+	if ok, err := p.Delete("d2"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("double delete reported true")
 	}
 	if got := p.Docs(); got != 1 {
@@ -572,7 +600,9 @@ func (s Suite) vectors(t *testing.T) {
 	if err != nil || !ok || len(removed) != 2 {
 		t.Fatalf("Delete = %v, %v, %v", removed, ok, err)
 	}
-	if _, ok, _ := vs.Delete("v1"); ok {
+	if _, ok, err := vs.Delete("v1"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("double delete reported true")
 	}
 }

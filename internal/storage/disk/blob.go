@@ -233,17 +233,20 @@ func (s *SegmentBlobStore) Get(key string) ([]byte, bool) {
 }
 
 // Delete implements storage.BlobStore.
-func (s *SegmentBlobStore) Delete(key string) {
+func (s *SegmentBlobStore) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return
+		return fmt.Errorf("disk: delete from closed blob store")
 	}
 	if _, ok := s.idx[key]; !ok {
-		return
+		return nil
 	}
 	delete(s.idx, key)
-	_, _ = s.appendLocked(opDel, key, nil, false)
+	if _, err := s.appendLocked(opDel, key, nil, false); err != nil {
+		return fmt.Errorf("disk: delete %s: %w", key, err)
+	}
+	return nil
 }
 
 // Len implements storage.BlobStore.
@@ -361,7 +364,12 @@ func (s *DirBlobStore) Get(key string) ([]byte, bool) {
 }
 
 // Delete implements storage.BlobStore.
-func (s *DirBlobStore) Delete(key string) { _ = os.Remove(s.path(key)) }
+func (s *DirBlobStore) Delete(key string) error {
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("disk: delete %s: %w", key, err)
+	}
+	return nil
+}
 
 // Len implements storage.BlobStore.
 func (s *DirBlobStore) Len() int {

@@ -133,10 +133,11 @@ func (s *BlobStore) Get(key string) ([]byte, bool) {
 }
 
 // Delete implements storage.BlobStore.
-func (s *BlobStore) Delete(key string) {
+func (s *BlobStore) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.data, key)
+	return nil
 }
 
 // Len implements storage.BlobStore.

@@ -70,8 +70,9 @@ type BlobStore interface {
 	// Get reads a staged payload. The returned slice is shared with the
 	// store and must not be mutated.
 	Get(key string) ([]byte, bool)
-	// Delete removes a staged payload after retention.
-	Delete(key string)
+	// Delete removes a staged payload after retention. Deleting an absent
+	// key is not an error; failures to durably record the removal are.
+	Delete(key string) error
 	// Len returns the number of staged payloads.
 	Len() int
 	// Close releases backing resources.

@@ -85,9 +85,12 @@ func (s *Store) MultiGet(ids []triple.EntityID) ([]*triple.Entity, error) {
 }
 
 // Delete removes an entity, reporting whether it existed.
-func (s *Store) Delete(id triple.EntityID) bool {
-	ok, _ := s.kv.Delete(string(id))
-	return ok
+func (s *Store) Delete(id triple.EntityID) (bool, error) {
+	ok, err := s.kv.Delete(string(id))
+	if err != nil {
+		return false, fmt.Errorf("entitystore: delete %s: %w", id, err)
+	}
+	return ok, nil
 }
 
 // Len returns the number of stored entities.

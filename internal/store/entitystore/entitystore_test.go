@@ -33,10 +33,14 @@ func TestPutGetDelete(t *testing.T) {
 	if missing, _ := s.Get("kg:nope"); missing != nil {
 		t.Fatal("phantom entity")
 	}
-	if !s.Delete("kg:E1") {
+	if ok, err := s.Delete("kg:E1"); err != nil {
+		t.Fatal(err)
+	} else if !ok {
 		t.Fatal("delete reported false")
 	}
-	if s.Delete("kg:E1") {
+	if ok, err := s.Delete("kg:E1"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("double delete reported true")
 	}
 	if s.Len() != 0 {

@@ -55,20 +55,20 @@ func Tokenize(text string) []string {
 	return strings.Fields(strsim.Normalize(text))
 }
 
-// Put indexes (replacing) a document.
-func (ix *Index) Put(d Doc) {
+// Put indexes (replacing) a document. The error is the posting store's: nil
+// for the memory backend, possibly I/O for durable ones.
+func (ix *Index) Put(d Doc) error {
 	terms := Tokenize(d.Text)
 	freq := make(map[string]int, len(terms))
 	for _, t := range terms {
 		freq[t]++
 	}
-	_ = ix.p.Put(d.ID, freq, len(terms), d.Boost)
+	return ix.p.Put(d.ID, freq, len(terms), d.Boost)
 }
 
 // Delete removes a document, reporting whether it existed.
-func (ix *Index) Delete(id string) bool {
-	ok, _ := ix.p.Delete(id)
-	return ok
+func (ix *Index) Delete(id string) (bool, error) {
+	return ix.p.Delete(id)
 }
 
 // Len returns the number of indexed documents.
@@ -86,9 +86,12 @@ func (ix *Index) Search(query string, k int) []Hit {
 		return nil
 	}
 	var hits []Hit
-	_ = ix.p.Read(func(v storage.PostingsView) {
+	err := ix.p.Read(func(v storage.PostingsView) {
 		hits = scoreView(v, terms, ix.K1, ix.B)
 	})
+	if err != nil {
+		return nil // a failed backend read view degrades to no hits
+	}
 	return topK(hits, k)
 }
 

@@ -58,10 +58,10 @@ func TestDeleteAndReplace(t *testing.T) {
 	if got := ix.Search("replaced", 5); len(got) != 1 {
 		t.Fatalf("new postings missing: %v", got)
 	}
-	if !ix.Delete("e1") {
+	if ok, _ := ix.Delete("e1"); !ok {
 		t.Fatal("delete false")
 	}
-	if ix.Delete("e1") {
+	if ok, _ := ix.Delete("e1"); ok {
 		t.Fatal("double delete true")
 	}
 	if got := ix.Search("replaced", 5); len(got) != 0 {

@@ -104,7 +104,10 @@ func (db *DB) Delete(id string) bool {
 
 // Get returns a copy of the stored vector, or nil.
 func (db *DB) Get(id string) []float64 {
-	v, _ := db.vs.Get(id)
+	v, err := db.vs.Get(id)
+	if err != nil {
+		return nil // a failed backend read degrades to a miss
+	}
 	return v
 }
 

@@ -239,8 +239,12 @@ func (g *Graph) Get(id EntityID) *Entity {
 // GetShared returns the stored, immutable entity record, or nil. The record
 // is frozen: it never changes after insert (writes replace the pointer), so
 // callers may read and retain it without holding any lock — but MUST NOT
-// mutate it. This is the clone-free read path linking candidate loads, cache
-// refreshes, view building, and publishing use.
+// mutate it, not even a map entry or a slice element deep inside; mutate a
+// Clone instead. This is the clone-free read path linking candidate loads,
+// cache refreshes, view building, and publishing use. The sharedmut analyzer
+// (cmd/saga-vet) machine-checks the contract; intentional ownership
+// transfers carry a //saga:owns marker. See
+// docs/INVARIANTS.md#cow-shared-records.
 func (g *Graph) GetShared(id EntityID) *Entity {
 	s := g.shardFor(id)
 	s.mu.RLock()
@@ -347,16 +351,19 @@ func (g *Graph) Types() []string {
 }
 
 // Range calls fn for every entity until fn returns false. The callback
-// receives the stored immutable record and must not mutate it; unlike the
-// pre-COW implementation no lock is held while fn runs, so fn may freely call
-// back into the graph. The view is per-shard-atomic; take a Snapshot first
-// for a globally consistent iteration.
+// receives the stored immutable record and must not mutate it (sharedmut in
+// cmd/saga-vet enforces this; see docs/INVARIANTS.md#cow-shared-records);
+// unlike the pre-COW implementation no lock is held while fn runs, so fn may
+// freely call back into the graph. The view is per-shard-atomic; take a
+// Snapshot first for a globally consistent iteration.
 func (g *Graph) Range(fn func(*Entity) bool) { g.RangeShared(fn) }
 
 // RangeShared iterates the stored immutable entity records without cloning:
 // the clone-free bulk read path for index builds, view materialization, and
 // importance computation. Records may be retained beyond the callback (they
-// are frozen) but MUST NOT be mutated. fn runs without any graph lock held.
+// are frozen) but MUST NOT be mutated — clone before changing anything. The
+// sharedmut analyzer (cmd/saga-vet) machine-checks callers; see
+// docs/INVARIANTS.md#cow-shared-records. fn runs without any graph lock held.
 func (g *Graph) RangeShared(fn func(*Entity) bool) {
 	for _, s := range g.shards {
 		s.mu.RLock()
