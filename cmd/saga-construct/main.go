@@ -27,9 +27,10 @@ func main() {
 	fullScan := flag.Bool("fullscan", false, "link by scanning the full per-type KG view instead of probing the incremental block index")
 	perEntity := flag.Bool("perentity", false, "fuse payload entities one graph round-trip at a time instead of batching per target KG entity")
 	feedMode := flag.Bool("feed", false, "stream sources through the standing ingestion feed (async ordered publish) instead of synchronous per-delta consumes")
+	partitions := flag.Int("partitions", 1, "partition construction across N type-hash-routed pipeline instances (1 = single pipeline)")
 	flag.Parse()
 
-	p, err := core.New(core.Options{OplogPath: *oplogPath, Backend: *backend, DataDir: *dataDir, Workers: *workers, FullScanLinking: *fullScan, PerEntityFusion: *perEntity})
+	p, err := core.New(core.Options{OplogPath: *oplogPath, Backend: *backend, DataDir: *dataDir, Workers: *workers, FullScanLinking: *fullScan, PerEntityFusion: *perEntity, Partitions: *partitions})
 	if err != nil {
 		log.Fatalf("saga-construct: %v", err)
 	}
@@ -92,10 +93,14 @@ func main() {
 		}
 	}
 
-	conflicts := p.Pipeline.DrainConflicts()
+	conflicts := p.DrainConflicts()
 	st := p.Stats()
 	fmt.Printf("\nfinal KG: %d entities, %d facts, %d types, %d sources, %d links, log lsn %d, %d conflicts curated\n",
 		st.Graph.Entities, st.Graph.Facts, st.Graph.Types, st.Graph.Sources, st.Links, st.LogLSN, len(conflicts))
+	if st.Partitions > 1 {
+		fmt.Printf("partitions: %d type-hash pipelines; volatile exchange: %d enqueued, %d collapsed, %d applied in %d flushes\n",
+			st.Partitions, st.Volatile.Enqueued, st.Volatile.Collapsed, st.Volatile.Applied, st.Volatile.Flushes)
+	}
 	if !*fullScan {
 		fmt.Printf("block index: %d entities, %d keys across %d types; %d probes, %d refreshes\n",
 			st.BlockIndex.Entities, st.BlockIndex.Keys, st.BlockIndex.Types, st.BlockIndex.Probes, st.BlockIndex.Refreshes)

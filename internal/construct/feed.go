@@ -90,6 +90,12 @@ type FeedOptions struct {
 	// once instead of once per batch. An error lands in every grouped
 	// batch's BatchResult; the feed keeps running either way.
 	Publish func(group []*FeedBatch) error
+	// OnClose, when set, runs exactly once inside the first Close call to
+	// finish — after both stage goroutines have exited and every submitted
+	// batch has settled, before Close returns. The platform's partitioned
+	// mode uses it to run the final cross-partition exchange, so Close
+	// returning implies fully exchanged, fully published serving stores.
+	OnClose func()
 }
 
 // FeedStats counts a feed's batch traffic.
@@ -111,6 +117,15 @@ type feedItem struct {
 	err    error // commit-stage error, joined with the publish error at the end
 }
 
+// feedConsumer is the commit-side contract a feed drives: submission-time
+// validation plus ordered consumption of validated batches. Pipeline and
+// PartitionedPipeline both satisfy it; the ordering and identity contract
+// above binds whichever consumer the feed wraps.
+type feedConsumer interface {
+	validateDelta(d ingest.Delta) error
+	consumeValidated(deltas []ingest.Delta) ([]SourceStats, error)
+}
+
 // Feed is a standing ingestion loop over one Pipeline. Callers Submit
 // batches and receive a result channel per batch; internally a commit loop
 // consumes batches in submission order (batch N+1's snapshot and compute
@@ -122,7 +137,7 @@ type feedItem struct {
 // Consume/ConsumeDelta on the same pipeline concurrently with an open feed
 // (the platform layer enforces this by draining the feed first).
 type Feed struct {
-	p    *Pipeline
+	p    feedConsumer
 	opts FeedOptions
 
 	// submitMu serializes Submit so sequence numbers, commit order, and
@@ -132,6 +147,10 @@ type Feed struct {
 	commitQ  chan *feedItem
 	publishQ chan *feedItem
 	done     chan struct{} // closed when the publisher loop exits
+
+	// closeOnce guards the OnClose hook: it must run once, and concurrent
+	// Close calls must all wait for it before returning.
+	closeOnce sync.Once
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -151,6 +170,18 @@ type Feed struct {
 // NewFeed starts a standing feed over the pipeline. Close it when done; an
 // abandoned feed leaks its two stage goroutines.
 func NewFeed(p *Pipeline, opts FeedOptions) *Feed {
+	return newFeed(p, opts)
+}
+
+// NewPartitionedFeed starts a standing feed over a partitioned pipeline: the
+// commit loop drives the coordinator (which fans each commit's fusion across
+// partitions), and the publish stage is where the platform schedules the
+// batch-boundary exchange (FlushVolatile) between publishes.
+func NewPartitionedFeed(pp *PartitionedPipeline, opts FeedOptions) *Feed {
+	return newFeed(pp, opts)
+}
+
+func newFeed(p feedConsumer, opts FeedOptions) *Feed {
 	if opts.Queue <= 0 {
 		opts.Queue = DefaultFeedQueue
 	}
@@ -351,6 +382,9 @@ func (f *Feed) Close() error {
 	f.mu.Unlock()
 	f.submitMu.Unlock()
 	<-f.done
+	if f.opts.OnClose != nil {
+		f.closeOnce.Do(f.opts.OnClose)
+	}
 	return f.Drain()
 }
 

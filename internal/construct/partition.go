@@ -1,0 +1,25 @@
+package construct
+
+import "hash/fnv"
+
+// PartitionOfType maps an entity type to its owning construction partition:
+// a stable FNV-1a hash of the type string mod the partition count.
+//
+// Partitioning by *type* (rather than by entity id) is what keeps the
+// cross-partition protocol cheap: blocking, matching, and clustering are
+// strictly per-type (GroupByType splits every delta, and the block index is
+// type-partitioned), so every linking candidate of a payload entity lives in
+// the owner partition of its type. Local linking is therefore already
+// complete — the boundary work that remains for the exchange phase is the
+// cross-type traffic that escapes linking by construction: object-resolution
+// references into other partitions' entities (resolved against the shared
+// link table at commit) and deferred volatile overwrites routed to the
+// target's owner (flushed at batch-boundary exchanges).
+func PartitionOfType(entityType string, partitions int) int {
+	if partitions <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(entityType))
+	return int(h.Sum32() % uint32(partitions))
+}

@@ -1,0 +1,771 @@
+package construct
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"saga/internal/ingest"
+	"saga/internal/ontology"
+	"saga/internal/triple"
+)
+
+// PartitionedPipeline shards construction across N per-partition Pipeline
+// instances over one shared KG: entity types hash to an owner partition
+// (PartitionOfType), each partition maintains its own block index over its
+// owned types, and a commit's fusion work fans out across partitions on the
+// worker budget while minting, linking, and object resolution stay on the
+// coordinator in canonical input order. Serving needs no merge step — every
+// partition writes the one shared Graph, link table, and derived caches, so
+// Store.Serving(), the replica, and the indexes observe a single coherent KG
+// throughout.
+//
+// Cross-partition linking is two-phase (docs/INVARIANTS.md
+// #cross-partition-linking):
+//
+//  1. Local phase: linking is strictly per-type (GroupByType splits every
+//     delta; blocking, matching, and clustering never cross a type group), so
+//     every candidate pair of a payload entity lives inside the owner
+//     partition of its type and resolves locally against that partition's
+//     block index.
+//  2. Exchange phase: the traffic that does cross partitions — volatile
+//     overwrites whose target type another partition owns — is enqueued as
+//     boundary blocks (per-target op lists with consecutive same-source ops
+//     collapsed to the survivor) and exchanged at batch boundaries:
+//     FlushVolatile applies every partition's backlog under the commit lock,
+//     partitions in parallel, targets within a partition in canonical order.
+//     Cross-partition object-resolution references need no exchange: they
+//     resolve at commit through the shared link table and mint shared-KG
+//     stubs exactly as the single pipeline does.
+//
+// Byte-identity with the single pipeline holds because deferral is invisible
+// to every reader on the construction path: linking, blocking, and alias
+// resolution read only stable predicates (names, aliases, types — never a
+// volatile partition), and any stable write that would interleave with a
+// deferred op forces that target's backlog to flush first (flush-on-conflict
+// inside commit, under the same lock). A target's applied op sequence is
+// therefore a subsequence-collapsed replay of the single pipeline's, and
+// collapse is exact: ApplyVolatileOverwrite replaces the source's whole
+// volatile partition, so only the last consecutive op per (target, source)
+// survives in either schedule.
+type PartitionedPipeline struct {
+	// KG is the shared graph under construction; all partitions write it.
+	KG *KG
+	// Ont is the shared ontology.
+	Ont *ontology.Ontology
+	// Link configures the linking stage (shared by all partitions).
+	Link LinkParams
+	// Fuser merges payloads; nil gets a default wired to Ont.
+	Fuser *Fuser
+	// Resolver performs object resolution; nil maintains the shared
+	// incremental AliasResolver, exactly like Pipeline.
+	Resolver ObjectResolver
+	// Workers bounds construction parallelism, as on Pipeline.
+	Workers int
+	// PerEntityFusion selects the per-entity reference fusion path.
+	PerEntityFusion bool
+
+	// parts holds one Pipeline per partition. Partition pipelines share the
+	// KG, ontology, and fuser; each owns a type-filtered block index and its
+	// own fusion counters (the partition-balance signal). They are not
+	// consumed directly — the coordinator drives them.
+	parts []*Pipeline
+
+	// commitMu is the global commit lock: commits and backlog flushes
+	// serialize under it (volatile overwrite and stable fusion on one target
+	// do not commute, so flushes cannot slide past commits).
+	commitMu sync.Mutex
+
+	conflictsMu sync.Mutex
+	conflicts   []Conflict
+
+	resolverMu    sync.Mutex
+	aliasResolver *AliasResolver
+
+	fusionMu sync.Mutex
+	fusion   FusionStats
+
+	// volatileMu guards the deferred-overwrite backlog. backlogs[i] holds the
+	// boundary blocks owned by partition i; pendingPart pins each pending
+	// target to the partition that first enqueued it, so a target whose type
+	// set changes mid-window cannot end up split across two partitions (the
+	// per-target op order must stay total).
+	volatileMu  sync.Mutex
+	backlogs    []map[triple.EntityID][]volatileOp
+	pendingPart map[triple.EntityID]int
+	volStats    VolatileBacklogStats
+}
+
+// volatileOp is one deferred volatile overwrite: the source and the payload
+// entity whose volatile partition replaces that source's previous one.
+type volatileOp struct {
+	source  string
+	payload *triple.Entity
+}
+
+// VolatileBacklogStats counts the deferred-overwrite traffic. Enqueued −
+// Collapsed − Applied = Pending; Enqueued/Applied is the write amortization
+// the deferral bought (how many overwrites the exchange window absorbed per
+// graph write).
+type VolatileBacklogStats struct {
+	Enqueued  int // volatile ops routed into the backlog
+	Collapsed int // ops absorbed by a consecutive same-source predecessor
+	Applied   int // ops applied to the graph by flushes
+	Flushes   int // FlushVolatile / flush-on-conflict sweeps that found work
+	Pending   int // ops currently deferred
+}
+
+// NewPartitionedPipeline wires a partitioned pipeline over the shared KG and
+// ontology. partitions < 1 is treated as 1 (a single partition, which runs
+// the exact single-pipeline schedule on the coordinator).
+func NewPartitionedPipeline(kg *KG, ont *ontology.Ontology, partitions int) *PartitionedPipeline {
+	if partitions < 1 {
+		partitions = 1
+	}
+	pp := &PartitionedPipeline{KG: kg, Ont: ont, Fuser: &Fuser{Ont: ont}}
+	pp.parts = make([]*Pipeline, partitions)
+	pp.backlogs = make([]map[triple.EntityID][]volatileOp, partitions)
+	pp.pendingPart = make(map[triple.EntityID]int)
+	for i := range pp.parts {
+		pp.parts[i] = &Pipeline{KG: kg, Ont: ont, Fuser: pp.Fuser}
+		pp.backlogs[i] = make(map[triple.EntityID][]volatileOp)
+	}
+	return pp
+}
+
+// Partitions returns the partition count.
+func (pp *PartitionedPipeline) Partitions() int { return len(pp.parts) }
+
+// Parts exposes the per-partition pipelines for monitoring (per-partition
+// fusion and index stats); callers must not consume through them.
+func (pp *PartitionedPipeline) Parts() []*Pipeline { return pp.parts }
+
+// partOfType is PartitionOfType over this pipeline's partition count.
+func (pp *PartitionedPipeline) partOfType(entityType string) int {
+	return PartitionOfType(entityType, len(pp.parts))
+}
+
+// partOfEntity routes a payload entity to the owner partition of its first
+// type (deterministic: Types reflects canonical triple order), partition 0
+// when untyped.
+func (pp *PartitionedPipeline) partOfEntity(e *triple.Entity) int {
+	if types := e.Types(); len(types) > 0 {
+		return pp.partOfType(types[0])
+	}
+	return 0
+}
+
+// EnableBlockIndex builds one type-filtered block index per partition from
+// the KG's current state and switches linking to the incremental path. Call
+// after wiring Link, before consuming deltas. Every entity indexes in exactly
+// the partitions that own one of its types, so the N per-commit refreshes
+// together cost what the single index's one refresh did.
+func (pp *PartitionedPipeline) EnableBlockIndex() {
+	blocker := pp.Link.withDefaults().Blocker
+	for i := range pp.parts {
+		part := i
+		ix := NewOwnedBlockIndex(blocker, func(entityType string) bool {
+			return pp.partOfType(entityType) == part
+		})
+		ix.Build(pp.KG.Graph)
+		pp.parts[i].Index = ix
+		pp.parts[i].Link = pp.Link
+		pp.parts[i].Workers = pp.Workers
+	}
+}
+
+// indexFor returns the owner partition's block index for the type (nil in
+// full-scan mode).
+func (pp *PartitionedPipeline) indexFor(entityType string) *BlockIndex {
+	return pp.parts[pp.partOfType(entityType)].Index
+}
+
+// workers resolves the effective worker count, as on Pipeline.
+func (pp *PartitionedPipeline) workers() int {
+	if pp.Workers > 0 {
+		return pp.Workers
+	}
+	return effectiveWorkers(pp.Link.Workers)
+}
+
+// newBudget mirrors Pipeline.newBudget: one shared helper budget per
+// top-level consume call, the caller being one worker.
+func (pp *PartitionedPipeline) newBudget() *WorkerBudget {
+	return NewWorkerBudget(effectiveWorkers(pp.workers()) - 1)
+}
+
+// FusionStats reports the accumulated coordinator-level fusion counters; the
+// per-partition split lives on Parts()[i].FusionStats().
+func (pp *PartitionedPipeline) FusionStats() FusionStats {
+	pp.fusionMu.Lock()
+	defer pp.fusionMu.Unlock()
+	return pp.fusion
+}
+
+// VolatileStats reports the deferred-overwrite counters.
+func (pp *PartitionedPipeline) VolatileStats() VolatileBacklogStats {
+	pp.volatileMu.Lock()
+	defer pp.volatileMu.Unlock()
+	st := pp.volStats
+	for _, bl := range pp.backlogs {
+		for _, ops := range bl {
+			st.Pending += len(ops)
+		}
+	}
+	return st
+}
+
+// DrainConflicts returns and clears the accumulated fusion conflicts.
+func (pp *PartitionedPipeline) DrainConflicts() []Conflict {
+	pp.conflictsMu.Lock()
+	defer pp.conflictsMu.Unlock()
+	out := pp.conflicts
+	pp.conflicts = nil
+	return out
+}
+
+// HasPending reports whether the entity has deferred volatile ops; the
+// platform's publisher holds such entities back until the next exchange so
+// the stores never observe a state the single pipeline couldn't have
+// published.
+func (pp *PartitionedPipeline) HasPending(id triple.EntityID) bool {
+	pp.volatileMu.Lock()
+	defer pp.volatileMu.Unlock()
+	_, ok := pp.pendingPart[id]
+	return ok
+}
+
+// PendingVolatile returns the number of entities with deferred ops.
+func (pp *PartitionedPipeline) PendingVolatile() int {
+	pp.volatileMu.Lock()
+	defer pp.volatileMu.Unlock()
+	return len(pp.pendingPart)
+}
+
+// RefreshKGCaches re-derives every partition's block index and the shared
+// alias-resolver cache for the given entities, mirroring
+// Pipeline.RefreshKGCaches for direct graph writers (curation).
+func (pp *PartitionedPipeline) RefreshKGCaches(ids ...triple.EntityID) {
+	for _, part := range pp.parts {
+		if part.Index != nil {
+			part.Index.Refresh(pp.KG.Graph, ids...)
+		}
+	}
+	pp.resolverMu.Lock()
+	cached := pp.aliasResolver
+	pp.resolverMu.Unlock()
+	if cached != nil {
+		cached.Refresh(pp.KG.Graph, ids...)
+	}
+}
+
+// kgResolver returns the shared cached alias resolver, building it on first
+// use, as on Pipeline.
+func (pp *PartitionedPipeline) kgResolver() *AliasResolver {
+	pp.resolverMu.Lock()
+	defer pp.resolverMu.Unlock()
+	if pp.aliasResolver == nil {
+		pp.aliasResolver = NewAliasResolver(pp.KG.Graph, pp.Ont)
+	}
+	return pp.aliasResolver
+}
+
+// validateDelta checks wiring and payload; part of the feed's consumer
+// contract.
+func (pp *PartitionedPipeline) validateDelta(d ingest.Delta) error {
+	if pp.KG == nil || pp.Ont == nil {
+		return fmt.Errorf("construct: partitioned pipeline missing KG or ontology")
+	}
+	return validateDeltaPayload(d)
+}
+
+// snapshotDelta mirrors Pipeline.snapshotDelta, routing each type group's
+// candidate gather to the owner partition's block index (or the shared
+// full-scan view).
+func (pp *PartitionedPipeline) snapshotDelta(d ingest.Delta, b *WorkerBudget) *preparedDelta {
+	pd := &preparedDelta{delta: d}
+	adds := append([]*triple.Entity(nil), d.Added...)
+	for _, e := range d.Updated {
+		if kgID, ok := pp.KG.Lookup(e.ID); ok {
+			pd.updates = append(pd.updates, linkedUpdate{kgID: kgID, ent: e})
+		} else {
+			adds = append(adds, e)
+		}
+	}
+	seenDel := make(map[triple.EntityID]bool, len(d.Deleted))
+	for _, src := range d.Deleted {
+		if seenDel[src] {
+			continue
+		}
+		seenDel[src] = true
+		if kgID, ok := pp.KG.Lookup(src); ok {
+			pd.deleteLinks = append(pd.deleteLinks, deleteLink{src: src, kgID: kgID})
+		}
+	}
+
+	pd.addGroups, pd.addTypes = GroupByType(adds)
+	pd.plans = make([]typeLinkPlan, len(pd.addTypes))
+	params := pp.Link.withDefaults()
+	runIndexedBudget(b, pp.workers(), len(pd.addTypes), func(i int) {
+		typ := pd.addTypes[i]
+		if ix := pp.indexFor(typ); ix != nil {
+			pd.plans[i] = gatherTypeGroupIndexed(pd.addGroups[typ], pp.KG, ix, typ, params)
+		} else {
+			pd.plans[i] = gatherTypeGroup(pd.addGroups[typ], pp.KG.KGViewShared(typ), typ)
+		}
+	})
+	return pd
+}
+
+// computeDelta mirrors Pipeline.computeDelta: pure compute, overlap-safe.
+func (pp *PartitionedPipeline) computeDelta(pd *preparedDelta, b *WorkerBudget) {
+	params := pp.Link
+	if params.Workers == 0 {
+		params.Workers = pp.workers()
+	}
+	params.budget = b
+	pd.resolutions = make([]typeResolution, len(pd.addTypes))
+	runIndexedBudget(b, pp.workers(), len(pd.addTypes), func(i int) {
+		pd.resolutions[i] = pd.plans[i].solve(params)
+	})
+}
+
+// commitDelta applies a prepared delta under the global commit lock. It
+// mirrors Pipeline.commitDelta write for write, with three partitioned
+// deviations, none of which changes final bytes:
+//
+//   - flush-on-conflict: after link assignment (which fixes this commit's
+//     stable write targets) any deferred volatile ops on those targets are
+//     applied first, in canonical target order — restoring the single
+//     pipeline's volatile-before-next-stable-write order per target;
+//   - fusion groups are tagged with their owner partition and applied
+//     partitions-in-parallel on the worker budget (groups target distinct
+//     entities, and group order within a partition is preserved, so writes
+//     are disjoint and conflicts reassemble in canonical group order);
+//   - the trailing volatile stage enqueues to the owner partition's boundary
+//     blocks instead of writing the graph; the targets still count as
+//     Touched (they carry unpublished state) but only actually-written
+//     entities refresh the KG-derived caches.
+func (pp *PartitionedPipeline) commitDelta(pd *preparedDelta, b *WorkerBudget) (SourceStats, error) {
+	d := pd.delta
+	stats := SourceStats{Source: d.Source}
+	fuser := pp.Fuser
+	if fuser == nil {
+		fuser = &Fuser{Ont: pp.Ont}
+	}
+
+	pp.commitMu.Lock()
+	defer pp.commitMu.Unlock()
+
+	resolver := pp.Resolver
+	if resolver == nil {
+		resolver = pp.kgResolver()
+	}
+
+	// Link assignment: minting happens inside assign, in sorted type order,
+	// exactly as on the single pipeline.
+	assignment := make(map[triple.EntityID]triple.EntityID)
+	outcomes := make([]LinkOutcome, len(pd.resolutions))
+	for i, tr := range pd.resolutions {
+		outcome := tr.assign(pp.KG.Graph.NewID)
+		outcomes[i] = outcome
+		for src, kgID := range outcome.Assignment {
+			assignment[src] = kgID
+			pp.KG.Link(src, kgID)
+		}
+		stats.LinkedAdds += len(tr.src)
+		stats.NewEntities += outcome.NewEntities
+		stats.Comparisons += outcome.Blocking.Comparisons
+	}
+	for _, u := range pd.updates {
+		assignment[u.ent.ID] = u.kgID
+	}
+
+	// Flush-on-conflict: this commit's stable writes land on the assignment
+	// targets and the delete targets. Any of them carrying deferred volatile
+	// ops must replay those first — volatile overwrite and stable fusion on
+	// one target do not commute.
+	conflictTargets := make([]triple.EntityID, 0, len(assignment)+len(pd.deleteLinks))
+	for _, kgID := range assignment {
+		conflictTargets = append(conflictTargets, kgID)
+	}
+	for _, dl := range pd.deleteLinks {
+		conflictTargets = append(conflictTargets, dl.kgID)
+	}
+	pp.flushTargets(conflictTargets)
+
+	// Object resolution over adds and updates, parallel per entity, stub
+	// minting sequential in canonical order — identical to the single path.
+	entities := make([]*triple.Entity, 0, len(assignment))
+	for _, typ := range pd.addTypes {
+		entities = append(entities, pd.addGroups[typ]...)
+	}
+	for _, u := range pd.updates {
+		entities = append(entities, u.ent)
+	}
+	pending := make([][]stubRef, len(entities))
+	runIndexedBudget(b, pp.workers(), len(entities), func(i int) {
+		pending[i] = resolveObjects(entities[i], assignment, pp.KG, resolver, pp.Ont)
+	})
+	stubs := make(map[triple.EntityID]triple.EntityID)
+	var stubIDs []triple.EntityID
+	for _, refs := range pending {
+		for _, ref := range refs {
+			if _, ok := stubs[ref.target]; ok {
+				continue
+			}
+			id := pp.KG.Graph.NewID()
+			stub := triple.NewEntity(id)
+			stub.Add(triple.New(id, triple.PredType, triple.String(orDefault(ref.typ, "entity"))).WithSource(d.Source, 0.5))
+			stub.Add(triple.New(id, triple.PredName, triple.String(ref.mention)).WithSource(d.Source, 0.5))
+			pp.KG.Graph.Put(stub)
+			pp.KG.Link(ref.target, id)
+			stubs[ref.target] = id
+			stubIDs = append(stubIDs, id)
+		}
+	}
+	for i, refs := range pending {
+		if len(refs) == 0 {
+			continue
+		}
+		rw := make(map[triple.EntityID]triple.EntityID, len(refs))
+		for _, ref := range refs {
+			rw[ref.target] = stubs[ref.target]
+		}
+		entities[i].Rewrite(entities[i].ID, rw)
+	}
+
+	// Fusion groups, built exactly as on the single pipeline but tagged with
+	// the owner partition of the type context that first creates each group.
+	groupIdx := make(map[triple.EntityID]int)
+	var groups []fuseGroup
+	addOp := func(id triple.EntityID, op FuseOp, part int) {
+		gi, ok := groupIdx[id]
+		if !ok {
+			gi = len(groups)
+			groupIdx[id] = gi
+			groups = append(groups, fuseGroup{id: id, part: part})
+		}
+		groups[gi].ops = append(groups[gi].ops, op)
+	}
+	for i, outcome := range outcomes {
+		part := pp.partOfType(pd.addTypes[i])
+		for lo := 0; lo < len(outcome.SameAs); {
+			hi := lo + 1
+			for hi < len(outcome.SameAs) && outcome.SameAs[hi].Subject == outcome.SameAs[lo].Subject {
+				hi++
+			}
+			carrier := triple.NewEntity(outcome.SameAs[lo].Subject)
+			carrier.Add(outcome.SameAs[lo:hi]...)
+			addOp(carrier.ID, FuseOp{Incoming: carrier}, part)
+			lo = hi
+		}
+	}
+	for _, typ := range pd.addTypes {
+		part := pp.partOfType(typ)
+		for _, e := range pd.addGroups[typ] {
+			kgID, ok := assignment[e.ID]
+			if !ok {
+				continue
+			}
+			linked := e.Clone()
+			linked.Rewrite(kgID, nil)
+			addOp(kgID, FuseOp{Incoming: linked}, part)
+		}
+	}
+	for _, u := range pd.updates {
+		linked := u.ent.Clone()
+		linked.Rewrite(u.kgID, nil)
+		addOp(u.kgID, FuseOp{StripSource: d.Source, Incoming: linked}, pp.partOfEntity(u.ent))
+		stats.Updated++
+	}
+
+	// Partition-parallel group application: distinct groups write distinct
+	// entities (groupIdx dedupes globally), so partitions touch disjoint
+	// records; within a partition groups apply in canonical creation order.
+	// Per-group conflict slices reassemble in group order afterwards, so the
+	// curation stream is ordered exactly as the single pipeline's.
+	perPart := make([][]int, len(pp.parts))
+	for gi, g := range groups {
+		perPart[g.part] = append(perPart[g.part], gi)
+	}
+	groupConflicts := make([][]Conflict, len(groups))
+	runIndexedBudget(b, pp.workers(), len(pp.parts), func(pi int) {
+		for _, gi := range perPart[pi] {
+			g := groups[gi]
+			if pp.PerEntityFusion {
+				for _, op := range g.ops {
+					if op.StripSource != "" {
+						removeSourceStable(pp.KG.Graph, g.id, op.StripSource, pp.Ont)
+					}
+					if op.Incoming != nil {
+						groupConflicts[gi] = append(groupConflicts[gi], fuser.FuseEntity(pp.KG.Graph, op.Incoming)...)
+					}
+				}
+				continue
+			}
+			groupConflicts[gi] = fuser.FuseBatch(pp.KG.Graph, g.id, g.ops)
+		}
+	})
+	var conflicts []Conflict
+	payloads := 0
+	partPayloads := make([]int, len(pp.parts))
+	partTargets := make([]int, len(pp.parts))
+	for gi, g := range groups {
+		payloads += len(g.ops)
+		partPayloads[g.part] += len(g.ops)
+		partTargets[g.part]++
+		conflicts = append(conflicts, groupConflicts[gi]...)
+	}
+	pp.fusionMu.Lock()
+	pp.fusion.Commits++
+	pp.fusion.Targets += len(groups)
+	pp.fusion.Payloads += payloads
+	pp.fusionMu.Unlock()
+	for pi, part := range pp.parts {
+		if partTargets[pi] == 0 {
+			continue
+		}
+		part.fusionMu.Lock()
+		part.fusion.Commits++
+		part.fusion.Targets += partTargets[pi]
+		part.fusion.Payloads += partPayloads[pi]
+		part.fusionMu.Unlock()
+	}
+
+	touched := make(map[triple.EntityID]bool)
+	for _, kgID := range assignment {
+		touched[kgID] = true
+	}
+	for _, id := range stubIDs {
+		touched[id] = true
+	}
+	for _, dl := range pd.deleteLinks {
+		if RemoveSource(pp.KG.Graph, dl.kgID, d.Source) {
+			stats.Removed = append(stats.Removed, dl.kgID)
+			delete(touched, dl.kgID)
+		} else {
+			touched[dl.kgID] = true
+		}
+		pp.KG.Unlink(dl.src)
+		stats.Deleted++
+	}
+	// written snapshots the ids this commit actually wrote; the volatile
+	// stage below only defers, so caches refresh from written, while Touched
+	// (the publish contract) additionally carries the deferred targets.
+	written := make([]triple.EntityID, 0, len(touched))
+	for id := range touched {
+		written = append(written, id)
+	}
+	removed := make(map[triple.EntityID]bool, len(stats.Removed))
+	for _, id := range stats.Removed {
+		removed[id] = true
+	}
+	for _, v := range d.Volatile {
+		kgID, ok := assignment[v.ID]
+		if !ok {
+			if kgID, ok = pp.KG.Lookup(v.ID); !ok {
+				continue // entity not (yet) part of the KG
+			}
+		}
+		if removed[kgID] {
+			// Same ghost-resurrection guard as the single pipeline.
+			continue
+		}
+		pp.enqueueVolatile(kgID, d.Source, v)
+		touched[kgID] = true
+		stats.Volatile++
+	}
+	for id := range touched {
+		stats.Touched = append(stats.Touched, id)
+	}
+	sort.Slice(stats.Touched, func(i, j int) bool { return stats.Touched[i] < stats.Touched[j] })
+	sort.Slice(stats.Removed, func(i, j int) bool { return stats.Removed[i] < stats.Removed[j] })
+	stats.Conflicts = len(conflicts)
+	if len(conflicts) > 0 {
+		pp.conflictsMu.Lock()
+		pp.conflicts = append(pp.conflicts, conflicts...)
+		pp.conflictsMu.Unlock()
+	}
+	sort.Slice(written, func(i, j int) bool { return written[i] < written[j] })
+	pp.RefreshKGCaches(written...)
+	pp.RefreshKGCaches(stats.Removed...)
+	return stats, nil
+}
+
+// enqueueVolatile routes one deferred overwrite into its target's boundary
+// block, collapsing consecutive same-source ops (the overwrite replaces the
+// source's whole volatile partition, so only the last consecutive op per
+// source survives either way — the collapse is exact, not approximate).
+func (pp *PartitionedPipeline) enqueueVolatile(kgID triple.EntityID, source string, payload *triple.Entity) {
+	pp.volatileMu.Lock()
+	defer pp.volatileMu.Unlock()
+	pp.volStats.Enqueued++
+	pi, ok := pp.pendingPart[kgID]
+	if !ok {
+		if e := pp.KG.Graph.GetShared(kgID); e != nil {
+			pi = pp.partOfEntity(e)
+		}
+		pp.pendingPart[kgID] = pi
+	}
+	list := pp.backlogs[pi][kgID]
+	if n := len(list); n > 0 && list[n-1].source == source {
+		list[n-1].payload = payload
+		pp.volStats.Collapsed++
+		return
+	}
+	pp.backlogs[pi][kgID] = append(list, volatileOp{source: source, payload: payload})
+}
+
+// flushTargets applies and clears the deferred ops of exactly the given
+// targets (callers hold commitMu). Targets apply in input order; input order
+// is derived from this commit's own write set, so the replay lands where the
+// single pipeline would have put it: before this commit's stable writes.
+func (pp *PartitionedPipeline) flushTargets(ids []triple.EntityID) {
+	if len(ids) == 0 {
+		return
+	}
+	type flushWork struct {
+		id  triple.EntityID
+		ops []volatileOp
+	}
+	var work []flushWork
+	pp.volatileMu.Lock()
+	if len(pp.pendingPart) > 0 {
+		for _, id := range ids {
+			pi, ok := pp.pendingPart[id]
+			if !ok {
+				continue
+			}
+			work = append(work, flushWork{id: id, ops: pp.backlogs[pi][id]})
+			delete(pp.backlogs[pi], id)
+			delete(pp.pendingPart, id)
+		}
+	}
+	pp.volatileMu.Unlock()
+	applied := 0
+	for _, w := range work {
+		if pp.KG.Graph.GetShared(w.id) == nil {
+			continue // deleted since enqueue; nothing to overwrite
+		}
+		for _, op := range w.ops {
+			ApplyVolatileOverwrite(pp.KG.Graph, w.id, op.source, op.payload, pp.Ont)
+			applied++
+		}
+	}
+	if len(work) > 0 {
+		pp.volatileMu.Lock()
+		pp.volStats.Applied += applied
+		pp.volStats.Flushes++
+		pp.volatileMu.Unlock()
+	}
+	// No cache refresh here: flush-on-conflict targets are part of the
+	// calling commit's written set and refresh at its end; volatile
+	// partitions are invisible to the block index and alias resolver anyway.
+}
+
+// FlushVolatile applies every partition's deferred volatile backlog — the
+// exchange phase of the two-phase protocol. It takes the global commit lock
+// (overwrites must not slide past a concurrent commit's stable writes on the
+// same targets), applies partitions in parallel on a fresh worker budget
+// (backlogs hold disjoint target sets), targets within a partition in
+// canonical id order, ops per target in enqueue order, and refreshes the
+// KG-derived caches for every flushed entity. It returns the number of ops
+// applied.
+func (pp *PartitionedPipeline) FlushVolatile() int {
+	pp.commitMu.Lock()
+	defer pp.commitMu.Unlock()
+	return pp.flushAllLocked()
+}
+
+// flushAllLocked is FlushVolatile under an already-held commit lock.
+func (pp *PartitionedPipeline) flushAllLocked() int {
+	pp.volatileMu.Lock()
+	if len(pp.pendingPart) == 0 {
+		pp.volatileMu.Unlock()
+		return 0
+	}
+	backlogs := pp.backlogs
+	pp.backlogs = make([]map[triple.EntityID][]volatileOp, len(pp.parts))
+	for i := range pp.backlogs {
+		pp.backlogs[i] = make(map[triple.EntityID][]volatileOp)
+	}
+	pp.pendingPart = make(map[triple.EntityID]int)
+	pp.volatileMu.Unlock()
+
+	order := make([][]triple.EntityID, len(backlogs))
+	applied := 0
+	var flushed []triple.EntityID
+	for pi, bl := range backlogs {
+		for id, ops := range bl {
+			order[pi] = append(order[pi], id)
+			applied += len(ops)
+			flushed = append(flushed, id)
+		}
+		sort.Slice(order[pi], func(i, j int) bool { return order[pi][i] < order[pi][j] })
+	}
+	b := pp.newBudget()
+	runIndexedBudget(b, pp.workers(), len(backlogs), func(pi int) {
+		for _, id := range order[pi] {
+			if pp.KG.Graph.GetShared(id) == nil {
+				continue // deleted since enqueue
+			}
+			for _, op := range backlogs[pi][id] {
+				ApplyVolatileOverwrite(pp.KG.Graph, id, op.source, op.payload, pp.Ont)
+			}
+		}
+	})
+	pp.volatileMu.Lock()
+	pp.volStats.Applied += applied
+	pp.volStats.Flushes++
+	pp.volatileMu.Unlock()
+	sort.Slice(flushed, func(i, j int) bool { return flushed[i] < flushed[j] })
+	pp.RefreshKGCaches(flushed...)
+	return applied
+}
+
+// ConsumeDelta consumes one delta. The KG it leaves (after the next
+// FlushVolatile) is byte-identical to Pipeline.ConsumeDelta's.
+func (pp *PartitionedPipeline) ConsumeDelta(d ingest.Delta) (SourceStats, error) {
+	all, err := pp.Consume([]ingest.Delta{d})
+	if err != nil {
+		return SourceStats{Source: d.Source}, err
+	}
+	return all[0], nil
+}
+
+// Consume validates and consumes a batch of deltas; same contract as
+// Pipeline.Consume (deltas link against the batch-start state; commit order
+// is fixed by the input; *BatchError carries the partial-prefix contract).
+func (pp *PartitionedPipeline) Consume(deltas []ingest.Delta) ([]SourceStats, error) {
+	for i := range deltas {
+		if err := pp.validateDelta(deltas[i]); err != nil {
+			return make([]SourceStats, len(deltas)), err
+		}
+	}
+	return pp.consumeValidated(deltas)
+}
+
+// consumeValidated runs a validated batch on the barrier schedule: snapshot
+// all (against batch-start state), compute all on the worker budget, then
+// commit in input order — each commit itself fanning its fusion work across
+// partitions. It is the partitioned feed's consumer entry point.
+func (pp *PartitionedPipeline) consumeValidated(deltas []ingest.Delta) ([]SourceStats, error) {
+	stats := make([]SourceStats, len(deltas))
+	b := pp.newBudget()
+	pds := make([]*preparedDelta, len(deltas))
+	runIndexedBudget(b, pp.workers(), len(deltas), func(i int) {
+		pds[i] = pp.snapshotDelta(deltas[i], b)
+	})
+	runIndexedBudget(b, pp.workers(), len(pds), func(i int) {
+		pp.computeDelta(pds[i], b)
+	})
+	for i := range pds {
+		s, err := pp.commitDelta(pds[i], b)
+		if err != nil {
+			return stats, &BatchError{Index: i, Err: err}
+		}
+		stats[i] = s
+	}
+	return stats, nil
+}

@@ -251,6 +251,12 @@ func (p *Pipeline) validateDelta(d ingest.Delta) error {
 	if p.KG == nil || p.Ont == nil {
 		return fmt.Errorf("construct: pipeline missing KG or ontology")
 	}
+	return validateDeltaPayload(d)
+}
+
+// validateDeltaPayload checks the delta payload itself (nil entities, empty
+// IDs); shared by the single and partitioned pipelines.
+func validateDeltaPayload(d ingest.Delta) error {
 	check := func(kind string, ents []*triple.Entity) error {
 		for i, e := range ents {
 			if e == nil {
@@ -369,6 +375,10 @@ func (p *Pipeline) newBudget() *WorkerBudget {
 type fuseGroup struct {
 	id  triple.EntityID
 	ops []FuseOp
+	// part is the owning partition on the partitioned commit path (always 0
+	// for the single pipeline). Distinct groups target distinct entities, so
+	// partition-parallel group application writes disjoint entity records.
+	part int
 }
 
 // commitDelta applies a prepared delta to the KG under the fusion lock: KG

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"saga/internal/construct"
@@ -68,13 +69,33 @@ type Options struct {
 	// replicate to every replica, reads route across them with health,
 	// version, and load awareness. 0 or 1 means a single replica.
 	LiveReplicas int
+	// Partitions shards construction across N concurrently fusing pipeline
+	// partitions over one shared KG (entity types hash to an owner
+	// partition; cross-partition volatile traffic exchanges at batch
+	// boundaries — see docs/INVARIANTS.md#cross-partition-linking). 0 or 1
+	// keeps the single pipeline; every value constructs a byte-identical KG.
+	Partitions int
+	// ExchangeInterval is the number of published feed batches between
+	// cross-partition exchanges (backlog flush + deferred publish) in
+	// partitioned mode; 0 means DefaultExchangeInterval. Entities with
+	// deferred volatile state publish at the next exchange (and always at
+	// drain), so the interval bounds serving staleness, never final state.
+	ExchangeInterval int
 }
+
+// DefaultExchangeInterval is the default partitioned-mode exchange cadence,
+// in feed batches.
+const DefaultExchangeInterval = 8
 
 // Platform is the assembled knowledge platform.
 type Platform struct {
-	Ont      *ontology.Ontology
-	KG       *construct.KG
+	Ont *ontology.Ontology
+	KG  *construct.KG
+	// Pipeline is the single construction pipeline; nil in partitioned mode.
 	Pipeline *construct.Pipeline
+	// Partitioned is the partitioned construction coordinator; nil in
+	// single-pipeline mode. Exactly one of Pipeline/Partitioned is non-nil.
+	Partitioned *construct.PartitionedPipeline
 
 	Engine       *graphengine.Engine
 	EntityStore  *entitystore.Store
@@ -116,6 +137,17 @@ type Platform struct {
 	// publishHook, when set (tests only), runs before every engine publish
 	// and can inject failures to exercise the retry path.
 	publishHook func(source string) error
+
+	// Partitioned-mode publish state (guarded by pubMu): the carry set maps
+	// each entity with unpublished committed effects to the source that last
+	// touched it. The publisher publishes carried entities whose state is
+	// final (no deferred volatile ops) immediately and holds the rest until
+	// the next exchange, when the backlog flushes and everything carried
+	// publishes at once; drain forces a final exchange.
+	pubMu         sync.Mutex
+	pubCarry      map[triple.EntityID]string // entity -> last-writing source
+	pubBatches    int                        // published batches since the last exchange
+	exchangeEvery int
 }
 
 // pendingPublish records a failed publish: the source and the KG entities
@@ -161,7 +193,7 @@ func New(opts Options) (*Platform, error) {
 		if opts.DataDir == "" {
 			return nil, fmt.Errorf("core: backend %q needs Options.DataDir", opts.Backend)
 		}
-		h, err := storage.Resolve(opts.Backend, storage.Options{Dir: opts.DataDir, Path: opts.OplogPath})
+		h, err := storage.Resolve(opts.Backend, storage.Options{Dir: opts.DataDir, Path: opts.OplogPath, Partitions: opts.Partitions})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -199,13 +231,29 @@ func New(opts Options) (*Platform, error) {
 		Curation:     live.NewQueue(),
 		snapshots:    make(map[string]ingest.Snapshot),
 	}
-	p.Pipeline = construct.NewPipeline(p.KG, ont)
-	p.Pipeline.Link = opts.LinkParams
-	p.Pipeline.Workers = opts.Workers
-	p.Pipeline.PerEntityFusion = opts.PerEntityFusion
-	if !opts.FullScanLinking {
-		p.Pipeline.EnableBlockIndex()
+	if opts.Partitions > 1 {
+		pp := construct.NewPartitionedPipeline(p.KG, ont, opts.Partitions)
+		pp.Link = opts.LinkParams
+		pp.Workers = opts.Workers
+		pp.PerEntityFusion = opts.PerEntityFusion
+		if !opts.FullScanLinking {
+			pp.EnableBlockIndex()
+		}
+		p.Partitioned = pp
+	} else {
+		p.Pipeline = construct.NewPipeline(p.KG, ont)
+		p.Pipeline.Link = opts.LinkParams
+		p.Pipeline.Workers = opts.Workers
+		p.Pipeline.PerEntityFusion = opts.PerEntityFusion
+		if !opts.FullScanLinking {
+			p.Pipeline.EnableBlockIndex()
+		}
 	}
+	p.exchangeEvery = opts.ExchangeInterval
+	if p.exchangeEvery <= 0 {
+		p.exchangeEvery = DefaultExchangeInterval
+	}
+	p.pubCarry = make(map[triple.EntityID]string)
 	p.ViewManager = views.NewManager(p.ViewCatalog)
 	p.Engine.RegisterAgent(graphengine.EntityStoreAgent{Store: p.EntityStore})
 	p.Engine.RegisterAgent(graphengine.TextIndexAgent{Index: p.TextIndex})
@@ -255,7 +303,25 @@ func (p *Platform) ConsumeDelta(d ingest.Delta) (construct.SourceStats, error) {
 		// producer, then fall through.
 		f.Drain()
 	}
-	stats, err := p.Pipeline.ConsumeDelta(d)
+	var (
+		stats construct.SourceStats
+		err   error
+	)
+	if p.Partitioned != nil {
+		// Synchronous partitioned consume: commit, then exchange immediately
+		// (flush the deferred backlog) so the publish below ships final
+		// state — the sync path has no later exchange point to defer to.
+		var all []construct.SourceStats
+		all, err = p.Partitioned.Consume([]ingest.Delta{d})
+		p.Partitioned.FlushVolatile()
+		if len(all) == 1 {
+			stats = all[0]
+		} else {
+			stats = construct.SourceStats{Source: d.Source}
+		}
+	} else {
+		stats, err = p.Pipeline.ConsumeDelta(d)
+	}
 	if err != nil {
 		return stats, err
 	}
@@ -299,7 +365,18 @@ func (p *Platform) ConsumeDeltas(deltas []ingest.Delta) ([]construct.SourceStats
 		// producer, then fall through.
 		f.Drain()
 	}
-	all, err := p.Pipeline.Consume(deltas)
+	var (
+		all []construct.SourceStats
+		err error
+	)
+	if p.Partitioned != nil {
+		all, err = p.Partitioned.Consume(deltas)
+		// Exchange before publishing: the committed prefix's deferred
+		// volatile state must be in the graph when publishStats captures it.
+		p.Partitioned.FlushVolatile()
+	} else {
+		all, err = p.Pipeline.Consume(deltas)
+	}
 	pubErr := p.flushPending()
 	for i := range all {
 		// On a mid-batch commit error the uncommitted entries are zero
@@ -431,12 +508,30 @@ func (p *Platform) Feed(opts FeedOptions) (*construct.Feed, error) {
 		// engine's single-producer ordering.
 		return nil, fmt.Errorf("core: a standing feed is already open")
 	}
-	f := construct.NewFeed(p.Pipeline, construct.FeedOptions{
-		Queue:        opts.Queue,
-		PublishQueue: opts.PublishQueue,
-		OnCommit:     p.captureFeedBatch,
-		Publish:      p.publishFeedGroup,
-	})
+	var f *construct.Feed
+	if p.Partitioned != nil {
+		// Partitioned publish builds its events from batch stats and captures
+		// entity state at publish time (not commit time): entities with
+		// deferred volatile ops are carried to the next exchange, and carried
+		// state re-captures after the flush — capture-at-commit would pin the
+		// pre-flush bytes.
+		f = construct.NewPartitionedFeed(p.Partitioned, construct.FeedOptions{
+			Queue:        opts.Queue,
+			PublishQueue: opts.PublishQueue,
+			Publish:      p.publishPartitionedGroup,
+			// Close must leave nothing deferred: exchange and publish the
+			// whole carry set before it returns, so a closed feed means every
+			// store reflects every committed batch.
+			OnClose: p.finalExchange,
+		})
+	} else {
+		f = construct.NewFeed(p.Pipeline, construct.FeedOptions{
+			Queue:        opts.Queue,
+			PublishQueue: opts.PublishQueue,
+			OnCommit:     p.captureFeedBatch,
+			Publish:      p.publishFeedGroup,
+		})
+	}
 	p.feed = f
 	return f, nil
 }
@@ -552,6 +647,102 @@ func (p *Platform) publishFeedGroup(group []*construct.FeedBatch) error {
 	return firstErr
 }
 
+// publishPartitionedGroup is the partitioned feed's Publish hook (publisher
+// goroutine, ordered). It folds the group's per-entity events into the carry
+// set (last writer wins), then either publishes everything — after running a
+// cross-partition exchange, every exchangeEvery batches — or publishes only
+// the entities whose state is already final, carrying the volatile-deferred
+// rest to the next exchange. Deferral is the partitioned win on churn-heavy
+// streams: an entity overwritten in every batch of an exchange window costs
+// one graph write, one log op, and one replay instead of one per batch.
+func (p *Platform) publishPartitionedGroup(group []*construct.FeedBatch) error {
+	p.pubMu.Lock()
+	defer p.pubMu.Unlock()
+	for _, b := range group {
+		for i := range b.Stats {
+			st := &b.Stats[i]
+			for _, id := range st.Touched {
+				p.pubCarry[id] = st.Source
+			}
+			for _, id := range st.Removed {
+				p.pubCarry[id] = st.Source
+			}
+		}
+	}
+	p.pubBatches += len(group)
+	exchange := p.pubBatches >= p.exchangeEvery
+	if exchange {
+		p.Partitioned.FlushVolatile()
+		p.pubBatches = 0
+	}
+	return p.publishCarryLocked(!exchange)
+}
+
+// publishCarryLocked publishes carried entities at their current KG state
+// (upsert if present, delete if gone — the same convergent capture
+// flushPending uses) and catches every agent up. With skipPending, entities
+// whose volatile backlog has not flushed stay carried so the stores never
+// observe a state the single pipeline couldn't have published. Callers hold
+// pubMu.
+func (p *Platform) publishCarryLocked(skipPending bool) error {
+	firstErr := p.flushPending()
+	ids := make([]triple.EntityID, 0, len(p.pubCarry))
+	for id := range p.pubCarry {
+		if skipPending && p.Partitioned.HasPending(id) {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var (
+		runSource  string
+		runUpserts []*triple.Entity
+		runRemoved []triple.EntityID
+	)
+	flush := func() {
+		if len(runUpserts) == 0 && len(runRemoved) == 0 {
+			return
+		}
+		if err := p.publishRaw(runSource, runUpserts, runRemoved); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, id := range ids {
+		source := p.pubCarry[id]
+		if source != runSource {
+			flush()
+			runSource, runUpserts, runRemoved = source, nil, nil
+		}
+		if e := p.KG.Graph.GetShared(id); e != nil {
+			runUpserts = append(runUpserts, e)
+		} else {
+			runRemoved = append(runRemoved, id)
+		}
+		delete(p.pubCarry, id)
+	}
+	flush()
+	if err := p.Engine.CatchUp(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// finalExchange forces a cross-partition exchange and publishes the whole
+// carry set; the partitioned drain path runs it so direct readers of the
+// serving stores observe fully exchanged, fully published state. Publish
+// errors stay queued for retry (flushPending), exactly like the single
+// pipeline's failed publishes.
+func (p *Platform) finalExchange() {
+	if p.Partitioned == nil {
+		return
+	}
+	p.pubMu.Lock()
+	defer p.pubMu.Unlock()
+	p.Partitioned.FlushVolatile()
+	p.pubBatches = 0
+	_ = p.publishCarryLocked(false) //saga:errok failed publishes re-queue inside publishRaw and retry at the next publish point
+}
+
 // openFeed returns the standing feed if one is open, nil otherwise.
 func (p *Platform) openFeed() *construct.Feed {
 	p.feedMu.Lock()
@@ -576,6 +767,10 @@ func (p *Platform) drainFeed() {
 	if f != nil {
 		f.Drain()
 	}
+	// Partitioned mode: the drained batches may have deferred volatile state
+	// and carried (unpublished) entities; exchange and publish them so the
+	// graph and every store reflect the drained batches completely.
+	p.finalExchange()
 }
 
 // Close shuts the platform down: an open standing feed is closed and its
@@ -593,6 +788,8 @@ func (p *Platform) Close() error {
 			firstErr = err
 		}
 	}
+	// Settle any deferred partitioned state before the log closes.
+	p.finalExchange()
 	if err := p.Engine.Log.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
@@ -671,7 +868,11 @@ func (p *Platform) BuildNERD() *nerd.NERD {
 	scores := importance.Compute(p.GraphReplica, importance.Options{})
 	view := nerd.BuildEntityView(p.GraphReplica.Snapshot(), scores)
 	p.NERD = nerd.New(view, nerd.NewModel(nil))
-	p.Pipeline.Resolver = p.NERD
+	if p.Partitioned != nil {
+		p.Partitioned.Resolver = p.NERD
+	} else {
+		p.Pipeline.Resolver = p.NERD
+	}
 	p.LiveConstructor.Resolver = p.NERD
 	p.Intents.Resolver = p.NERD
 	return p.NERD
@@ -734,7 +935,7 @@ func (p *Platform) ApplyCurationDecisions() (int, error) {
 		// Curation writes bypass the construction pipeline, so report the
 		// touched entity to the pipeline's KG-derived caches (block index,
 		// alias-resolver cache) ourselves.
-		p.Pipeline.RefreshKGCaches(d.Entity)
+		p.refreshKGCaches(d.Entity)
 		// Publish the hot fix so every store converges.
 		if d.Kind == live.DecisionBlockEntity {
 			if _, err := p.Engine.PublishDelete(live.CurationSource, []triple.EntityID{d.Entity}); err != nil {
@@ -749,6 +950,25 @@ func (p *Platform) ApplyCurationDecisions() (int, error) {
 	return len(decisions), p.Engine.CatchUp()
 }
 
+// refreshKGCaches reports direct graph writes to whichever construction
+// pipeline owns the KG-derived caches.
+func (p *Platform) refreshKGCaches(ids ...triple.EntityID) {
+	if p.Partitioned != nil {
+		p.Partitioned.RefreshKGCaches(ids...)
+		return
+	}
+	p.Pipeline.RefreshKGCaches(ids...)
+}
+
+// DrainConflicts returns and clears the construction pipeline's accumulated
+// fusion conflicts, whichever pipeline mode the platform runs.
+func (p *Platform) DrainConflicts() []construct.Conflict {
+	if p.Partitioned != nil {
+		return p.Partitioned.DrainConflicts()
+	}
+	return p.Pipeline.DrainConflicts()
+}
+
 // Stats summarizes the platform state.
 type Stats struct {
 	Graph        triple.Stats
@@ -761,6 +981,10 @@ type Stats struct {
 	// Fusion reports the commit phase's fusion traffic; Payloads/Targets is
 	// the per-target batching amortization.
 	Fusion construct.FusionStats
+	// Partitions is the construction partition count (0 in single-pipeline
+	// mode); Volatile counts partitioned mode's deferred-overwrite traffic.
+	Partitions int
+	Volatile   construct.VolatileBacklogStats
 }
 
 // Stats gathers platform statistics.
@@ -770,8 +994,26 @@ func (p *Platform) Stats() Stats {
 		Links:        p.KG.LinkCount(),
 		LogLSN:       p.Engine.Log.LastLSN(),
 		LiveEntities: p.Live.Len(),
-		Fusion:       p.Pipeline.FusionStats(),
 	}
+	if p.Partitioned != nil {
+		st.Fusion = p.Partitioned.FusionStats()
+		st.Partitions = p.Partitioned.Partitions()
+		st.Volatile = p.Partitioned.VolatileStats()
+		// Aggregate the per-partition block indexes into one platform view.
+		for _, part := range p.Partitioned.Parts() {
+			if part.Index == nil {
+				continue
+			}
+			s := part.Index.Stats()
+			st.BlockIndex.Entities += s.Entities
+			st.BlockIndex.Types += s.Types
+			st.BlockIndex.Keys += s.Keys
+			st.BlockIndex.Probes += s.Probes
+			st.BlockIndex.Refreshes += s.Refreshes
+		}
+		return st
+	}
+	st.Fusion = p.Pipeline.FusionStats()
 	if p.Pipeline.Index != nil {
 		st.BlockIndex = p.Pipeline.Index.Stats()
 	}

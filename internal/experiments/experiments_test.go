@@ -284,6 +284,47 @@ func TestStandingFeedShape(t *testing.T) {
 	// with no code change.
 }
 
+func TestPartitionedIngestShape(t *testing.T) {
+	res, err := PartitionedIngest(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("partitioned serving state diverged from the single pipeline")
+	}
+	if res.SingleOps == 0 || res.PartitionedOps == 0 || res.PartitionedOps > res.SingleOps {
+		t.Fatalf("op counts wrong: single=%d partitioned=%d (window conflation can only reduce)",
+			res.SingleOps, res.PartitionedOps)
+	}
+	if res.SingleMS <= 0 || res.PartitionedMS <= 0 {
+		t.Fatalf("timings missing: %+v", res)
+	}
+	// The 2.5x scaling factor is asserted only in
+	// BenchmarkPartitionedIngestScaling (the CI bench job), not here — a
+	// timing gate in the plain/race test jobs would flake on loaded runners
+	// with no code change.
+}
+
+func TestHotKeySkewShape(t *testing.T) {
+	res, err := HotKeySkew(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("partitioned serving state diverged from the single pipeline under skew")
+	}
+	// The Zipf head must actually concentrate fusion: several payloads per
+	// fused target, and the hottest partition absorbing essentially all of it
+	// (the whole stream shares one type).
+	if res.PayloadsPerTarget < 4 {
+		t.Fatalf("payloads per target = %.1f, skew stream should mass-fuse", res.PayloadsPerTarget)
+	}
+	if res.MaxPartitionShare < 0.9 {
+		t.Fatalf("hottest partition share = %.2f, type-hash skew should pin fusion to one partition",
+			res.MaxPartitionShare)
+	}
+}
+
 func TestGraphStoreShape(t *testing.T) {
 	// Slim config: the correctness bits are what this job asserts; the
 	// benchmark (CI bench job) gates the timing claims at full size.

@@ -182,13 +182,29 @@ func (e *Engine) PublishDelete(source string, ids []triple.EntityID) (uint64, er
 	return e.Log.Append(oplog.Op{Kind: oplog.OpDelete, Source: source, EntityIDs: ids})
 }
 
-// CatchUp replays pending operations into every agent, in log order, and
-// advances each agent's LSN in the metadata store. Agents that fail stop
-// advancing (and their error is returned) but do not block other agents —
-// stores degrade independently, never inconsistently. A failed agent resumes
-// from its recorded LSN on the next CatchUp, so transient store errors heal
-// without data loss. CatchUp is safe for concurrent use: calls serialize, so
-// two replayers can never apply the same operation to an agent twice.
+// catchupChunk is the number of log operations decoded ahead of each
+// agent-parallel replay round. Chunking bounds how many decoded payloads are
+// live at once while keeping the per-round goroutine cost negligible
+// (one goroutine per agent per chunk, not per op).
+const catchupChunk = 128
+
+// CatchUp replays pending operations into every agent and advances each
+// agent's LSN in the metadata store. Replay is agent-parallel: each staged
+// payload is decoded once per chunk of the log, then every agent applies the
+// chunk to its own independent store concurrently, in log order within the
+// agent. Agents share no state — each derives its view from the same decoded
+// copies — so the concurrent schedule produces exactly the stores the old
+// op-major sequential replay did.
+//
+// Error isolation is per agent: an agent that fails stops advancing (and
+// resumes from its recorded LSN on the next CatchUp, so transient store
+// errors heal without data loss) while the other agents keep replaying —
+// stores degrade independently, never inconsistently. The returned error is
+// deterministic regardless of goroutine schedule: the failure at the lowest
+// LSN, ties broken by agent registration order — the same error the
+// sequential replay reported first. CatchUp is safe for concurrent use:
+// calls serialize, so two replayers can never apply the same operation to an
+// agent twice.
 func (e *Engine) CatchUp() error {
 	e.catchupMu.Lock()
 	defer e.catchupMu.Unlock()
@@ -198,11 +214,6 @@ func (e *Engine) CatchUp() error {
 	if len(agents) == 0 {
 		return nil
 	}
-	// Replay op-major from the least-advanced agent, decoding each staged
-	// payload once and handing the decoded entities to every agent that
-	// still needs the op — not once per agent, which multiplied the decode
-	// cost of the publish path by the agent count. Agents replay decoded
-	// copies, so sharing the slice across agents is safe.
 	from := make([]uint64, len(agents))
 	min := uint64(0)
 	for i, a := range agents {
@@ -211,37 +222,77 @@ func (e *Engine) CatchUp() error {
 			min = from[i]
 		}
 	}
-	stopped := make([]bool, len(agents))
-	var firstErr error
-	for _, op := range e.Log.Read(min, 0) {
-		var entities []*triple.Entity
-		decoded := false
-		for i, a := range agents {
-			if stopped[i] || from[i] >= op.LSN {
-				continue
-			}
-			var err error
-			if !decoded {
-				entities, err = e.payloadOf(op)
-				decoded = err == nil
-			}
-			if err == nil {
-				err = a.Apply(op, entities)
-			}
-			if err != nil {
-				// The agent stops advancing (it resumes from its recorded
-				// LSN next CatchUp) but other agents keep replaying —
-				// stores degrade independently, never inconsistently.
-				stopped[i] = true
-				if firstErr == nil {
-					firstErr = fmt.Errorf("graphengine: agent %s at lsn %d: %w", a.Name(), op.LSN, err)
+	ops := e.Log.Read(min, 0)
+	var (
+		stopped  = make([]bool, len(agents))
+		agentErr = make([]error, len(agents))
+		errLSN   = make([]uint64, len(agents))
+	)
+	payloads := make([][]*triple.Entity, catchupChunk)
+	decodeErr := make([]error, catchupChunk)
+	for lo := 0; lo < len(ops); lo += catchupChunk {
+		hi := lo + catchupChunk
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		chunk := ops[lo:hi]
+		// Decode each staged payload once for the whole chunk — not once per
+		// agent, which multiplied the decode cost of the publish path by the
+		// agent count. Ops no live agent still needs skip decoding entirely.
+		// Agents replay decoded copies, so sharing the slices is safe.
+		for ci := range chunk {
+			payloads[ci], decodeErr[ci] = nil, nil
+			for i := range agents {
+				if !stopped[i] && from[i] < chunk[ci].LSN {
+					payloads[ci], decodeErr[ci] = e.payloadOf(chunk[ci])
+					break
 				}
+			}
+		}
+		// One goroutine per live agent; each writes only its own index of the
+		// bookkeeping slices, and the decoded chunk is read-only until Wait.
+		var wg sync.WaitGroup
+		for i := range agents {
+			if stopped[i] {
 				continue
 			}
-			e.Metadata.SetLSN(a.Name(), op.LSN)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for ci, op := range chunk {
+					if from[i] >= op.LSN {
+						continue
+					}
+					err := decodeErr[ci]
+					if err == nil {
+						err = agents[i].Apply(op, payloads[ci])
+					}
+					if err != nil {
+						stopped[i] = true
+						agentErr[i] = err
+						errLSN[i] = op.LSN
+						return
+					}
+					e.Metadata.SetLSN(agents[i].Name(), op.LSN)
+					from[i] = op.LSN
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	best := -1
+	for i, err := range agentErr {
+		if err == nil {
+			continue
+		}
+		if best == -1 || errLSN[i] < errLSN[best] {
+			best = i
 		}
 	}
-	return firstErr
+	if best == -1 {
+		return nil
+	}
+	return fmt.Errorf("graphengine: agent %s at lsn %d: %w", agents[best].Name(), errLSN[best], agentErr[best])
 }
 
 func (e *Engine) payloadOf(op oplog.Op) ([]*triple.Entity, error) {

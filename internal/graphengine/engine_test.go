@@ -128,6 +128,133 @@ func TestFailingAgentDoesNotAdvance(t *testing.T) {
 	}
 }
 
+// TestCatchUpParallelOrderAcrossChunks: replay spans several decode chunks;
+// every agent must see every op exactly once, in strict LSN order, no matter
+// how the agent goroutines interleave.
+func TestCatchUpParallelOrderAcrossChunks(t *testing.T) {
+	e := newEngine(t)
+	const ops = catchupChunk*2 + 7
+	type seen struct{ lsns []uint64 }
+	records := make([]*seen, 3)
+	for i := range records {
+		rec := &seen{}
+		records[i] = rec
+		e.RegisterAgent(FuncAgent{
+			AgentName: fmt.Sprintf("recorder%d", i),
+			Fn: func(op oplog.Op, _ []*triple.Entity) error {
+				rec.lsns = append(rec.lsns, op.LSN)
+				return nil
+			},
+		})
+	}
+	for n := 0; n < ops; n++ {
+		if _, err := e.Publish(oplog.OpUpsert, "s", []*triple.Entity{
+			testEntity(fmt.Sprintf("kg:E%d", n), "X"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range records {
+		if len(rec.lsns) != ops {
+			t.Fatalf("agent %d applied %d ops, want %d", i, len(rec.lsns), ops)
+		}
+		for j, lsn := range rec.lsns {
+			if lsn != uint64(j+1) {
+				t.Fatalf("agent %d op %d has lsn %d (out of order)", i, j, lsn)
+			}
+		}
+		if got := e.Metadata.LSN(fmt.Sprintf("recorder%d", i)); got != uint64(ops) {
+			t.Fatalf("agent %d lsn = %d", i, got)
+		}
+	}
+}
+
+// TestCatchUpDeterministicFirstError: with several agents failing at
+// different points, the returned error must be the failure at the lowest LSN
+// (ties broken by registration order) on every schedule — the error the
+// sequential replay reported.
+func TestCatchUpDeterministicFirstError(t *testing.T) {
+	e := newEngine(t)
+	failAt := func(name string, lsn uint64) {
+		e.RegisterAgent(FuncAgent{AgentName: name, Fn: func(op oplog.Op, _ []*triple.Entity) error {
+			if op.LSN == lsn {
+				return fmt.Errorf("%s down", name)
+			}
+			return nil
+		}})
+	}
+	failAt("late-failer", 3)
+	failAt("early-failer", 2)
+	failAt("tied-failer", 2)
+	for n := 0; n < 4; n++ {
+		if _, err := e.Publish(oplog.OpUpsert, "s", []*triple.Entity{
+			testEntity(fmt.Sprintf("kg:E%d", n), "X"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := e.CatchUp()
+	if err == nil {
+		t.Fatal("agent failures swallowed")
+	}
+	want := "graphengine: agent early-failer at lsn 2: early-failer down"
+	if err.Error() != want {
+		t.Fatalf("first error = %q, want %q", err, want)
+	}
+	// Each agent holds exactly at its own failure point.
+	if got := e.Metadata.LSN("late-failer"); got != 2 {
+		t.Fatalf("late-failer lsn = %d", got)
+	}
+	if got := e.Metadata.LSN("early-failer"); got != 1 {
+		t.Fatalf("early-failer lsn = %d", got)
+	}
+}
+
+// TestCatchUpFailedAgentStopsMidChunk: after an agent's first error it must
+// not see the remaining ops of the chunk; it resumes from its recorded LSN —
+// re-attempting the failed op first — on the next CatchUp.
+func TestCatchUpFailedAgentStopsMidChunk(t *testing.T) {
+	e := newEngine(t)
+	var applied []uint64
+	healthy := true
+	e.RegisterAgent(FuncAgent{AgentName: "flaky", Fn: func(op oplog.Op, _ []*triple.Entity) error {
+		if !healthy && op.LSN >= 2 {
+			return fmt.Errorf("store down")
+		}
+		applied = append(applied, op.LSN)
+		return nil
+	}})
+	healthy = false
+	for n := 0; n < 5; n++ {
+		if _, err := e.Publish(oplog.OpUpsert, "s", []*triple.Entity{
+			testEntity(fmt.Sprintf("kg:E%d", n), "X"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.CatchUp(); err == nil {
+		t.Fatal("failure swallowed")
+	}
+	if len(applied) != 1 || applied[0] != 1 {
+		t.Fatalf("applied after failure = %v, want just lsn 1", applied)
+	}
+	healthy = true
+	if err := e.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 5 {
+		t.Fatalf("applied after recovery = %v", applied)
+	}
+	for j, lsn := range applied {
+		if lsn != uint64(j+1) {
+			t.Fatalf("replay out of order: %v", applied)
+		}
+	}
+}
+
 func TestStagingRoundTrip(t *testing.T) {
 	s := NewObjectStore()
 	key, err := s.Stage([]byte("payload"))

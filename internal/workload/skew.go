@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"saga/internal/ingest"
+	"saga/internal/triple"
+)
+
+// SkewSpec generates the hot-key skew workload: a stream of mention-like
+// payload entities whose names are drawn Zipfian from a small universe of
+// celebrity identities, so linking and fusion mass-concentrate into a few hot
+// KG targets. This is the adversarial case for partitioned construction —
+// every hot target lives on one partition, so the partition owning the head
+// of the distribution absorbs most of the fusion work while its siblings
+// idle. The experiments use it to measure how far skew erodes the near-linear
+// scaling the balanced feed workload shows, and to check the exchange
+// protocol keeps the fused result byte-identical anyway.
+type SkewSpec struct {
+	// Name is the source name (namespace, provenance).
+	Name string
+	// Type is the entity type emitted; defaults to "celebrity". All payloads
+	// share it, so under type-hash partitioning the whole stream lands on a
+	// single partition — the worst case the ablation wants.
+	Type string
+	// Universe is the number of distinct celebrity identities; defaults to 8.
+	Universe int
+	// Count is the number of payload entities emitted.
+	Count int
+	// ZipfS is the Zipf exponent over the universe (> 1, head-heavier as it
+	// grows); defaults to 1.6.
+	ZipfS float64
+	// Trust is the source trust prior; defaults to 0.85.
+	Trust float64
+	// Seed drives the draws and the typo noise.
+	Seed int64
+	// RichFacts adds that many multi-valued facts per payload, padding the
+	// per-fusion payload the hot partition must merge.
+	RichFacts int
+}
+
+// Entities generates the payload stream. Payload i gets source-local ID
+// "m<i>" and the name (typo-perturbed at a fixed 15% rate) of the celebrity
+// its Zipf draw selected, so ground truth is known: payloads with equal draws
+// fuse into the same KG entity, and the head of the universe collects most of
+// them.
+func (s SkewSpec) Entities() []*triple.Entity {
+	rng := rand.New(rand.NewSource(s.Seed))
+	universe := s.Universe
+	if universe <= 0 {
+		universe = 8
+	}
+	zipfS := s.ZipfS
+	if zipfS == 0 {
+		zipfS = 1.6
+	}
+	typ := s.Type
+	if typ == "" {
+		typ = "celebrity"
+	}
+	trust := s.Trust
+	if trust == 0 {
+		trust = 0.85
+	}
+	z := NewZipf(rng, zipfS, universe)
+	out := make([]*triple.Entity, 0, s.Count)
+	for i := 0; i < s.Count; i++ {
+		u := z.Draw()
+		name := PersonName(u)
+		if rng.Float64() < 0.15 {
+			name = typoName(name, rng)
+		}
+		e := triple.NewEntity(triple.EntityID(fmt.Sprintf("%s:m%d", s.Name, i)))
+		add := func(p string, v triple.Value) { e.Add(triple.New("", p, v).WithSource(s.Name, trust)) }
+		add(triple.PredType, triple.String(typ))
+		add(triple.PredSourceID, triple.String(fmt.Sprintf("m%d", i)))
+		add(triple.PredName, triple.String(name))
+		for _, a := range AliasesOf(PersonName(u)) {
+			add(triple.PredAlias, triple.String(a))
+		}
+		add("popularity", triple.Float(1/float64(u+1)))
+		for f := 0; f < s.RichFacts; f++ {
+			add("appearance", triple.String(fmt.Sprintf("%s sighting %d", s.Name, (i+f)%17)))
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Delta wraps the payload stream as an Added-only delta.
+func (s SkewSpec) Delta() ingest.Delta {
+	return ingest.Delta{Source: s.Name, Added: s.Entities()}
+}
