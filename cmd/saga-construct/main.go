@@ -20,7 +20,7 @@ func main() {
 	sources := flag.Int("sources", 4, "number of synthetic sources")
 	perSource := flag.Int("entities", 200, "entities per source")
 	overlap := flag.Int("overlap", 100, "universe overlap between consecutive sources")
-	oplogPath := flag.String("oplog", "", "durable operation log path (empty = memory)")
+	durDir := flag.String("durable", "", "durability directory for the memory backend (oplog + staging + checkpoints; empty = volatile)")
 	backend := flag.String("backend", "", "storage backend (memory, disk; empty = memory)")
 	dataDir := flag.String("data", "", "data directory for a durable backend (required with -backend=disk)")
 	workers := flag.Int("workers", 0, "intra-delta construction workers (0 = GOMAXPROCS, 1 = sequential)")
@@ -30,7 +30,16 @@ func main() {
 	partitions := flag.Int("partitions", 1, "partition construction across N type-hash-routed pipeline instances (1 = single pipeline)")
 	flag.Parse()
 
-	p, err := core.New(core.Options{OplogPath: *oplogPath, Backend: *backend, DataDir: *dataDir, Workers: *workers, FullScanLinking: *fullScan, PerEntityFusion: *perEntity, Partitions: *partitions})
+	p, err := core.Open(core.Options{
+		Storage: core.StorageOptions{Backend: *backend, DataDir: *dataDir},
+		Construction: core.ConstructionOptions{
+			Workers:         *workers,
+			FullScanLinking: *fullScan,
+			PerEntityFusion: *perEntity,
+			Partitions:      *partitions,
+		},
+		Durability: core.DurabilityOptions{Dir: *durDir},
+	})
 	if err != nil {
 		log.Fatalf("saga-construct: %v", err)
 	}

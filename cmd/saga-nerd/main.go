@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	p, err := core.New(core.Options{})
+	p, err := core.Open(core.Options{})
 	if err != nil {
 		log.Fatalf("saga-nerd: %v", err)
 	}

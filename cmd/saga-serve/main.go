@@ -17,16 +17,17 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	oplogPath := flag.String("oplog", "", "durable operation log path (empty = memory)")
+	durDir := flag.String("durable", "", "durability directory for the memory backend (oplog + staging + checkpoints; empty = volatile)")
 	backend := flag.String("backend", "", "storage backend (memory, disk; empty = memory)")
 	dataDir := flag.String("data", "", "data directory for a durable backend (required with -backend=disk)")
 	replicas := flag.Int("replicas", 1, "live serving replicas (reads route across them)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request handling timeout")
 	flag.Parse()
 
-	p, err := core.New(core.Options{
-		OplogPath: *oplogPath, Backend: *backend, DataDir: *dataDir,
-		LiveReplicas: *replicas,
+	p, err := core.Open(core.Options{
+		Storage:    core.StorageOptions{Backend: *backend, DataDir: *dataDir},
+		Durability: core.DurabilityOptions{Dir: *durDir},
+		Serving:    core.ServingOptions{LiveReplicas: *replicas},
 	})
 	if err != nil {
 		log.Fatalf("saga-serve: %v", err)

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	platform, err := core.New(core.Options{})
+	platform, err := core.Open(core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

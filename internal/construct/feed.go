@@ -65,6 +65,12 @@ type FeedBatch struct {
 	Stats []SourceStats
 	// Payload carries OnCommit-to-Publish state through the publish queue.
 	Payload any
+	// Barrier marks a batch injected by Feed.Barrier: it carries no deltas
+	// and commits nothing, but takes a turn through both ordered stages like
+	// any other batch. OnCommit and Publish see it in sequence position, so a
+	// barrier's Payload captures commit-loop state strictly between two real
+	// batches (the platform's checkpoint marker rides one of these).
+	Barrier bool
 }
 
 // FeedOptions configures a standing feed.
@@ -253,6 +259,32 @@ func (f *Feed) Submit(deltas []ingest.Delta) <-chan BatchResult {
 	return res
 }
 
+// Barrier injects a delta-less batch that flows through both ordered stages
+// without committing anything: it deliberately bypasses Submit's empty-batch
+// fast path so that OnCommit runs for it on the commit loop (after every
+// earlier batch's commits, before every later batch's) and the publish stage
+// receives it at its sequence position. The payload seeds FeedBatch.Payload
+// for those hooks. Like Submit, Barrier blocks while the commit queue is
+// full and resolves with ErrFeedClosed after Close.
+func (f *Feed) Barrier(payload any) <-chan BatchResult {
+	res := make(chan BatchResult, 1)
+	f.submitMu.Lock()
+	defer f.submitMu.Unlock()
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		res <- BatchResult{Err: ErrFeedClosed}
+		return res
+	}
+	f.seq++
+	seq := f.seq
+	f.stats.Submitted++
+	f.lastQueued = seq
+	f.mu.Unlock()
+	f.commitQ <- &feedItem{batch: &FeedBatch{Seq: seq, Barrier: true, Payload: payload}, result: res}
+	return res
+}
+
 // commitLoop is the standing commit loop: one batch at a time, in submission
 // order. Batch N+1's snapshot and compute begin the moment this loop hands
 // batch N to the publish queue — i.e. right after N's last commit (and its
@@ -271,7 +303,9 @@ func (f *Feed) commitLoop() {
 // (no cross-delta pipelining to set up), and every error — necessarily a
 // commit failure — arrives typed as *BatchError.
 func (f *Feed) runBatch(item *feedItem) {
-	item.batch.Stats, item.err = f.p.consumeValidated(item.batch.Deltas)
+	if !item.batch.Barrier {
+		item.batch.Stats, item.err = f.p.consumeValidated(item.batch.Deltas)
+	}
 	if f.opts.OnCommit != nil {
 		// Even after a mid-batch error: the committed prefix's effects are
 		// in the KG and must reach the publish stage.

@@ -49,6 +49,30 @@ func (kg *KG) Unlink(src triple.EntityID) bool {
 	return ok
 }
 
+// LinksSnapshot returns a copy of the full link index. The platform embeds
+// it in checkpoints: links are construction metadata the entity payloads
+// cannot reproduce, so recovery restores them explicitly.
+func (kg *KG) LinksSnapshot() map[triple.EntityID]triple.EntityID {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	out := make(map[triple.EntityID]triple.EntityID, len(kg.links))
+	for src, id := range kg.links {
+		out[src] = id
+	}
+	return out
+}
+
+// RestoreLinks replaces the link index wholesale (copying the input). Only
+// recovery may call it, before the pipeline starts consuming.
+func (kg *KG) RestoreLinks(links map[triple.EntityID]triple.EntityID) {
+	kg.mu.Lock()
+	defer kg.mu.Unlock()
+	kg.links = make(map[triple.EntityID]triple.EntityID, len(links))
+	for src, id := range links {
+		kg.links[src] = id
+	}
+}
+
 // LinkCount returns the number of recorded source links.
 func (kg *KG) LinkCount() int {
 	kg.mu.RLock()

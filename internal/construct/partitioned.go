@@ -372,6 +372,7 @@ func (pp *PartitionedPipeline) commitDelta(pd *preparedDelta, b *WorkerBudget) (
 		for src, kgID := range outcome.Assignment {
 			assignment[src] = kgID
 			pp.KG.Link(src, kgID)
+			stats.addLink(src, kgID)
 		}
 		stats.LinkedAdds += len(tr.src)
 		stats.NewEntities += outcome.NewEntities
@@ -420,6 +421,7 @@ func (pp *PartitionedPipeline) commitDelta(pd *preparedDelta, b *WorkerBudget) (
 			stub.Add(triple.New(id, triple.PredName, triple.String(ref.mention)).WithSource(d.Source, 0.5))
 			pp.KG.Graph.Put(stub)
 			pp.KG.Link(ref.target, id)
+			stats.addLink(ref.target, id)
 			stubs[ref.target] = id
 			stubIDs = append(stubIDs, id)
 		}
@@ -548,6 +550,7 @@ func (pp *PartitionedPipeline) commitDelta(pd *preparedDelta, b *WorkerBudget) (
 			touched[dl.kgID] = true
 		}
 		pp.KG.Unlink(dl.src)
+		stats.addUnlink(dl.src)
 		stats.Deleted++
 	}
 	// written snapshots the ids this commit actually wrote; the volatile

@@ -209,6 +209,29 @@ type SourceStats struct {
 	// the operation log.
 	Touched []triple.EntityID
 	Removed []triple.EntityID
+
+	// Links records the link-table entries this delta settled (source entity
+	// ID → canonical KG entity ID) and Unlinks the entries it removed. The
+	// link table is construction metadata the entity payloads cannot
+	// reproduce, so the publisher rides these deltas on log ops (conflated
+	// per source ID like entity state) and recovery replays them.
+	Links   map[triple.EntityID]triple.EntityID
+	Unlinks []triple.EntityID
+}
+
+// addLink records a settled link delta.
+func (s *SourceStats) addLink(src, kgID triple.EntityID) {
+	if s.Links == nil {
+		s.Links = make(map[triple.EntityID]triple.EntityID)
+	}
+	s.Links[src] = kgID
+}
+
+// addUnlink records a removed link delta (superseding any link this delta
+// settled for the same source ID).
+func (s *SourceStats) addUnlink(src triple.EntityID) {
+	delete(s.Links, src)
+	s.Unlinks = append(s.Unlinks, src)
 }
 
 func (s SourceStats) String() string {
@@ -424,6 +447,7 @@ func (p *Pipeline) commitDelta(pd *preparedDelta, b *WorkerBudget) (SourceStats,
 		for src, kgID := range outcome.Assignment {
 			assignment[src] = kgID
 			p.KG.Link(src, kgID)
+			stats.addLink(src, kgID)
 		}
 		stats.LinkedAdds += len(tr.src)
 		stats.NewEntities += outcome.NewEntities
@@ -463,6 +487,7 @@ func (p *Pipeline) commitDelta(pd *preparedDelta, b *WorkerBudget) (SourceStats,
 			stub.Add(triple.New(id, triple.PredName, triple.String(ref.mention)).WithSource(d.Source, 0.5))
 			p.KG.Graph.Put(stub)
 			p.KG.Link(ref.target, id)
+			stats.addLink(ref.target, id)
 			stubs[ref.target] = id
 			stubIDs = append(stubIDs, id)
 		}
@@ -567,6 +592,7 @@ func (p *Pipeline) commitDelta(pd *preparedDelta, b *WorkerBudget) (SourceStats,
 			touched[dl.kgID] = true
 		}
 		p.KG.Unlink(dl.src)
+		stats.addUnlink(dl.src)
 		stats.Deleted++
 	}
 	// Volatile partition overwrite runs after the stable payloads fused.

@@ -26,10 +26,10 @@ var testBackend = flag.String("backend", "", "storage backend for platform tests
 func newTestPlatform(t testing.TB, opts Options) *Platform {
 	t.Helper()
 	if *testBackend != "" {
-		opts.Backend = *testBackend
-		opts.DataDir = t.TempDir()
+		opts.Storage.Backend = *testBackend
+		opts.Storage.DataDir = t.TempDir()
 	}
-	p, err := New(opts)
+	p, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,12 +92,12 @@ func TestBackendsByteIdentical(t *testing.T) {
 	batches = append(batches, []ingest.Delta{{Source: "src", Volatile: churn.Entities()}})
 
 	run := func(backend string) backendState {
-		opts := Options{Workers: 2}
+		opts := Options{Construction: ConstructionOptions{Workers: 2}}
 		if backend != "" {
-			opts.Backend = backend
-			opts.DataDir = t.TempDir()
+			opts.Storage.Backend = backend
+			opts.Storage.DataDir = t.TempDir()
 		}
-		p, err := New(opts)
+		p, err := Open(opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func TestBackendsByteIdentical(t *testing.T) {
 // and replaying the log must rebuild the same replica.
 func TestDiskBackendRecovery(t *testing.T) {
 	dir := t.TempDir()
-	p, err := New(Options{Backend: "disk", DataDir: dir})
+	p, err := Open(Options{Storage: StorageOptions{Backend: "disk", DataDir: dir}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestDiskBackendRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	re, err := New(Options{Backend: "disk", DataDir: dir})
+	re, err := Open(Options{Storage: StorageOptions{Backend: "disk", DataDir: dir}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,14 +51,14 @@ func platformBatches(rounds, sources, count int) [][]ingest.Delta {
 func TestPlatformFeedMatchesSerialConsumeDeltas(t *testing.T) {
 	batches := platformBatches(4, 3, 10)
 
-	serial := newTestPlatform(t, Options{Workers: 3})
+	serial := newTestPlatform(t, Options{Construction: ConstructionOptions{Workers: 3}})
 	for _, b := range batches {
 		if _, err := serial.ConsumeDeltas(b); err != nil {
 			t.Fatal(err)
 		}
 	}
 
-	fed := newTestPlatform(t, Options{Workers: 3})
+	fed := newTestPlatform(t, Options{Construction: ConstructionOptions{Workers: 3}})
 	f, err := fed.Feed(FeedOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +96,7 @@ func TestPlatformFeedMatchesSerialConsumeDeltas(t *testing.T) {
 // TestFeedDrainBeforeServing: RefreshServing and Checkpoint must observe
 // every batch submitted before them, without the caller waiting on results.
 func TestFeedDrainBeforeServing(t *testing.T) {
-	p := newTestPlatform(t, Options{Workers: 2})
+	p := newTestPlatform(t, Options{Construction: ConstructionOptions{Workers: 2}})
 	seen := 0
 	if err := p.ViewCatalog.Register(views.Definition{
 		Name:   "count-view",
@@ -143,7 +143,7 @@ func TestFeedDrainBeforeServing(t *testing.T) {
 // the failed delta's effects must re-sync from the KG at the next publish
 // point — RefreshServing and the agents never stay diverged.
 func TestConsumeDeltasPublishFailureHeals(t *testing.T) {
-	p := newTestPlatform(t, Options{Workers: 2})
+	p := newTestPlatform(t, Options{Construction: ConstructionOptions{Workers: 2}})
 	failErr := errors.New("injected publish failure")
 	p.publishHook = func(source string) error {
 		if source == "src01" {
@@ -181,7 +181,7 @@ func TestConsumeDeltasPublishFailureHeals(t *testing.T) {
 // commit and publish, and the failed batch's effects heal at the next
 // publish point.
 func TestFeedPublishFailureHealsLaterBatchesCommit(t *testing.T) {
-	p := newTestPlatform(t, Options{Workers: 2})
+	p := newTestPlatform(t, Options{Construction: ConstructionOptions{Workers: 2}})
 	failErr := errors.New("injected publish failure")
 	p.publishHook = func(source string) error {
 		if source == "src01" {
@@ -232,7 +232,7 @@ func TestFeedPublishFailureHealsLaterBatchesCommit(t *testing.T) {
 // ordered publisher stays the engine's single producer — and the sync call
 // still returns fully published, caught-up state.
 func TestSyncConsumeRoutesThroughOpenFeed(t *testing.T) {
-	p := newTestPlatform(t, Options{Workers: 2})
+	p := newTestPlatform(t, Options{Construction: ConstructionOptions{Workers: 2}})
 	f, err := p.Feed(FeedOptions{})
 	if err != nil {
 		t.Fatal(err)

@@ -111,7 +111,7 @@ func servingStateOf(t *testing.T, p *Platform) servingState {
 func TestPartitionedPlatformSyncConsumeIdentity(t *testing.T) {
 	batches := partitionedStream(6, 3, 8)
 	run := func(partitions int) (servingState, uint64) {
-		p := newTestPlatform(t, Options{Workers: 2, Partitions: partitions})
+		p := newTestPlatform(t, Options{Construction: ConstructionOptions{Workers: 2, Partitions: partitions}})
 		for _, b := range batches {
 			if _, err := p.ConsumeDeltas(b); err != nil {
 				t.Fatal(err)
@@ -141,7 +141,7 @@ func TestPartitionedPlatformFeedIdentity(t *testing.T) {
 	batches := partitionedStream(8, 3, 8)
 	run := func(partitions int) servingState {
 		p := newTestPlatform(t, Options{
-			Workers: 2, Partitions: partitions, ExchangeInterval: 3,
+			Construction: ConstructionOptions{Workers: 2, Partitions: partitions, ExchangeInterval: 3},
 		})
 		f, err := p.Feed(FeedOptions{Queue: 2, PublishQueue: 1})
 		if err != nil {
@@ -188,7 +188,7 @@ func TestPartitionedPlatformFeedIdentity(t *testing.T) {
 // batches. Run with -race; the assertions are liveness plus a fully
 // exchanged, fully published final state.
 func TestPartitionedFeedConcurrentServingReaders(t *testing.T) {
-	p := newTestPlatform(t, Options{Workers: 2, Partitions: 3, ExchangeInterval: 2})
+	p := newTestPlatform(t, Options{Construction: ConstructionOptions{Workers: 2, Partitions: 3, ExchangeInterval: 2}})
 	batches := partitionedStream(8, 3, 8)
 	f, err := p.Feed(FeedOptions{Queue: 2, PublishQueue: 1})
 	if err != nil {
@@ -250,7 +250,7 @@ func TestPartitionedFeedConcurrentServingReaders(t *testing.T) {
 // partitioned pipeline's per-partition KG caches transactional with direct
 // graph writes, and conflict draining must route to the coordinator.
 func TestPartitionedCurationAndConflicts(t *testing.T) {
-	p := newTestPlatform(t, Options{Workers: 2, Partitions: 2})
+	p := newTestPlatform(t, Options{Construction: ConstructionOptions{Workers: 2, Partitions: 2}})
 	if _, err := p.ConsumeDelta(workload.SourceSpec{Name: "s", Count: 4, Seed: 5}.Delta()); err != nil {
 		t.Fatal(err)
 	}

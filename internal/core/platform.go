@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -24,30 +25,28 @@ import (
 	"saga/internal/ontology"
 	"saga/internal/oplog"
 	"saga/internal/storage"
-	_ "saga/internal/storage/disk" // register the disk backend
+	"saga/internal/storage/disk"
 	"saga/internal/store/entitystore"
 	"saga/internal/store/textindex"
 	"saga/internal/triple"
 	"saga/internal/views"
 )
 
-// Options configures a platform.
-type Options struct {
-	// Ontology defaults to ontology.Default().
-	Ontology *ontology.Ontology
-	// OplogPath makes the operation log durable; empty keeps it in memory.
-	// With a non-memory Backend the path overrides the backend's default log
-	// location under DataDir.
-	OplogPath string
+// StorageOptions selects the storage backend for the platform's serving
+// stores (entity KV, text postings, record log, staging blobs).
+type StorageOptions struct {
 	// Backend names the storage backend ("memory", "disk", or any backend
 	// registered with the storage package); empty means memory. The memory
-	// backend keeps the platform's historical behavior exactly: volatile
-	// stores, with only the oplog (and a directory staging store alongside
-	// it) made durable when OplogPath is set.
+	// backend keeps volatile stores; durability for the log, staging store,
+	// and checkpoints can still be layered on via DurabilityOptions.Dir.
 	Backend string
 	// DataDir roots a durable backend's files. Required for non-memory
 	// backends; ignored by memory.
 	DataDir string
+}
+
+// ConstructionOptions tunes the KG construction pipeline.
+type ConstructionOptions struct {
 	// LinkParams tunes the construction linking stage.
 	LinkParams construct.LinkParams
 	// Workers bounds the construction pipeline's intra-delta parallelism
@@ -65,10 +64,6 @@ type Options struct {
 	// and fuses payload entities one graph round-trip at a time, the
 	// pre-batching reference path kept as the ablation baseline.
 	PerEntityFusion bool
-	// LiveReplicas sets the live serving replica count (§4): writes
-	// replicate to every replica, reads route across them with health,
-	// version, and load awareness. 0 or 1 means a single replica.
-	LiveReplicas int
 	// Partitions shards construction across N concurrently fusing pipeline
 	// partitions over one shared KG (entity types hash to an owner
 	// partition; cross-partition volatile traffic exchanges at batch
@@ -83,9 +78,73 @@ type Options struct {
 	ExchangeInterval int
 }
 
+// DurabilityOptions configures crash recovery: where durable log/checkpoint
+// state lives when the store backend itself is volatile, and the cadence of
+// checkpoints and log compaction.
+type DurabilityOptions struct {
+	// Dir, with the memory backend, roots a durable operation log (segmented,
+	// under Dir/oplog), staging store (Dir/staging), and checkpoint files
+	// (Dir/checkpoints) while the serving stores stay volatile — the hybrid
+	// deployment where only replayable state survives a restart. Durable
+	// backends keep all of these under Storage.DataDir and ignore Dir.
+	Dir string
+	// CheckpointEvery takes a durable checkpoint every N published feed
+	// batches, on the feed's ordered publisher (so a checkpoint is one more
+	// publish unit and never stalls the commit loop). 0 disables periodic
+	// checkpoints; explicit Checkpoint calls still work.
+	CheckpointEvery int
+	// CompactAfter triggers background log compaction once the prefix at or
+	// below the compaction floor (the penultimate checkpoint watermark)
+	// holds at least this many ops. 0 disables automatic compaction;
+	// explicit Compact calls still work.
+	CompactAfter int
+}
+
+// ServingOptions configures the live serving tier.
+type ServingOptions struct {
+	// LiveReplicas sets the live serving replica count (§4): writes
+	// replicate to every replica, reads route across them with health,
+	// version, and load awareness. 0 or 1 means a single replica.
+	LiveReplicas int
+}
+
+// Options configures a platform, grouped by subsystem.
+type Options struct {
+	// Ontology defaults to ontology.Default().
+	Ontology *ontology.Ontology
+	// Storage selects the store backend.
+	Storage StorageOptions
+	// Construction tunes the construction pipeline.
+	Construction ConstructionOptions
+	// Feed sets the default queue depths for feeds opened with Platform.Feed
+	// (per-call FeedOptions override them).
+	Feed FeedOptions
+	// Durability configures crash recovery, checkpoints, and log compaction.
+	Durability DurabilityOptions
+	// Serving configures the live serving tier.
+	Serving ServingOptions
+}
+
 // DefaultExchangeInterval is the default partitioned-mode exchange cadence,
 // in feed batches.
 const DefaultExchangeInterval = 8
+
+// withDefaults resolves zero values to their documented defaults.
+func (o Options) withDefaults() Options {
+	if o.Ontology == nil {
+		o.Ontology = ontology.Default()
+	}
+	if o.Construction.ExchangeInterval <= 0 {
+		o.Construction.ExchangeInterval = DefaultExchangeInterval
+	}
+	if o.Feed.Queue <= 0 {
+		o.Feed.Queue = construct.DefaultFeedQueue
+	}
+	if o.Feed.PublishQueue <= 0 {
+		o.Feed.PublishQueue = construct.DefaultFeedPublishQueue
+	}
+	return o
+}
 
 // Platform is the assembled knowledge platform.
 type Platform struct {
@@ -120,6 +179,10 @@ type Platform struct {
 	// NERD is built on demand by BuildNERD.
 	NERD *nerd.NERD
 
+	// Checkpoints is the durable checkpoint store; nil when the platform has
+	// no durable checkpoint target (volatile backend without Durability.Dir).
+	Checkpoints storage.Checkpointer
+
 	snapshots map[string]ingest.Snapshot
 
 	// feedMu guards the standing feed slot; at most one feed is open at a
@@ -146,54 +209,103 @@ type Platform struct {
 	// publishes at once; drain forces a final exchange.
 	pubMu         sync.Mutex
 	pubCarry      map[triple.EntityID]string // entity -> last-writing source
+	linkCarry     map[triple.EntityID]bool   // link-table keys with unpublished changes
 	pubBatches    int                        // published batches since the last exchange
 	exchangeEvery int
+
+	// feedDefaults are the Options.Feed queue depths, applied when a Feed
+	// call leaves its own FeedOptions zero.
+	feedDefaults FeedOptions
+
+	// linkReplica is the log-derived link table: a FuncAgent replays every
+	// op's Links/Unlinks into it, so after a CatchUp it is exactly the link
+	// state at the agents' LSN — the consistent capture checkpoints embed.
+	linkMu      sync.Mutex
+	linkReplica map[triple.EntityID]triple.EntityID
+
+	// Durability state (guarded by durMu). prevCkptLSN is the penultimate
+	// durable checkpoint watermark — the compaction floor: the log prefix at
+	// or below it may be rewritten, because every retained checkpoint is at
+	// least that fresh and recovery never replays below its checkpoint.
+	durMu        sync.Mutex
+	durStats     DurabilityStats
+	prevCkptLSN  uint64
+	ckptEvery    int
+	compactAfter int
+	ckptBatches  int // published feed batches since the last periodic checkpoint
+
+	// Background compactor. compactRunMu serializes compaction runs (the
+	// goroutine and explicit Compact calls); compactMu guards the trigger
+	// channel against send-on-closed during shutdown.
+	compactRunMu   sync.Mutex
+	compactMu      sync.Mutex
+	compactTrig    chan uint64
+	compactStopped bool
+	compactDone    chan struct{}
 }
 
-// pendingPublish records a failed publish: the source and the KG entities
-// whose store state may be stale. A retry publishes the entities' *current*
-// KG state (upsert if present, delete if gone), which is convergent no
-// matter how many later commits touched them in between.
+// pendingPublish records a failed publish: the source, the KG entities whose
+// store state may be stale, and the link-table keys whose log record was
+// lost. A retry publishes the entities' *current* KG state (upsert if
+// present, delete if gone) and re-resolves each link key through KG.Lookup,
+// which is convergent no matter how many later commits touched them in
+// between.
 type pendingPublish struct {
-	source string
-	ids    []triple.EntityID
+	source   string
+	ids      []triple.EntityID
+	linkSrcs []triple.EntityID
 }
 
-// New assembles a platform.
-func New(opts Options) (*Platform, error) {
-	ont := opts.Ontology
-	if ont == nil {
-		ont = ontology.Default()
-	}
+// Open assembles a platform and recovers its state: with durable storage it
+// restores the construction KG and every serving store from the latest
+// checkpoint and replays only the operation-log suffix past the checkpoint's
+// watermark (agent-parallel), so cold-start time tracks the suffix length,
+// not the log's age. A platform with no durable state opens empty. Close the
+// platform when done; recovery is Open's job alone — nothing else replays
+// the log implicitly.
+func Open(opts Options) (*Platform, error) {
+	opts = opts.withDefaults()
 	var (
 		log     *oplog.Log
 		staging graphengine.ObjectStore
 		estore  *entitystore.Store
 		tindex  *textindex.Index
+		ckpts   storage.Checkpointer
 		err     error
 	)
-	if opts.Backend == "" || opts.Backend == storage.DefaultBackend {
-		// The platform's historical configuration: volatile in-memory stores,
-		// with the oplog (plus a directory staging store alongside it) made
-		// durable when OplogPath is set.
-		log, err = oplog.Open(opts.OplogPath)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		staging = graphengine.NewObjectStore()
-		if opts.OplogPath != "" {
-			staging, err = graphengine.NewDirObjectStore(opts.OplogPath + ".staging")
+	if opts.Storage.Backend == "" || opts.Storage.Backend == storage.DefaultBackend {
+		// The hybrid configuration: volatile in-memory stores, with the
+		// oplog, staging store, and checkpoints made durable under
+		// Durability.Dir when set. The stores rebuild from checkpoint + log
+		// suffix at Open.
+		if dir := opts.Durability.Dir; dir != "" {
+			rec, err := disk.OpenRecordLog(filepath.Join(dir, "oplog"), 0)
 			if err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
+			log, err = oplog.OpenStore(rec)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			staging, err = graphengine.NewDirObjectStore(filepath.Join(dir, "staging"))
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			ckpts, err = disk.OpenCheckpoints(filepath.Join(dir, "checkpoints"))
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		} else {
+			log = oplog.NewVolatile()
+			staging = graphengine.NewObjectStore()
 		}
 		estore = entitystore.New()
 		tindex = textindex.New()
 	} else {
-		if opts.DataDir == "" {
-			return nil, fmt.Errorf("core: backend %q needs Options.DataDir", opts.Backend)
+		if opts.Storage.DataDir == "" {
+			return nil, fmt.Errorf("core: backend %q needs Storage.DataDir", opts.Storage.Backend)
 		}
-		h, err := storage.Resolve(opts.Backend, storage.Options{Dir: opts.DataDir, Path: opts.OplogPath, Partitions: opts.Partitions})
+		h, err := storage.Resolve(opts.Storage.Backend, storage.Options{Dir: opts.Storage.DataDir, Partitions: opts.Construction.Partitions})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -219,9 +331,13 @@ func New(opts Options) (*Platform, error) {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		tindex = textindex.NewWith(postings)
+		ckpts, err = h.Checkpoints()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 	p := &Platform{
-		Ont:          ont,
+		Ont:          opts.Ontology,
 		KG:           construct.NewKG(),
 		Engine:       graphengine.NewWithStaging(log, staging),
 		EntityStore:  estore,
@@ -229,36 +345,48 @@ func New(opts Options) (*Platform, error) {
 		GraphReplica: triple.NewGraph(),
 		ViewCatalog:  views.NewCatalog(),
 		Curation:     live.NewQueue(),
+		Checkpoints:  ckpts,
 		snapshots:    make(map[string]ingest.Snapshot),
 	}
-	if opts.Partitions > 1 {
-		pp := construct.NewPartitionedPipeline(p.KG, ont, opts.Partitions)
-		pp.Link = opts.LinkParams
-		pp.Workers = opts.Workers
-		pp.PerEntityFusion = opts.PerEntityFusion
-		if !opts.FullScanLinking {
+	p.linkReplica = make(map[triple.EntityID]triple.EntityID)
+	p.Engine.RegisterAgent(graphengine.EntityStoreAgent{Store: p.EntityStore})
+	p.Engine.RegisterAgent(graphengine.TextIndexAgent{Index: p.TextIndex})
+	p.Engine.RegisterAgent(graphengine.GraphAgent{Graph: p.GraphReplica})
+	p.Engine.RegisterAgent(graphengine.FuncAgent{AgentName: "link-table", Fn: p.applyLinkOp})
+
+	// Recover before building the pipelines: the block index eagerly indexes
+	// the KG at pipeline construction, so the KG must hold its restored state
+	// first.
+	if err = p.recover(); err != nil {
+		return nil, err
+	}
+
+	if opts.Construction.Partitions > 1 {
+		pp := construct.NewPartitionedPipeline(p.KG, opts.Ontology, opts.Construction.Partitions)
+		pp.Link = opts.Construction.LinkParams
+		pp.Workers = opts.Construction.Workers
+		pp.PerEntityFusion = opts.Construction.PerEntityFusion
+		if !opts.Construction.FullScanLinking {
 			pp.EnableBlockIndex()
 		}
 		p.Partitioned = pp
 	} else {
-		p.Pipeline = construct.NewPipeline(p.KG, ont)
-		p.Pipeline.Link = opts.LinkParams
-		p.Pipeline.Workers = opts.Workers
-		p.Pipeline.PerEntityFusion = opts.PerEntityFusion
-		if !opts.FullScanLinking {
+		p.Pipeline = construct.NewPipeline(p.KG, opts.Ontology)
+		p.Pipeline.Link = opts.Construction.LinkParams
+		p.Pipeline.Workers = opts.Construction.Workers
+		p.Pipeline.PerEntityFusion = opts.Construction.PerEntityFusion
+		if !opts.Construction.FullScanLinking {
 			p.Pipeline.EnableBlockIndex()
 		}
 	}
-	p.exchangeEvery = opts.ExchangeInterval
-	if p.exchangeEvery <= 0 {
-		p.exchangeEvery = DefaultExchangeInterval
-	}
+	p.exchangeEvery = opts.Construction.ExchangeInterval
 	p.pubCarry = make(map[triple.EntityID]string)
+	p.linkCarry = make(map[triple.EntityID]bool)
+	p.feedDefaults = opts.Feed
+	p.ckptEvery = opts.Durability.CheckpointEvery
+	p.compactAfter = opts.Durability.CompactAfter
 	p.ViewManager = views.NewManager(p.ViewCatalog)
-	p.Engine.RegisterAgent(graphengine.EntityStoreAgent{Store: p.EntityStore})
-	p.Engine.RegisterAgent(graphengine.TextIndexAgent{Index: p.TextIndex})
-	p.Engine.RegisterAgent(graphengine.GraphAgent{Graph: p.GraphReplica})
-	replicas := opts.LiveReplicas
+	replicas := opts.Serving.LiveReplicas
 	if replicas < 1 {
 		replicas = 1
 	}
@@ -267,6 +395,10 @@ func New(opts Options) (*Platform, error) {
 	p.LiveConstructor = &live.Constructor{Store: p.Replicas}
 	p.LiveEngine = kgq.NewEngine(p.Live)
 	p.Intents = live.NewIntentHandler(p.Live, nil)
+
+	p.compactTrig = make(chan uint64, 1)
+	p.compactDone = make(chan struct{})
+	go p.compactorLoop() //saga:longlived stopped by Close before the stores shut
 	return p, nil
 }
 
@@ -395,10 +527,11 @@ func (p *Platform) ConsumeDeltas(deltas []ingest.Delta) ([]construct.SourceStats
 }
 
 // publishStats ships one commit's effects (upserts of its touched entities,
-// deletes of its removed ones) into the engine, without catching agents up;
-// callers batch one CatchUp per consume call.
+// deletes of its removed ones, plus its link-table deltas) into the engine,
+// without catching agents up; callers batch one CatchUp per consume call.
 func (p *Platform) publishStats(stats construct.SourceStats) error {
-	if len(stats.Touched) == 0 && len(stats.Removed) == 0 {
+	linkSrcs := linkKeysOf(stats)
+	if len(stats.Touched) == 0 && len(stats.Removed) == 0 && len(linkSrcs) == 0 {
 		return nil
 	}
 	payload := make([]*triple.Entity, 0, len(stats.Touched))
@@ -410,23 +543,68 @@ func (p *Platform) publishStats(stats construct.SourceStats) error {
 			payload = append(payload, e)
 		}
 	}
-	return p.publishRaw(stats.Source, payload, stats.Removed)
+	return p.publishRaw(stats.Source, payload, stats.Removed, linkSrcs)
 }
 
-// publishRaw is the platform's single gate onto Engine.Publish. On failure it
-// queues the affected entity IDs for retry, so a transient engine error never
-// leaves the stores permanently behind the KG: the next publish point
+// linkKeysOf collects a commit's settled link-table keys (linked and
+// unlinked), sorted for deterministic op encoding.
+func linkKeysOf(stats construct.SourceStats) []triple.EntityID {
+	if len(stats.Links) == 0 && len(stats.Unlinks) == 0 {
+		return nil
+	}
+	keys := make([]triple.EntityID, 0, len(stats.Links)+len(stats.Unlinks))
+	for src := range stats.Links {
+		keys = append(keys, src)
+	}
+	keys = append(keys, stats.Unlinks...)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// resolveLinks splits link-table keys into their current state: keys still
+// linked (with their target) and keys gone. Resolution happens at publish
+// time — like entity carry state — so retries and conflated groups always
+// ship the table's latest truth, which is convergent however publishes and
+// commits interleave.
+func (p *Platform) resolveLinks(srcs []triple.EntityID) (links map[triple.EntityID]triple.EntityID, unlinks []triple.EntityID) {
+	for _, src := range srcs {
+		if tgt, ok := p.KG.Lookup(src); ok {
+			if links == nil {
+				links = make(map[triple.EntityID]triple.EntityID)
+			}
+			links[src] = tgt
+		} else {
+			unlinks = append(unlinks, src)
+		}
+	}
+	return links, unlinks
+}
+
+// publishRaw is the platform's single gate onto the engine's publish path.
+// Link deltas ride the ops: the log is the only durable record of the
+// construction link table (entity payloads cannot reproduce it), so recovery
+// replays Links/Unlinks alongside the payloads. On failure it queues the
+// affected entity IDs and link keys for retry, so a transient engine error
+// never leaves the stores permanently behind the KG: the next publish point
 // re-syncs them from the KG's then-current state.
-func (p *Platform) publishRaw(source string, upserts []*triple.Entity, removed []triple.EntityID) error {
+func (p *Platform) publishRaw(source string, upserts []*triple.Entity, removed []triple.EntityID, linkSrcs []triple.EntityID) error {
 	var err error
 	if p.publishHook != nil {
 		err = p.publishHook(source)
 	}
+	links, unlinks := p.resolveLinks(linkSrcs)
 	if err == nil && len(upserts) > 0 {
-		_, err = p.Engine.Publish(oplog.OpUpsert, source, upserts)
+		_, err = p.Engine.PublishOp(oplog.Op{Kind: oplog.OpUpsert, Source: source, Links: links, Unlinks: unlinks}, upserts)
+		links, unlinks = nil, nil // attached; don't repeat on the delete op
 	}
 	if err == nil && len(removed) > 0 {
-		_, err = p.Engine.PublishDelete(source, removed)
+		_, err = p.Engine.PublishOp(oplog.Op{Kind: oplog.OpDelete, Source: source, EntityIDs: removed, Links: links, Unlinks: unlinks}, nil)
+		links, unlinks = nil, nil
+	}
+	if err == nil && (len(links) > 0 || len(unlinks) > 0) {
+		// Links-only op: the commit settled link-table entries without any
+		// unpublished entity state (or the entity ops conflated away).
+		_, err = p.Engine.PublishOp(oplog.Op{Kind: oplog.OpUpsert, Source: source, Links: links, Unlinks: unlinks}, nil)
 	}
 	if err != nil {
 		ids := make([]triple.EntityID, 0, len(upserts)+len(removed))
@@ -435,7 +613,7 @@ func (p *Platform) publishRaw(source string, upserts []*triple.Entity, removed [
 		}
 		ids = append(ids, removed...)
 		p.pendingMu.Lock()
-		p.pending = append(p.pending, pendingPublish{source: source, ids: ids})
+		p.pending = append(p.pending, pendingPublish{source: source, ids: ids, linkSrcs: linkSrcs})
 		p.pendingMu.Unlock()
 	}
 	return err
@@ -462,7 +640,7 @@ func (p *Platform) flushPending() error {
 				removed = append(removed, id)
 			}
 		}
-		if err := p.publishRaw(pp.source, upserts, removed); err != nil && firstErr == nil {
+		if err := p.publishRaw(pp.source, upserts, removed, pp.linkSrcs); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -500,6 +678,12 @@ type FeedOptions struct {
 // curation decisions so hot-fix publishes cannot interleave with captured
 // batch publishes.
 func (p *Platform) Feed(opts FeedOptions) (*construct.Feed, error) {
+	if opts.Queue <= 0 {
+		opts.Queue = p.feedDefaults.Queue
+	}
+	if opts.PublishQueue <= 0 {
+		opts.PublishQueue = p.feedDefaults.PublishQueue
+	}
 	p.feedMu.Lock()
 	defer p.feedMu.Unlock()
 	if p.feed != nil && !p.feed.Terminated() {
@@ -543,20 +727,27 @@ func (p *Platform) Feed(opts FeedOptions) (*construct.Feed, error) {
 // that the synchronous path would have, no matter how far construction has
 // advanced by the time the publish runs.
 type capturedOp struct {
-	source  string
-	upserts []*triple.Entity
-	removed []triple.EntityID
+	source   string
+	upserts  []*triple.Entity
+	removed  []triple.EntityID
+	linkSrcs []triple.EntityID
 }
 
 // captureFeedBatch is the feed's OnCommit hook (commit loop, ordered).
 func (p *Platform) captureFeedBatch(b *construct.FeedBatch) {
+	if b.Barrier {
+		// Barrier batches commit nothing; their payload is the injector's
+		// (e.g. a checkpoint request riding the ordered queue).
+		return
+	}
 	ops := make([]capturedOp, 0, len(b.Stats))
 	for i := range b.Stats {
 		st := &b.Stats[i]
-		if len(st.Touched) == 0 && len(st.Removed) == 0 {
+		linkSrcs := linkKeysOf(*st)
+		if len(st.Touched) == 0 && len(st.Removed) == 0 && len(linkSrcs) == 0 {
 			continue
 		}
-		op := capturedOp{source: st.Source, removed: st.Removed}
+		op := capturedOp{source: st.Source, removed: st.Removed, linkSrcs: linkSrcs}
 		for _, id := range st.Touched {
 			if e := p.KG.Graph.GetShared(id); e != nil {
 				op.upserts = append(op.upserts, e)
@@ -597,7 +788,16 @@ func (p *Platform) publishFeedGroup(group []*construct.FeedBatch) error {
 		e      *triple.Entity // nil means delete
 	}
 	var evs []event
+	linkBySrc := make(map[string]map[triple.EntityID]bool)
+	published, wantCkpt := 0, false
 	for _, b := range group {
+		if b.Barrier {
+			if _, ok := b.Payload.(checkpointRequest); ok {
+				wantCkpt = true
+			}
+			continue
+		}
+		published++
 		ops, _ := b.Payload.([]capturedOp)
 		for _, op := range ops {
 			for _, e := range op.upserts {
@@ -606,18 +806,44 @@ func (p *Platform) publishFeedGroup(group []*construct.FeedBatch) error {
 			for _, id := range op.removed {
 				evs = append(evs, event{source: op.source, id: id})
 			}
+			for _, src := range op.linkSrcs {
+				set := linkBySrc[op.source]
+				if set == nil {
+					set = make(map[triple.EntityID]bool)
+					linkBySrc[op.source] = set
+				}
+				set[src] = true
+			}
 		}
 	}
 	last := make(map[triple.EntityID]int, len(evs))
 	for i, ev := range evs {
 		last[ev.id] = i
 	}
+	// takeLinks hands a source its conflated link-table keys, once: the keys
+	// ride the source's first published op of the group (resolution happens at
+	// publish time against the fully committed KG, so where in the group they
+	// resolve cannot change the outcome).
+	takeLinks := func(source string) []triple.EntityID {
+		set := linkBySrc[source]
+		if len(set) == 0 {
+			delete(linkBySrc, source)
+			return nil
+		}
+		delete(linkBySrc, source)
+		srcs := make([]triple.EntityID, 0, len(set))
+		for src := range set {
+			srcs = append(srcs, src)
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+		return srcs
+	}
 	var firstErr error
 	flush := func(source string, upserts []*triple.Entity, removed []triple.EntityID) {
 		if len(upserts) == 0 && len(removed) == 0 {
 			return
 		}
-		if err := p.publishRaw(source, upserts, removed); err != nil && firstErr == nil {
+		if err := p.publishRaw(source, upserts, removed, takeLinks(source)); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -641,7 +867,24 @@ func (p *Platform) publishFeedGroup(group []*construct.FeedBatch) error {
 		}
 	}
 	flush(runSource, runUpserts, runRemoved)
+	// A source whose entity events all conflated away still owes its link
+	// deltas: they ride a links-only op, one per source, in source order.
+	if len(linkBySrc) > 0 {
+		rest := make([]string, 0, len(linkBySrc))
+		for source := range linkBySrc {
+			rest = append(rest, source)
+		}
+		sort.Strings(rest)
+		for _, source := range rest {
+			if err := p.publishRaw(source, nil, nil, takeLinks(source)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
 	if err := p.Engine.CatchUp(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := p.maybeCheckpoint(published, wantCkpt); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr
@@ -657,8 +900,15 @@ func (p *Platform) publishFeedGroup(group []*construct.FeedBatch) error {
 // one graph write, one log op, and one replay instead of one per batch.
 func (p *Platform) publishPartitionedGroup(group []*construct.FeedBatch) error {
 	p.pubMu.Lock()
-	defer p.pubMu.Unlock()
+	published, wantCkpt := 0, false
 	for _, b := range group {
+		if b.Barrier {
+			if _, ok := b.Payload.(checkpointRequest); ok {
+				wantCkpt = true
+			}
+			continue
+		}
+		published++
 		for i := range b.Stats {
 			st := &b.Stats[i]
 			for _, id := range st.Touched {
@@ -667,15 +917,29 @@ func (p *Platform) publishPartitionedGroup(group []*construct.FeedBatch) error {
 			for _, id := range st.Removed {
 				p.pubCarry[id] = st.Source
 			}
+			for src := range st.Links {
+				p.linkCarry[src] = true
+			}
+			for _, src := range st.Unlinks {
+				p.linkCarry[src] = true
+			}
 		}
 	}
-	p.pubBatches += len(group)
-	exchange := p.pubBatches >= p.exchangeEvery
+	p.pubBatches += published
+	// A checkpoint turn forces a full exchange first: the snapshot then
+	// covers the deferred volatile backlog and the whole carry set, so the
+	// checkpoint is a true batch-boundary state.
+	exchange := p.pubBatches >= p.exchangeEvery || wantCkpt
 	if exchange {
 		p.Partitioned.FlushVolatile()
 		p.pubBatches = 0
 	}
-	return p.publishCarryLocked(!exchange)
+	firstErr := p.publishCarryLocked(!exchange)
+	p.pubMu.Unlock()
+	if err := p.maybeCheckpoint(published, wantCkpt); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // publishCarryLocked publishes carried entities at their current KG state
@@ -703,7 +967,7 @@ func (p *Platform) publishCarryLocked(skipPending bool) error {
 		if len(runUpserts) == 0 && len(runRemoved) == 0 {
 			return
 		}
-		if err := p.publishRaw(runSource, runUpserts, runRemoved); err != nil && firstErr == nil {
+		if err := p.publishRaw(runSource, runUpserts, runRemoved, nil); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -721,6 +985,20 @@ func (p *Platform) publishCarryLocked(skipPending bool) error {
 		delete(p.pubCarry, id)
 	}
 	flush()
+	// Carried link-table deltas publish with every carry round (links settle
+	// at commit, so publish-time resolution is already final; deferral would
+	// only delay recovery's view of the table).
+	if len(p.linkCarry) > 0 {
+		srcs := make([]triple.EntityID, 0, len(p.linkCarry))
+		for src := range p.linkCarry {
+			srcs = append(srcs, src)
+			delete(p.linkCarry, src)
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+		if err := p.publishRaw("construction", nil, nil, srcs); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	if err := p.Engine.CatchUp(); err != nil && firstErr == nil {
 		firstErr = err
 	}
@@ -773,11 +1051,15 @@ func (p *Platform) drainFeed() {
 	p.finalExchange()
 }
 
-// Close shuts the platform down: an open standing feed is closed and its
-// backlog published, then the operation log, staging store, entity store,
-// and text index release their storage backends (for durable backends that
-// also syncs and closes their files). Close is not safe concurrently with
-// other platform calls; the platform is unusable afterwards.
+// Close shuts the platform down, in dependency order: the standing feed (if
+// open) is closed and its backlog published, deferred partitioned state is
+// settled, the background compactor is stopped and waited for, and only then
+// do the operation log, staging store, checkpoint store, entity store, and
+// text index release their storage backends (for durable backends that also
+// syncs and closes their files) — so no compaction or publish can race a
+// closing store, and a clean Close leaves no deferred exchanges or orphaned
+// segments behind. Close is not safe concurrently with other platform calls;
+// the platform is unusable afterwards. Reopen with Open to recover.
 func (p *Platform) Close() error {
 	p.feedMu.Lock()
 	f := p.feed
@@ -790,6 +1072,12 @@ func (p *Platform) Close() error {
 	}
 	// Settle any deferred partitioned state before the log closes.
 	p.finalExchange()
+	p.stopCompactor()
+	if p.Checkpoints != nil {
+		if err := p.Checkpoints.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	if err := p.Engine.Log.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
@@ -805,21 +1093,16 @@ func (p *Platform) Close() error {
 	return firstErr
 }
 
-// Checkpoint publishes a construction checkpoint and materializes all
+// Checkpoint publishes a construction checkpoint — durably snapshotting the
+// KG when the platform has a checkpoint store — and materializes all
 // registered views over a consistent snapshot of the graph replica. The
 // snapshot is copy-on-write (O(shards), not O(|KG|)), so a view refresh on a
-// large graph neither pays a deep copy nor stalls concurrent commits. An open
-// standing feed is drained first — the checkpoint covers every batch
-// submitted before this call.
+// large graph neither pays a deep copy nor stalls concurrent commits. With a
+// standing feed open the checkpoint rides the feed's ordered publisher (a
+// barrier turn), covering every batch submitted before this call without
+// stalling the commit loop.
 func (p *Platform) Checkpoint() (views.RunStats, error) {
-	p.drainFeed()
-	if err := p.flushPending(); err != nil {
-		return views.RunStats{}, err
-	}
-	if _, err := p.Engine.Publish(oplog.OpCheckpoint, "construction", nil); err != nil {
-		return views.RunStats{}, err
-	}
-	if err := p.Engine.CatchUp(); err != nil {
+	if err := p.checkpointNow(); err != nil {
 		return views.RunStats{}, err
 	}
 	names := p.ViewCatalog.Names()
@@ -828,6 +1111,30 @@ func (p *Platform) Checkpoint() (views.RunStats, error) {
 	}
 	ctx := views.NewContext(p.GraphReplica.Snapshot())
 	return p.ViewManager.Materialize(ctx, names...)
+}
+
+// checkpointRequest is the barrier payload that asks the feed's publisher
+// for a checkpoint at the barrier's ordered turn.
+type checkpointRequest struct{}
+
+// checkpointNow takes one checkpoint: through the open feed's ordered
+// publisher when there is one, directly otherwise.
+func (p *Platform) checkpointNow() error {
+	if f := p.openFeed(); f != nil {
+		res := <-f.Barrier(checkpointRequest{})
+		if !errors.Is(res.Err, construct.ErrFeedClosed) {
+			return res.Err
+		}
+		// Closed between openFeed and Barrier: settle its backlog, then
+		// checkpoint directly.
+		f.Drain()
+	}
+	p.drainFeed() // also settles deferred partitioned state
+	if err := p.flushPending(); err != nil {
+		return err
+	}
+	_, err := p.runCheckpoint()
+	return err
 }
 
 // RefreshServing pushes the stable KG into the live store (the stable view

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -199,7 +200,7 @@ func TestCurationFlowsToStableKG(t *testing.T) {
 
 func TestDurableOplogRecovery(t *testing.T) {
 	dir := t.TempDir()
-	p, err := New(Options{OplogPath: dir + "/ops.log"})
+	p, err := Open(Options{Durability: DurabilityOptions{Dir: dir}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,22 +208,25 @@ func TestDurableOplogRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	lsn := p.Engine.Log.LastLSN()
-	if err := p.Engine.Log.Close(); err != nil {
+	want := p.GraphReplica.Triples()
+	if err := p.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// A fresh platform over the same log replays to the same state.
-	p2, err := New(Options{OplogPath: dir + "/ops.log"})
+	// A fresh platform over the same durability dir recovers to the same
+	// state at Open — replay is Open's job, not the caller's.
+	p2, err := Open(Options{Durability: DurabilityOptions{Dir: dir}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p2.Close()
 	if got := p2.Engine.Log.LastLSN(); got != lsn {
 		t.Fatalf("recovered lsn = %d, want %d", got, lsn)
 	}
-	if err := p2.Engine.CatchUp(); err != nil {
-		t.Fatal(err)
+	if !reflect.DeepEqual(p2.GraphReplica.Triples(), want) {
+		t.Fatal("replica after recovery differs from pre-close replica")
 	}
-	if p2.GraphReplica.Len() == 0 {
-		t.Fatal("replica empty after replay")
+	if p2.KG.Graph.Len() == 0 {
+		t.Fatal("construction KG empty after recovery")
 	}
 }
 

@@ -359,3 +359,22 @@ func TestVolatileOverwriteShape(t *testing.T) {
 		t.Fatalf("volatile overwrite speedup %.1fx too small", res.Speedup)
 	}
 }
+
+func TestRecoveryColdStartShape(t *testing.T) {
+	res, err := RecoveryColdStart(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("checkpoint recovery diverged from full log replay of the same tree")
+	}
+	if res.Entities == 0 {
+		t.Fatal("recovered an empty KG")
+	}
+	if res.YoungMS <= 0 || res.OldMS <= 0 || res.ReplayMS <= 0 {
+		t.Fatalf("timings missing: %+v", res)
+	}
+	// The flatness ratio is asserted only in BenchmarkRecoveryColdStart
+	// (the CI bench job), not here — a timing gate in the plain/race test
+	// jobs would flake on loaded runners with no code change.
+}

@@ -113,7 +113,10 @@ func StandingFeed(workers int) (StandingFeedResult, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		p, err := core.New(core.Options{OplogPath: dir + "/ops.log", Workers: workers})
+		p, err := core.Open(core.Options{
+			Construction: core.ConstructionOptions{Workers: workers},
+			Durability:   core.DurabilityOptions{Dir: dir},
+		})
 		if err != nil {
 			os.RemoveAll(dir)
 			return nil, "", err

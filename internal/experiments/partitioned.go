@@ -101,9 +101,11 @@ func PartitionedIngest(workers int) (PartitionedIngestResult, error) {
 			return 0, nil, nil, err
 		}
 		cleanup := func() { os.RemoveAll(dir) }
-		p, err := core.New(core.Options{
-			OplogPath: dir + "/ops.log", Workers: workers, Partitions: parts,
-			ExchangeInterval: 12,
+		p, err := core.Open(core.Options{
+			Construction: core.ConstructionOptions{
+				Workers: workers, Partitions: parts, ExchangeInterval: 12,
+			},
+			Durability: core.DurabilityOptions{Dir: dir},
 		})
 		if err != nil {
 			cleanup()
@@ -257,7 +259,9 @@ func HotKeySkew(workers int) (HotKeySkewResult, error) {
 	batches := hotKeyBatches(rounds, sources, count, universe)
 
 	run := func(parts int) (float64, *core.Platform, error) {
-		p, err := core.New(core.Options{Workers: workers, Partitions: parts})
+		p, err := core.Open(core.Options{
+			Construction: core.ConstructionOptions{Workers: workers, Partitions: parts},
+		})
 		if err != nil {
 			return 0, nil, err
 		}

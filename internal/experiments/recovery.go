@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"saga/internal/core"
+	"saga/internal/triple"
+)
+
+// RecoveryColdStartResult is the bounded-cold-start experiment: the same
+// update-heavy stream ingested into two durable platforms, one young (N
+// batches) and one aged 10x (10N batches), both checkpointing on the same
+// cadence. Because recovery restores the latest checkpoint and replays only
+// the log suffix past it — and the suffix length is set by the checkpoint
+// cadence, not the log's age — cold-start time must stay ~flat while the log
+// ages 10x. The full-replay timing of the aged log (checkpoints deleted) is
+// the comparator recovery would degrade to without checkpoints.
+type RecoveryColdStartResult struct {
+	YoungBatches int // batches in the young log
+	OldBatches   int // batches in the aged log (10x)
+	Sources      int // type-disjoint sources per batch
+	Count        int // entities per source per batch
+
+	YoungMS  float64 // checkpointed cold start over the young log, min over reps
+	OldMS    float64 // checkpointed cold start over the aged log, min over reps
+	ReplayMS float64 // full replay of the aged log with checkpoints deleted
+
+	// FlatX is OldMS / YoungMS: ~1 when cold start is bounded by the
+	// checkpoint suffix, ~10 if it tracked log age.
+	FlatX float64
+	// ReplaySlowdownX is ReplayMS / OldMS: what the aged cold start would
+	// cost without its checkpoint.
+	ReplaySlowdownX float64
+
+	// Identical reports that recovery from the checkpoint and full replay of
+	// the same aged log reconstruct byte-identical KG, replica, and links.
+	Identical bool
+	// Entities is the recovered entity count of the aged platform.
+	Entities int
+}
+
+// String renders the experiment.
+func (r RecoveryColdStartResult) String() string {
+	return fmt.Sprintf("Recovery cold start: %d vs %d batches (x%d sources x%d entities); young=%.1fms, aged=%.1fms (%.2fx, ~flat), full replay=%.1fms (%.2fx slower); %d entities, identical=%v\n",
+		r.YoungBatches, r.OldBatches, r.Sources, r.Count,
+		r.YoungMS, r.OldMS, r.FlatX, r.ReplayMS, r.ReplaySlowdownX, r.Entities, r.Identical)
+}
+
+// recoveredState flattens what recovery must reconstruct into comparable form.
+type recoveredState struct {
+	KG       []triple.Triple
+	Replica  []triple.Triple
+	Links    map[triple.EntityID]triple.EntityID
+	LastLSN  uint64
+	Entities int
+}
+
+// RecoveryColdStart runs the bounded-cold-start experiment. workers sizes the
+// construction pipelines; 0 means GOMAXPROCS.
+func RecoveryColdStart(workers int) (RecoveryColdStartResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// ckptEvery sets the maximum suffix recovery replays; both logs end on
+	// the same cadence so their suffixes match and only the prefix ages.
+	const youngRounds, ageFactor, sources, count, richFacts, ckptEvery, reps = 4, 10, 3, 30, 4, 4, 3
+	res := RecoveryColdStartResult{
+		YoungBatches: youngRounds, OldBatches: youngRounds * ageFactor,
+		Sources: sources, Count: count,
+	}
+
+	// build ingests rounds batches with a checkpoint every ckptEvery batches
+	// and leaves the durable tree behind. Compaction stays off: the aged
+	// log's full history is exactly what the no-checkpoint comparator pays.
+	build := func(rounds int) (string, error) {
+		dir, err := os.MkdirTemp("", "saga-recovery-*")
+		if err != nil {
+			return "", err
+		}
+		p, err := core.Open(core.Options{
+			Construction: core.ConstructionOptions{Workers: workers},
+			Durability:   core.DurabilityOptions{Dir: dir},
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return "", err
+		}
+		for i, b := range standingFeedBatches(rounds, sources, count, richFacts) {
+			if _, err := p.ConsumeDeltas(b); err != nil {
+				p.Close()
+				os.RemoveAll(dir)
+				return "", err
+			}
+			if (i+1)%ckptEvery == 0 {
+				if _, err := p.Checkpoint(); err != nil {
+					p.Close()
+					os.RemoveAll(dir)
+					return "", err
+				}
+			}
+		}
+		if err := p.Close(); err != nil {
+			os.RemoveAll(dir)
+			return "", err
+		}
+		return dir, nil
+	}
+
+	// coldStart times Open over the tree (recovery is Open's job) and
+	// captures the recovered state from the last rep.
+	coldStart := func(dir string) (float64, recoveredState, error) {
+		var (
+			best float64
+			st   recoveredState
+		)
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			p, err := core.Open(core.Options{
+				Construction: core.ConstructionOptions{Workers: workers},
+				Durability:   core.DurabilityOptions{Dir: dir},
+			})
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if err != nil {
+				return 0, st, err
+			}
+			if best == 0 || ms < best {
+				best = ms
+			}
+			st = recoveredState{
+				KG:       p.KG.Graph.Triples(),
+				Replica:  p.GraphReplica.Triples(),
+				Links:    p.KG.LinksSnapshot(),
+				LastLSN:  p.Engine.Log.LastLSN(),
+				Entities: p.KG.Graph.Len(),
+			}
+			if err := p.Close(); err != nil {
+				return 0, st, err
+			}
+		}
+		return best, st, nil
+	}
+
+	youngDir, err := build(youngRounds)
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(youngDir)
+	oldDir, err := build(youngRounds * ageFactor)
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(oldDir)
+
+	if res.YoungMS, _, err = coldStart(youngDir); err != nil {
+		return res, err
+	}
+	var fromCkpt recoveredState
+	if res.OldMS, fromCkpt, err = coldStart(oldDir); err != nil {
+		return res, err
+	}
+	// Delete the aged log's checkpoints: cold start degrades to full replay.
+	if err := os.RemoveAll(oldDir + "/checkpoints"); err != nil {
+		return res, err
+	}
+	var fromLog recoveredState
+	if res.ReplayMS, fromLog, err = coldStart(oldDir); err != nil {
+		return res, err
+	}
+
+	res.FlatX = res.OldMS / res.YoungMS
+	res.ReplaySlowdownX = res.ReplayMS / res.OldMS
+	res.Identical = reflect.DeepEqual(fromCkpt, fromLog)
+	res.Entities = fromCkpt.Entities
+	return res, nil
+}

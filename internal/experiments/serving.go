@@ -75,7 +75,7 @@ func ServeUnderIngest(requests, clients int) (ServeUnderIngestResult, error) {
 	const replicas = 3
 	res := ServeUnderIngestResult{Requests: requests, Clients: clients, Replicas: replicas}
 
-	p, err := core.New(core.Options{LiveReplicas: replicas})
+	p, err := core.Open(core.Options{Serving: core.ServingOptions{LiveReplicas: replicas}})
 	if err != nil {
 		return res, err
 	}

@@ -80,13 +80,16 @@ func StorageBackends(workers int) (StorageBackendsResult, error) {
 		if err != nil {
 			return 0, nil, "", err
 		}
-		opts := core.Options{Workers: workers, Backend: backend}
-		if backend == "" {
-			opts.OplogPath = dir + "/ops.log" // historical durable-memory config
-		} else {
-			opts.DataDir = dir
+		opts := core.Options{
+			Storage:      core.StorageOptions{Backend: backend},
+			Construction: core.ConstructionOptions{Workers: workers},
 		}
-		p, err := core.New(opts)
+		if backend == "" {
+			opts.Durability.Dir = dir // hybrid durable-memory config
+		} else {
+			opts.Storage.DataDir = dir
+		}
+		p, err := core.Open(opts)
 		if err != nil {
 			os.RemoveAll(dir)
 			return 0, nil, "", err
@@ -155,7 +158,10 @@ func StorageBackends(workers int) (StorageBackendsResult, error) {
 			// come back identical.
 			want := diskP.GraphReplica.Triples()
 			diskP.Close()
-			re, err := core.New(core.Options{Workers: workers, Backend: "disk", DataDir: diskDir})
+			re, err := core.Open(core.Options{
+				Storage:      core.StorageOptions{Backend: "disk", DataDir: diskDir},
+				Construction: core.ConstructionOptions{Workers: workers},
+			})
 			if err != nil {
 				memP.Close()
 				os.RemoveAll(memDir)

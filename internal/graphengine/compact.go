@@ -1,0 +1,183 @@
+package graphengine
+
+import (
+	"fmt"
+
+	"saga/internal/oplog"
+	"saga/internal/triple"
+)
+
+// CompactStats reports what one log compaction did. The json tags keep it
+// consistent with the rest of the /v1/admin envelope, which embeds it.
+type CompactStats struct {
+	// Watermark is the LSN the compaction conflated through.
+	Watermark uint64 `json:"watermark"`
+	// OpsBefore and OpsAfter count prefix ops (LSN <= Watermark) before and
+	// after the rewrite.
+	OpsBefore int `json:"ops_before"`
+	OpsAfter  int `json:"ops_after"`
+	// EntitiesKept is the number of entities whose final captured state
+	// survived into the rewritten prefix; Tombstoned is the number elided
+	// because their final prefix op was a delete.
+	EntitiesKept int `json:"entities_kept"`
+	Tombstoned   int `json:"tombstoned"`
+	// LinksKept and LinksElided count link-table entries likewise.
+	LinksKept   int `json:"links_kept"`
+	LinksElided int `json:"links_elided"`
+}
+
+// CompactThrough rewrites the log prefix at or below watermark w to each
+// entity's final captured state: per-entity conflation (the same
+// last-writer-wins rule the feed publisher applies within a publish group,
+// extended across the whole prefix), tombstone elision (an entity whose
+// final prefix op is a delete vanishes entirely — replay from genesis never
+// learns it existed), and link-table conflation per source ID. Checkpoint
+// marker ops are dropped (recovery reads watermarks from the checkpoint
+// store, not the log).
+//
+// Surviving state is grouped under the op that last touched it, preserving
+// that op's LSN, Source, and Time — so the rewritten log is a subsequence of
+// the original LSN sequence and every consumer that indexes by LSN value
+// keeps working. Rewritten payload ops are always OpUpsert: a replayed final
+// state is an upsert regardless of how it was originally produced, and
+// upsert is the one kind every agent applies (partition overwrites, for
+// example, deliberately skip the text index).
+//
+// Replay equivalence: replaying the rewritten prefix from genesis produces
+// exactly the per-store state the original prefix produced, because every
+// store's apply rules are last-writer-wins per entity (and per link key).
+//
+// Concurrency: the swap itself is atomic under the log's lock. CompactThrough
+// must only be called when every registered agent has replayed to at least w
+// (the platform compacts at checkpoint watermarks, which follow a CatchUp),
+// so no concurrent replay ever needs a pre-rewrite prefix op or its staged
+// payload. It does NOT hold the CatchUp lock: compaction of cold prefix and
+// replay of fresh suffix proceed in parallel.
+//
+// Crash windows: new payloads are staged before the swap and old payloads
+// deleted after it, so a crash leaves orphaned staging blobs (harmless:
+// nothing references them) but never a log op whose payload is missing.
+func (e *Engine) CompactThrough(w uint64) (CompactStats, error) {
+	stats := CompactStats{Watermark: w}
+	ops := e.Log.OpsThrough(w)
+	stats.OpsBefore = len(ops)
+	if len(ops) == 0 {
+		return stats, nil
+	}
+
+	// Pass 1: final state per entity and per link key, with the index of the
+	// op that settled it.
+	type entFinal struct {
+		idx int
+		ent *triple.Entity // nil: final op was a delete (tombstone)
+	}
+	type linkFinal struct {
+		idx    int
+		target triple.EntityID
+		dead   bool
+	}
+	final := make(map[triple.EntityID]entFinal)
+	links := make(map[triple.EntityID]linkFinal)
+	for i, op := range ops {
+		switch op.Kind {
+		case oplog.OpUpsert, oplog.OpOverwritePartition, oplog.OpCuration:
+			entities, err := e.payloadOf(op)
+			if err != nil {
+				return stats, fmt.Errorf("graphengine: compact lsn %d: %w", op.LSN, err)
+			}
+			for _, ent := range entities {
+				final[ent.ID] = entFinal{idx: i, ent: ent}
+			}
+		case oplog.OpDelete:
+			for _, id := range op.EntityIDs {
+				final[id] = entFinal{idx: i}
+			}
+		}
+		for src, tgt := range op.Links {
+			links[src] = linkFinal{idx: i, target: tgt}
+		}
+		for _, src := range op.Unlinks {
+			links[src] = linkFinal{idx: i, dead: true}
+		}
+	}
+	linksByOp := make(map[int]map[triple.EntityID]triple.EntityID)
+	for src, lf := range links {
+		if lf.dead {
+			stats.LinksElided++
+			continue
+		}
+		stats.LinksKept++
+		m := linksByOp[lf.idx]
+		if m == nil {
+			m = make(map[triple.EntityID]triple.EntityID)
+			linksByOp[lf.idx] = m
+		}
+		m[src] = lf.target
+	}
+
+	// Pass 2: regroup survivors under their final-touch op, preserving that
+	// op's within-op entity order.
+	var rewritten []oplog.Op
+	var newKeys []string
+	abort := func(err error) (CompactStats, error) {
+		for _, key := range newKeys {
+			e.Staging.Delete(key) //saga:errok — unreferenced blob, best effort
+		}
+		return stats, err
+	}
+	for i, op := range ops {
+		var keep []*triple.Entity
+		seen := make(map[triple.EntityID]bool)
+		for _, id := range op.EntityIDs {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if ef, ok := final[id]; ok && ef.idx == i && ef.ent != nil {
+				keep = append(keep, ef.ent)
+			}
+		}
+		opLinks := linksByOp[i]
+		if len(keep) == 0 && len(opLinks) == 0 {
+			continue
+		}
+		nop := oplog.Op{LSN: op.LSN, Kind: oplog.OpUpsert, Source: op.Source, Time: op.Time, Links: opLinks}
+		if len(keep) > 0 {
+			payload, err := encodeEntities(keep)
+			if err != nil {
+				return abort(fmt.Errorf("graphengine: encode compacted payload at lsn %d: %w", op.LSN, err))
+			}
+			key, err := e.Staging.Stage(payload)
+			if err != nil {
+				return abort(fmt.Errorf("graphengine: stage compacted payload at lsn %d: %w", op.LSN, err))
+			}
+			newKeys = append(newKeys, key)
+			nop.StagingKey = key
+			for _, ent := range keep {
+				nop.EntityIDs = append(nop.EntityIDs, ent.ID)
+			}
+		}
+		rewritten = append(rewritten, nop)
+	}
+	for _, ef := range final {
+		if ef.ent != nil {
+			stats.EntitiesKept++
+		} else {
+			stats.Tombstoned++
+		}
+	}
+
+	if err := e.Log.ReplaceRange(w, rewritten); err != nil {
+		return abort(fmt.Errorf("graphengine: swap compacted prefix: %w", err))
+	}
+	stats.OpsAfter = len(rewritten)
+
+	// Old payloads are unreferenced now; delete them (retention, not
+	// correctness — a crash here only leaks blobs).
+	for _, op := range ops {
+		if op.StagingKey != "" {
+			e.Staging.Delete(op.StagingKey) //saga:errok — retention only
+		}
+	}
+	return stats, nil
+}

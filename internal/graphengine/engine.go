@@ -155,7 +155,14 @@ func (e *Engine) Agents() []string {
 // construction publishes upserts, deletes, partition overwrites, curation
 // fixes, and checkpoints through it.
 func (e *Engine) Publish(kind oplog.OpKind, source string, entities []*triple.Entity) (uint64, error) {
-	op := oplog.Op{Kind: kind, Source: source}
+	return e.PublishOp(oplog.Op{Kind: kind, Source: source}, entities)
+}
+
+// PublishOp stages the entity payload for a caller-built operation (which
+// may already carry link deltas or other metadata), appends it to the log,
+// and returns the assigned LSN. The op's StagingKey, EntityIDs, LSN, and
+// Time are filled here; everything else passes through.
+func (e *Engine) PublishOp(op oplog.Op, entities []*triple.Entity) (uint64, error) {
 	if len(entities) > 0 {
 		payload, err := encodeEntities(entities)
 		if err != nil {
@@ -166,6 +173,7 @@ func (e *Engine) Publish(kind oplog.OpKind, source string, entities []*triple.En
 			return 0, fmt.Errorf("graphengine: stage payload: %w", err)
 		}
 		op.StagingKey = key
+		op.EntityIDs = op.EntityIDs[:0]
 		for _, ent := range entities {
 			op.EntityIDs = append(op.EntityIDs, ent.ID)
 		}
@@ -304,6 +312,63 @@ func (e *Engine) payloadOf(op oplog.Op) ([]*triple.Entity, error) {
 		return nil, fmt.Errorf("staged payload %s missing", op.StagingKey)
 	}
 	return decodeEntities(payload)
+}
+
+// Replay streams every op with LSN > after to fn, decoding each staged
+// payload once. Recovery uses it to re-apply the log suffix past a
+// checkpoint watermark into the construction KG (agents replay separately,
+// through CatchUp).
+func (e *Engine) Replay(after uint64, fn func(op oplog.Op, entities []*triple.Entity) error) error {
+	for _, op := range e.Log.Read(after, 0) {
+		entities, err := e.payloadOf(op)
+		if err != nil {
+			return fmt.Errorf("graphengine: replay lsn %d: %w", op.LSN, err)
+		}
+		if err := fn(op, entities); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore primes every registered agent with checkpoint state instead of a
+// from-zero replay: each agent applies the restored entities as synthetic
+// upserts (chunked like CatchUp), deletes any stale keys (entities a durable
+// store retains that the checkpoint does not — e.g. a delete op at or below
+// the watermark that the store had not yet applied when the process died),
+// and has its LSN pinned to the watermark so the next CatchUp replays only
+// the suffix. Callers invoke Restore once, after registering agents and
+// before the first CatchUp.
+func (e *Engine) Restore(w uint64, entities []*triple.Entity, stale []triple.EntityID) error {
+	e.catchupMu.Lock()
+	defer e.catchupMu.Unlock()
+	e.mu.RLock()
+	agents := append([]Agent(nil), e.agents...)
+	e.mu.RUnlock()
+	for _, a := range agents {
+		for lo := 0; lo < len(entities); lo += catchupChunk {
+			hi := lo + catchupChunk
+			if hi > len(entities) {
+				hi = len(entities)
+			}
+			chunk := entities[lo:hi]
+			op := oplog.Op{LSN: w, Kind: oplog.OpUpsert, Source: "recovery"}
+			for _, ent := range chunk {
+				op.EntityIDs = append(op.EntityIDs, ent.ID)
+			}
+			if err := a.Apply(op, chunk); err != nil {
+				return fmt.Errorf("graphengine: restore agent %s: %w", a.Name(), err)
+			}
+		}
+		if len(stale) > 0 {
+			op := oplog.Op{LSN: w, Kind: oplog.OpDelete, Source: "recovery", EntityIDs: stale}
+			if err := a.Apply(op, nil); err != nil {
+				return fmt.Errorf("graphengine: restore agent %s: %w", a.Name(), err)
+			}
+		}
+		e.Metadata.SetLSN(a.Name(), w)
+	}
+	return nil
 }
 
 // Freshness reports how many operations an agent is behind the log head.

@@ -18,11 +18,7 @@ func testEntity(id, name string) *triple.Entity {
 
 func newEngine(t *testing.T) *Engine {
 	t.Helper()
-	log, err := oplog.Open("")
-	if err != nil {
-		t.Fatal(err)
-	}
-	return New(log)
+	return New(oplog.NewVolatile())
 }
 
 func TestPublishAndCatchUp(t *testing.T) {

@@ -7,21 +7,28 @@
 // (LSNs) are the distributed synchronization primitive: an agent's replayed
 // LSN tells consumers how fresh that store is.
 //
+// LSNs are monotonically increasing but — since log compaction landed — not
+// dense: compaction conflates a prefix of the log to per-entity final states
+// and elides tombstoned entities entirely, so surviving ops keep their
+// original LSNs with gaps where conflated-away ops used to be. Every
+// consumer indexes by LSN value (binary search), never by slice position.
+//
 // The paper's log is a distributed service; this implementation keeps the
 // decoded operations in memory and delegates record durability to a
 // storage.RecordLog, which preserves the properties the platform relies on:
-// durability, total order, and replay from an arbitrary LSN.
+// durability, total order, replay from an arbitrary LSN, and atomic prefix
+// compaction.
 package oplog
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"saga/internal/storage"
-	"saga/internal/storage/disk"
 	"saga/internal/triple"
 )
 
@@ -40,7 +47,8 @@ const (
 	// OpCuration carries human curation hot fixes (§4.3).
 	OpCuration OpKind = "curation"
 	// OpCheckpoint marks a consistent point after a construction run; view
-	// maintenance triggers on checkpoints.
+	// maintenance triggers on checkpoints, and recovery restores from the
+	// checkpoint snapshot whose watermark is this op's LSN.
 	OpCheckpoint OpKind = "checkpoint"
 )
 
@@ -48,7 +56,8 @@ const (
 // object store; the op carries only the staging key and the affected entity
 // IDs, which incremental view maintenance consumes directly.
 type Op struct {
-	// LSN is the log sequence number, assigned by Append starting at 1.
+	// LSN is the log sequence number, assigned by Append. Monotonic but not
+	// dense (see the package comment).
 	LSN uint64 `json:"lsn"`
 	// Kind is the operation type.
 	Kind OpKind `json:"kind"`
@@ -58,6 +67,14 @@ type Op struct {
 	StagingKey string `json:"staging_key,omitempty"`
 	// EntityIDs lists the entities the operation touches.
 	EntityIDs []triple.EntityID `json:"entity_ids,omitempty"`
+	// Links records KG link-table deltas (source entity ID → canonical KG
+	// entity ID) settled by the commits this op publishes. The link table is
+	// construction metadata that cannot be derived from entity payloads, so
+	// it rides the log: replay applies Links after the payload, and
+	// compaction conflates them per source ID exactly like entity state.
+	Links map[triple.EntityID]triple.EntityID `json:"links,omitempty"`
+	// Unlinks records link-table removals (deleted source entity IDs).
+	Unlinks []triple.EntityID `json:"unlinks,omitempty"`
 	// Time is the append timestamp (unix nanos) for freshness monitoring.
 	Time int64 `json:"time"`
 }
@@ -67,32 +84,23 @@ type Op struct {
 // slice is the read path; rec (nil for a volatile log) is the durability
 // backend — each append is JSON-encoded and handed to it as one record.
 type Log struct {
-	mu     sync.RWMutex
-	ops    []Op
-	rec    storage.RecordLog // nil: volatile (memory-only) log
-	closed bool
-	subs   []chan uint64
+	mu      sync.RWMutex
+	ops     []Op
+	lastLSN uint64            // high-water mark; survives compaction of the ops holding it
+	rec     storage.RecordLog // nil: volatile (memory-only) log
+	closed  bool
+	subs    []chan uint64
 }
 
-// Open creates or recovers a log at path. An empty path yields a volatile
-// memory-only log (used by tests and examples); otherwise the log is backed
-// by a disk record log at path, whose recovery tolerates a truncated final
-// record (crash during append), dropping it.
-func Open(path string) (*Log, error) {
-	if path == "" {
-		return &Log{}, nil
-	}
-	rec, err := disk.OpenRecordLog(path)
-	if err != nil {
-		return nil, fmt.Errorf("oplog: open %s: %w", path, err)
-	}
-	return OpenStore(rec)
-}
+// NewVolatile constructs a memory-only log with no durability backend (used
+// by tests and examples that accept volatility).
+func NewVolatile() *Log { return &Log{} }
 
 // OpenStore builds a log over an already-opened record log, replaying its
 // records to rebuild the in-memory op sequence. A record that fails to
 // decode is treated as the start of a torn tail: the record log truncates it
-// along with everything after (the storage.RecordLog Replay contract).
+// along with everything after (the storage.RecordLog Replay contract). The
+// LSN counter resumes past the last surviving op.
 func OpenStore(rec storage.RecordLog) (*Log, error) {
 	l := &Log{rec: rec}
 	err := rec.Replay(func(payload []byte) error {
@@ -100,7 +108,13 @@ func OpenStore(rec storage.RecordLog) (*Log, error) {
 		if err := json.Unmarshal(payload, &op); err != nil {
 			return err
 		}
+		if op.LSN <= l.lastLSN {
+			// LSNs must strictly increase; a regression means the record is
+			// not a continuation of this log (corruption past the CRC).
+			return fmt.Errorf("oplog: LSN regression %d after %d", op.LSN, l.lastLSN)
+		}
 		l.ops = append(l.ops, op)
+		l.lastLSN = op.LSN
 		return nil
 	})
 	if err != nil {
@@ -141,7 +155,7 @@ func (l *Log) Append(op Op) (uint64, error) {
 	if l.closed {
 		return 0, fmt.Errorf("oplog: append to closed log")
 	}
-	op.LSN = uint64(len(l.ops)) + 1
+	op.LSN = l.lastLSN + 1
 	if op.Time == 0 {
 		op.Time = time.Now().UnixNano()
 	}
@@ -155,6 +169,7 @@ func (l *Log) Append(op Op) (uint64, error) {
 		}
 	}
 	l.ops = append(l.ops, op)
+	l.lastLSN = op.LSN
 	for _, ch := range l.subs {
 		select {
 		case ch <- op.LSN:
@@ -168,7 +183,14 @@ func (l *Log) Append(op Op) (uint64, error) {
 func (l *Log) LastLSN() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return uint64(len(l.ops))
+	return l.lastLSN
+}
+
+// searchLocked returns the index of the first op with LSN > after. LSNs are
+// sparse after compaction, so position is found by binary search, never by
+// LSN arithmetic.
+func (l *Log) searchLocked(after uint64) int {
+	return sort.Search(len(l.ops), func(i int) bool { return l.ops[i].LSN > after })
 }
 
 // Read returns up to max operations with LSN > after, in order. max <= 0
@@ -176,16 +198,87 @@ func (l *Log) LastLSN() uint64 {
 func (l *Log) Read(after uint64, max int) []Op {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	if after >= uint64(len(l.ops)) {
+	i := l.searchLocked(after)
+	if i >= len(l.ops) {
 		return nil
 	}
-	rest := l.ops[after:]
+	rest := l.ops[i:]
 	if max > 0 && len(rest) > max {
 		rest = rest[:max]
 	}
 	out := make([]Op, len(rest))
 	copy(out, rest)
 	return out
+}
+
+// OpsThrough returns a copy of every op with LSN <= w, in order: the
+// compaction input (and nothing else reads a prefix, so the name says what
+// it is for).
+func (l *Log) OpsThrough(w uint64) []Op {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := l.searchLocked(w)
+	out := make([]Op, n)
+	copy(out, l.ops[:n])
+	return out
+}
+
+// ReplaceRange atomically replaces every op with LSN <= w by rewritten,
+// which must be in strictly increasing LSN order with every LSN <= w
+// (compaction preserves surviving ops' original LSNs, so this holds by
+// construction). The swap is atomic for readers (one lock) and for crashes
+// (the record log stages the rewrite and flips a manifest). Subscribers are
+// not notified: no new LSN exists, and every agent is already at or past w
+// when compaction runs.
+func (l *Log) ReplaceRange(w uint64, rewritten []Op) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("oplog: compact closed log")
+	}
+	for i, op := range rewritten {
+		if op.LSN > w {
+			return fmt.Errorf("oplog: rewritten op LSN %d past watermark %d", op.LSN, w)
+		}
+		if i > 0 && op.LSN <= rewritten[i-1].LSN {
+			return fmt.Errorf("oplog: rewritten ops out of order (%d after %d)", op.LSN, rewritten[i-1].LSN)
+		}
+	}
+	drop := l.searchLocked(w)
+	if l.rec != nil {
+		recs := make([][]byte, len(rewritten))
+		for i, op := range rewritten {
+			payload, err := json.Marshal(op)
+			if err != nil {
+				return fmt.Errorf("oplog: encode compacted op: %w", err)
+			}
+			recs[i] = payload
+		}
+		if err := l.rec.Compact(drop, recs); err != nil {
+			return fmt.Errorf("oplog: compact records: %w", err)
+		}
+	}
+	next := make([]Op, 0, len(rewritten)+len(l.ops)-drop)
+	next = append(next, rewritten...)
+	next = append(next, l.ops[drop:]...)
+	l.ops = next
+	return nil
+}
+
+// Len returns the number of ops currently held (post-compaction this is
+// smaller than LastLSN).
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.ops)
+}
+
+// PrefixLen returns the number of ops with LSN <= w: the compaction
+// trigger's measure of how much cold prefix has accumulated.
+func (l *Log) PrefixLen(w uint64) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.searchLocked(w)
 }
 
 // Subscribe returns a channel that receives the LSN of newly appended

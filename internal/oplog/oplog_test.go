@@ -6,14 +6,26 @@ import (
 	"sync"
 	"testing"
 
+	"saga/internal/storage/disk"
 	"saga/internal/triple"
 )
 
-func TestAppendRead(t *testing.T) {
-	l, err := Open("")
+// openDisk builds a log over a disk record log rooted at dir.
+func openDisk(t *testing.T, dir string) *Log {
+	t.Helper()
+	rec, err := disk.OpenRecordLog(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	l, err := OpenStore(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestAppendRead(t *testing.T) {
+	l := NewVolatile()
 	for i := 0; i < 5; i++ {
 		lsn, err := l.Append(Op{Kind: OpUpsert, Source: "src"})
 		if err != nil {
@@ -39,11 +51,8 @@ func TestAppendRead(t *testing.T) {
 }
 
 func TestDurabilityAndRecovery(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "ops.log")
-	l, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dir := t.TempDir()
+	l := openDisk(t, dir)
 	for i := 0; i < 10; i++ {
 		if _, err := l.Append(Op{Kind: OpUpsert, Source: "s", EntityIDs: []triple.EntityID{"kg:E1"}}); err != nil {
 			t.Fatal(err)
@@ -52,10 +61,7 @@ func TestDurabilityAndRecovery(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	re, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	re := openDisk(t, dir)
 	defer re.Close()
 	if got := re.LastLSN(); got != 10 {
 		t.Fatalf("recovered LastLSN = %d, want 10", got)
@@ -75,19 +81,21 @@ func TestDurabilityAndRecovery(t *testing.T) {
 }
 
 func TestTornTailRecovery(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "ops.log")
-	l, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dir := t.TempDir()
+	l := openDisk(t, dir)
 	for i := 0; i < 3; i++ {
 		if _, err := l.Append(Op{Kind: OpUpsert}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	l.Close()
-	// Simulate a crash mid-append: write garbage at the tail.
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	// Simulate a crash mid-append: write garbage at the tail of the active
+	// segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,10 +103,7 @@ func TestTornTailRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	re, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	re := openDisk(t, dir)
 	defer re.Close()
 	if got := re.LastLSN(); got != 3 {
 		t.Fatalf("LastLSN after torn tail = %d, want 3", got)
@@ -108,13 +113,94 @@ func TestTornTailRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	re.Close()
-	re2, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	re2 := openDisk(t, dir)
 	defer re2.Close()
 	if got := re2.LastLSN(); got != 4 {
 		t.Fatalf("LastLSN after re-append = %d, want 4", got)
+	}
+}
+
+// TestCompaction exercises ReplaceRange: surviving ops keep their sparse
+// LSNs, reads binary-search correctly past the gaps, the high-water mark is
+// unchanged, and a durable log round-trips the compacted state.
+func TestCompaction(t *testing.T) {
+	run := func(t *testing.T, l *Log, reopen func() *Log) {
+		for i := 0; i < 10; i++ {
+			if _, err := l.Append(Op{Kind: OpUpsert, EntityIDs: []triple.EntityID{triple.EntityID("kg:E" + string(rune('0'+i)))}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Conflate ops 1..7 down to two survivors at their original LSNs.
+		rewritten := []Op{
+			{LSN: 3, Kind: OpUpsert, EntityIDs: []triple.EntityID{"kg:E2"}, Time: 1},
+			{LSN: 7, Kind: OpUpsert, EntityIDs: []triple.EntityID{"kg:E6"}, Time: 1},
+		}
+		if err := l.ReplaceRange(7, rewritten); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.LastLSN(); got != 10 {
+			t.Fatalf("LastLSN after compact = %d, want 10", got)
+		}
+		if got := l.Len(); got != 5 {
+			t.Fatalf("Len after compact = %d, want 5", got)
+		}
+		ops := l.Read(0, 0)
+		wantLSNs := []uint64{3, 7, 8, 9, 10}
+		for i, w := range wantLSNs {
+			if ops[i].LSN != w {
+				t.Fatalf("ops[%d].LSN = %d, want %d", i, ops[i].LSN, w)
+			}
+		}
+		// Reads relative to a sparse position: after=5 must return LSN 7+.
+		if got := l.Read(5, 0); len(got) != 4 || got[0].LSN != 7 {
+			t.Fatalf("Read(5) = %+v", got)
+		}
+		if got := l.OpsThrough(7); len(got) != 2 || got[1].LSN != 7 {
+			t.Fatalf("OpsThrough(7) = %+v", got)
+		}
+		if got := l.PrefixLen(7); got != 2 {
+			t.Fatalf("PrefixLen(7) = %d, want 2", got)
+		}
+		// New appends continue past the high-water mark.
+		lsn, err := l.Append(Op{Kind: OpCheckpoint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != 11 {
+			t.Fatalf("post-compact lsn = %d, want 11", lsn)
+		}
+		if reopen != nil {
+			l.Close()
+			re := reopen()
+			defer re.Close()
+			if got := re.LastLSN(); got != 11 {
+				t.Fatalf("reopened LastLSN = %d, want 11", got)
+			}
+			ops := re.Read(0, 0)
+			if len(ops) != 6 || ops[0].LSN != 3 || ops[5].LSN != 11 {
+				t.Fatalf("reopened ops = %+v", ops)
+			}
+		}
+	}
+	t.Run("volatile", func(t *testing.T) { run(t, NewVolatile(), nil) })
+	t.Run("disk", func(t *testing.T) {
+		dir := t.TempDir()
+		run(t, openDisk(t, dir), func() *Log { return openDisk(t, dir) })
+	})
+}
+
+func TestReplaceRangeRejectsBadInput(t *testing.T) {
+	l := NewVolatile()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(Op{Kind: OpUpsert}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.ReplaceRange(3, []Op{{LSN: 4, Kind: OpUpsert}}); err == nil {
+		t.Fatal("ReplaceRange accepted an op past the watermark")
+	}
+	if err := l.ReplaceRange(3, []Op{{LSN: 2, Kind: OpUpsert}, {LSN: 1, Kind: OpUpsert}}); err == nil {
+		t.Fatal("ReplaceRange accepted out-of-order ops")
 	}
 }
 
@@ -122,21 +208,14 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	// Both modes must reject appends after Close: a memory log that kept
 	// accepting them would silently diverge from a file log's behavior.
 	t.Run("file", func(t *testing.T) {
-		path := filepath.Join(t.TempDir(), "ops.log")
-		l, err := Open(path)
-		if err != nil {
-			t.Fatal(err)
-		}
+		l := openDisk(t, t.TempDir())
 		l.Close()
 		if _, err := l.Append(Op{Kind: OpUpsert}); err == nil {
 			t.Fatal("append after close succeeded")
 		}
 	})
 	t.Run("memory", func(t *testing.T) {
-		l, err := Open("")
-		if err != nil {
-			t.Fatal(err)
-		}
+		l := NewVolatile()
 		l.Close()
 		if _, err := l.Append(Op{Kind: OpUpsert}); err == nil {
 			t.Fatal("append after close succeeded on memory log")
@@ -145,7 +224,7 @@ func TestAppendAfterCloseFails(t *testing.T) {
 }
 
 func TestCloseIdempotent(t *testing.T) {
-	l, _ := Open("")
+	l := NewVolatile()
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +234,7 @@ func TestCloseIdempotent(t *testing.T) {
 }
 
 func TestSubscribe(t *testing.T) {
-	l, _ := Open("")
+	l := NewVolatile()
 	ch := l.Subscribe()
 	if _, err := l.Append(Op{Kind: OpUpsert}); err != nil {
 		t.Fatal(err)
@@ -166,7 +245,7 @@ func TestSubscribe(t *testing.T) {
 }
 
 func TestCloseReleasesSubscribers(t *testing.T) {
-	l, _ := Open("")
+	l := NewVolatile()
 	ch := l.Subscribe()
 	done := make(chan struct{})
 	go func() {
@@ -190,7 +269,7 @@ func TestCloseReleasesSubscribers(t *testing.T) {
 }
 
 func TestUnsubscribe(t *testing.T) {
-	l, _ := Open("")
+	l := NewVolatile()
 	ch1 := l.Subscribe()
 	ch2 := l.Subscribe()
 	l.Unsubscribe(ch1)
@@ -208,7 +287,7 @@ func TestUnsubscribe(t *testing.T) {
 }
 
 func TestConcurrentAppends(t *testing.T) {
-	l, _ := Open("")
+	l := NewVolatile()
 	var wg sync.WaitGroup
 	const writers, each = 8, 50
 	for w := 0; w < writers; w++ {

@@ -6,17 +6,22 @@
 // results are cached per (plan, store version) so hot queries invalidate
 // exactly when ingestion advances the KG.
 //
-// Routes (all GET):
+// Routes:
 //
-//	/v1/query?q=<KGQ>         execute a live graph query
-//	/v1/entity?id=<id>        retrieve an entity payload
-//	/v1/search?q=<text>&k=<n> ranked text search (k defaults to 10)
-//	/v1/stats                 platform + serving statistics
-//	/v1/healthz               liveness and current store version
+//	GET  /v1/query?q=<KGQ>         execute a live graph query
+//	GET  /v1/entity?id=<id>        retrieve an entity payload
+//	GET  /v1/search?q=<text>&k=<n> ranked text search (k defaults to 10)
+//	GET  /v1/stats                 platform + serving statistics
+//	GET  /v1/healthz               liveness and current store version
+//	POST /v1/admin/checkpoint      take a durable checkpoint + refresh views
+//	POST /v1/admin/compact         compact the log through the checkpoint floor
+//	GET  /v1/admin/recovery        recovery, checkpoint, and compaction stats
 //
 // Errors use a structured envelope: {"error": {"code": "...", "message":
-// "..."}} with codes bad_query, bad_request, not_found, and
-// method_not_allowed.
+// "..."}} with codes bad_query, bad_request, not_found, internal, and
+// method_not_allowed. Admin routes run under the same request timeout as
+// reads; a checkpoint or compaction that outlives it keeps running — the
+// timeout bounds the response, not the operation.
 package serve
 
 import (
@@ -97,6 +102,9 @@ func New(p *core.Platform, opts Options) *Server {
 	mux.HandleFunc("/v1/search", s.handleSearch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/admin/checkpoint", s.handleAdminCheckpoint)
+	mux.HandleFunc("/v1/admin/compact", s.handleAdminCompact)
+	mux.HandleFunc("/v1/admin/recovery", s.handleAdminRecovery)
 	s.handler = http.TimeoutHandler(mux, opts.RequestTimeout,
 		`{"error":{"code":"timeout","message":"request exceeded the server's request timeout"}}`)
 	return s
@@ -163,15 +171,15 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, errorEnvelope{Error: errorInfo{Code: code, Message: msg}})
 }
 
-// checkRequest enforces the route's method and parameter contract: GET
-// only (405 with Allow otherwise), and no unknown query parameters (400) —
-// a misspelled parameter fails loudly instead of silently serving the
+// checkRequest enforces a route's method and parameter contract: exactly the
+// given method (405 with Allow otherwise), and no unknown query parameters
+// (400) — a misspelled parameter fails loudly instead of silently serving the
 // unfiltered route.
-func checkRequest(w http.ResponseWriter, r *http.Request, params ...string) bool {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
+func checkRequest(w http.ResponseWriter, r *http.Request, method string, params ...string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
-			fmt.Sprintf("%s is not allowed; use GET", r.Method))
+			fmt.Sprintf("%s is not allowed; use %s", r.Method, method))
 		return false
 	}
 	allowed := make(map[string]bool, len(params))
@@ -196,7 +204,7 @@ type queryResponse struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if !checkRequest(w, r, "q") {
+	if !checkRequest(w, r, http.MethodGet, "q") {
 		return
 	}
 	q := r.URL.Query().Get("q")
@@ -224,7 +232,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
-	if !checkRequest(w, r, "id") {
+	if !checkRequest(w, r, http.MethodGet, "id") {
 		return
 	}
 	id := r.URL.Query().Get("id")
@@ -256,7 +264,7 @@ type searchHit struct {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if !checkRequest(w, r, "q", "k") {
+	if !checkRequest(w, r, http.MethodGet, "q", "k") {
 		return
 	}
 	q := r.URL.Query().Get("q")
@@ -305,7 +313,7 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if !checkRequest(w, r) {
+	if !checkRequest(w, r, http.MethodGet) {
 		return
 	}
 	writeJSON(w, http.StatusOK, statsResponse{Platform: s.platform.Stats(), Serving: s.servingStats()})
@@ -330,8 +338,81 @@ func (s *Server) servingStats() ServingStats {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if !checkRequest(w, r) {
+	if !checkRequest(w, r, http.MethodGet) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "version": s.platform.Live.Version()})
+}
+
+// checkpointResponse is /v1/admin/checkpoint's success payload.
+type checkpointResponse struct {
+	// Durable reports whether the checkpoint was persisted (false on a
+	// platform with no durable checkpoint store — views still refreshed).
+	Durable bool `json:"durable"`
+	// CheckpointLSN is the watermark of the newest durable checkpoint.
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	// ViewsMaterialized lists the views refreshed in execution order.
+	ViewsMaterialized []string `json:"views_materialized"`
+}
+
+func (s *Server) handleAdminCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !checkRequest(w, r, http.MethodPost) {
+		return
+	}
+	run, err := s.platform.Checkpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	st := s.platform.DurabilityStats()
+	writeJSON(w, http.StatusOK, checkpointResponse{
+		Durable:           st.Durable,
+		CheckpointLSN:     st.LastCheckpointLSN,
+		ViewsMaterialized: run.Materialized,
+	})
+}
+
+// compactResponse is /v1/admin/compact's success payload.
+type compactResponse struct {
+	// Ran reports whether a compaction actually ran; false means the
+	// platform has no safe compaction floor yet (fewer than two checkpoints
+	// this session).
+	Ran bool `json:"ran"`
+	// Watermark is the LSN the compaction conflated through; the remaining
+	// fields count what the rewrite kept and elided.
+	Watermark    uint64 `json:"watermark"`
+	OpsBefore    int    `json:"ops_before"`
+	OpsAfter     int    `json:"ops_after"`
+	EntitiesKept int    `json:"entities_kept"`
+	Tombstoned   int    `json:"tombstoned"`
+	LinksKept    int    `json:"links_kept"`
+	LinksElided  int    `json:"links_elided"`
+}
+
+func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
+	if !checkRequest(w, r, http.MethodPost) {
+		return
+	}
+	stats, err := s.platform.Compact()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, compactResponse{
+		Ran:          stats.Watermark > 0,
+		Watermark:    stats.Watermark,
+		OpsBefore:    stats.OpsBefore,
+		OpsAfter:     stats.OpsAfter,
+		EntitiesKept: stats.EntitiesKept,
+		Tombstoned:   stats.Tombstoned,
+		LinksKept:    stats.LinksKept,
+		LinksElided:  stats.LinksElided,
+	})
+}
+
+func (s *Server) handleAdminRecovery(w http.ResponseWriter, r *http.Request) {
+	if !checkRequest(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.platform.DurabilityStats())
 }

@@ -24,7 +24,7 @@ import (
 // and wraps the serving tier in an httptest server.
 func testServer(t *testing.T, replicas int) (*core.Platform, *httptest.Server) {
 	t.Helper()
-	p, err := core.New(core.Options{LiveReplicas: replicas})
+	p, err := core.Open(core.Options{Serving: core.ServingOptions{LiveReplicas: replicas}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,6 +196,96 @@ func TestMethodNotAllowed(t *testing.T) {
 			t.Fatalf("POST %s: code = %q", route, code)
 		}
 	}
+	// Admin mutations are POST-only; GET must bounce the same way.
+	for _, route := range []string{"/v1/admin/checkpoint", "/v1/admin/compact"} {
+		status, body := get(t, ts.URL+route)
+		if status != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s: status = %d", route, status)
+		}
+		if code := errCode(t, body); code != "method_not_allowed" {
+			t.Fatalf("GET %s: code = %q", route, code)
+		}
+	}
+}
+
+// post issues a POST with an empty body and returns status plus decoded JSON.
+func post(t *testing.T, rawURL string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(rawURL, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("POST %s: non-JSON body: %v", rawURL, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestAdminRoutes drives the durability admin surface over a platform with a
+// durable checkpoint store: two checkpoints establish a compaction floor,
+// compaction reports a rewrite, and the recovery stats reflect all of it.
+func TestAdminRoutes(t *testing.T) {
+	p, err := core.Open(core.Options{Durability: core.DurabilityOptions{Dir: t.TempDir()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	ts := httptest.NewServer(serve.New(p, serve.Options{}).Handler())
+	t.Cleanup(ts.Close)
+
+	for round := 0; round < 2; round++ {
+		spec := workload.SourceSpec{Name: "src", Count: 30, Offset: round * 5, Seed: int64(round + 1), RichFacts: 2}
+		if _, err := p.ConsumeDelta(spec.Delta()); err != nil {
+			t.Fatal(err)
+		}
+		status, body := post(t, ts.URL+"/v1/admin/checkpoint")
+		if status != http.StatusOK {
+			t.Fatalf("checkpoint round %d: status = %d body = %v", round, status, body)
+		}
+		if body["durable"] != true || body["checkpoint_lsn"].(float64) <= 0 {
+			t.Fatalf("checkpoint round %d: body = %v", round, body)
+		}
+	}
+
+	status, body := post(t, ts.URL+"/v1/admin/compact")
+	if status != http.StatusOK {
+		t.Fatalf("compact: status = %d body = %v", status, body)
+	}
+	if body["ran"] != true || body["watermark"].(float64) <= 0 {
+		t.Fatalf("compact did not run: %v", body)
+	}
+
+	status, body = get(t, ts.URL+"/v1/admin/recovery")
+	if status != http.StatusOK {
+		t.Fatalf("recovery: status = %d", status)
+	}
+	if body["durable"] != true {
+		t.Fatalf("recovery stats not durable: %v", body)
+	}
+	if body["checkpoints"].(float64) != 2 {
+		t.Fatalf("recovery checkpoints = %v, want 2", body["checkpoints"])
+	}
+	if body["compactions"].(float64) < 1 {
+		t.Fatalf("recovery compactions = %v, want >= 1", body["compactions"])
+	}
+	if body["compaction_floor"].(float64) <= 0 {
+		t.Fatalf("recovery floor = %v, want > 0", body["compaction_floor"])
+	}
+}
+
+// TestAdminCheckpointVolatile: on a platform with no durable checkpoint
+// store the route still succeeds — views refresh — but reports durable:false.
+func TestAdminCheckpointVolatile(t *testing.T) {
+	_, ts := testServer(t, 1)
+	status, body := post(t, ts.URL+"/v1/admin/checkpoint")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d body = %v", status, body)
+	}
+	if body["durable"] != false {
+		t.Fatalf("volatile platform reported durable: %v", body)
+	}
 }
 
 func TestStatsAndHealthz(t *testing.T) {
@@ -218,7 +308,7 @@ func TestStatsAndHealthz(t *testing.T) {
 }
 
 func TestRequestTimeoutEnvelope(t *testing.T) {
-	p, err := core.New(core.Options{})
+	p, err := core.Open(core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

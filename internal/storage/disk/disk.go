@@ -2,9 +2,11 @@
 // torn-tail-recoverable files for the roles that gate RAM or durability.
 // It registers as "disk".
 //
-//   - RecordLog — one append-only file of CRC-framed records (the framing
-//     and torn-tail recovery idiom the operation log shipped with, factored
-//     behind storage.RecordLog).
+//   - RecordLog — CRC-framed records in rotating segment files under a
+//     manifest (the torn-tail recovery idiom the operation log shipped
+//     with, plus atomic prefix compaction via manifest flips).
+//   - Checkpointer — atomically-published checkpoint files (temp + rename),
+//     newest-intact-wins at recovery.
 //   - BlobStore — a segment-file staging store: blobs append to rotating
 //     segment files instead of one file per payload, so staging a payload
 //     costs one write+fsync, not a file create + fsync + directory fsync.
@@ -47,20 +49,13 @@ func (backend) Name() string { return "disk" }
 // Durable implements storage.Backend.
 func (backend) Durable() bool { return true }
 
-// OpenRecordLog implements storage.Backend: Options.Path overrides the
-// default Dir/oplog.log location.
+// OpenRecordLog implements storage.Backend: the segmented log roots at
+// Dir/oplog/.
 func (backend) OpenRecordLog(o storage.Options) (storage.RecordLog, error) {
-	path := o.Path
-	if path == "" {
-		if o.Dir == "" {
-			return nil, fmt.Errorf("disk: record log needs Options.Dir or Options.Path")
-		}
-		path = filepath.Join(o.Dir, "oplog.log")
+	if o.Dir == "" {
+		return nil, fmt.Errorf("disk: record log needs Options.Dir")
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, fmt.Errorf("disk: %w", err)
-	}
-	return OpenRecordLog(path)
+	return OpenRecordLog(filepath.Join(o.Dir, "oplog"), o.SegmentBytes)
 }
 
 // OpenBlobStore implements storage.Backend.
@@ -92,6 +87,15 @@ func (backend) OpenPostings(storage.Options) (storage.Postings, error) {
 // implementation (see the package comment).
 func (backend) OpenVectors(storage.Options) (storage.Vectors, error) {
 	return memory.NewVectors(), nil
+}
+
+// OpenCheckpoints implements storage.Backend: checkpoint files root at
+// Dir/checkpoints/.
+func (backend) OpenCheckpoints(o storage.Options) (storage.Checkpointer, error) {
+	if o.Dir == "" {
+		return nil, fmt.Errorf("disk: checkpoint store needs Options.Dir")
+	}
+	return OpenCheckpoints(filepath.Join(o.Dir, "checkpoints"))
 }
 
 // Keyed-record payload layout, shared by the entity KV and the segment blob

@@ -50,6 +50,11 @@ func (backend) OpenVectors(storage.Options) (storage.Vectors, error) {
 	return NewVectors(), nil
 }
 
+// OpenCheckpoints implements storage.Backend.
+func (backend) OpenCheckpoints(storage.Options) (storage.Checkpointer, error) {
+	return NewCheckpoints(), nil
+}
+
 // RecordLog is the in-memory record log: a slice of payload copies under a
 // mutex. It provides ordering and replay but no durability.
 type RecordLog struct {
@@ -83,6 +88,27 @@ func (l *RecordLog) Replay(fn func(payload []byte) error) error {
 			return nil
 		}
 	}
+	return nil
+}
+
+// Compact implements storage.RecordLog: the prefix swap is a slice splice
+// under the log mutex, so readers see the old prefix or the new one, never a
+// mix.
+func (l *RecordLog) Compact(drop int, replacement [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("memory: compact closed record log")
+	}
+	if drop < 0 || drop > len(l.records) {
+		return fmt.Errorf("memory: compact drop %d out of range (log has %d records)", drop, len(l.records))
+	}
+	next := make([][]byte, 0, len(replacement)+len(l.records)-drop)
+	for _, rec := range replacement {
+		next = append(next, append([]byte(nil), rec...))
+	}
+	next = append(next, l.records[drop:]...)
+	l.records = next
 	return nil
 }
 
@@ -149,3 +175,41 @@ func (s *BlobStore) Len() int {
 
 // Close implements storage.BlobStore.
 func (s *BlobStore) Close() error { return nil }
+
+// Checkpoints is the in-memory checkpoint store: it honors the Checkpointer
+// contract within a process (Latest returns the newest Save) but, like every
+// memory role, survives nothing. Memory-backend recovery therefore always
+// replays from LSN zero — which is exactly the behavior the crash harness
+// compares the checkpointed path against.
+type Checkpoints struct {
+	mu      sync.Mutex
+	lsn     uint64
+	payload []byte
+	ok      bool
+}
+
+// NewCheckpoints constructs an empty in-memory checkpoint store.
+func NewCheckpoints() *Checkpoints { return &Checkpoints{} }
+
+// Save implements storage.Checkpointer.
+func (c *Checkpoints) Save(lsn uint64, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lsn = lsn
+	c.payload = append([]byte(nil), payload...)
+	c.ok = true
+	return nil
+}
+
+// Latest implements storage.Checkpointer.
+func (c *Checkpoints) Latest() (uint64, []byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.ok {
+		return 0, nil, false
+	}
+	return c.lsn, append([]byte(nil), c.payload...), true
+}
+
+// Close implements storage.Checkpointer.
+func (c *Checkpoints) Close() error { return nil }

@@ -14,15 +14,13 @@ const DefaultBackend = "memory"
 // role.
 type Options struct {
 	// Dir roots a durable backend's state; each role opens its own file or
-	// subdirectory under it (oplog.log, staging/, entities.dat). Required by
-	// durable backends, ignored by memory.
+	// subdirectory under it (oplog/, staging/, entities.dat, checkpoints/).
+	// Required by durable backends, ignored by memory.
 	Dir string
-	// Path, when set, overrides the record log's file location (instead of
-	// Dir/oplog.log). Lets the platform keep a legacy oplog path while the
-	// rest of the backend roots under Dir.
-	Path string
-	// SegmentBytes is the staging store's segment rotation threshold; 0
-	// means the backend default.
+	// SegmentBytes is the segment rotation threshold for segment-file
+	// stores (the staging store and the record log); 0 means the backend
+	// default. Small values make the record log rotate often, which bounds
+	// how much tail a compaction has to copy.
 	SegmentBytes int64
 	// Partitions is the platform's construction partition count (0 or 1 =
 	// unpartitioned). Backends may shard their layout per construction
@@ -46,6 +44,7 @@ type Backend interface {
 	OpenEntityKV(o Options) (EntityKV, error)
 	OpenPostings(o Options) (Postings, error)
 	OpenVectors(o Options) (Vectors, error)
+	OpenCheckpoints(o Options) (Checkpointer, error)
 }
 
 var (
@@ -120,3 +119,6 @@ func (h Handle) Postings() (Postings, error) { return h.backend.OpenPostings(h.o
 
 // Vectors opens the vector database's storage.
 func (h Handle) Vectors() (Vectors, error) { return h.backend.OpenVectors(h.opts) }
+
+// Checkpoints opens the recovery checkpoint store.
+func (h Handle) Checkpoints() (Checkpointer, error) { return h.backend.OpenCheckpoints(h.opts) }

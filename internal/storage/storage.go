@@ -50,9 +50,37 @@ type RecordLog interface {
 	// check at the layer above (e.g. op decoding) is indistinguishable from
 	// tail corruption in an append-only log.
 	Replay(fn func(payload []byte) error) error
+	// Compact atomically replaces the first drop records with replacement
+	// (which may be shorter — compaction conflates per entity and elides
+	// tombstones). Records after the first drop are preserved unchanged.
+	// The swap is atomic with respect to crashes: a reader reopening the
+	// log sees either the old prefix or the new one, never a mix — durable
+	// implementations stage the rewrite in fresh segments and flip a
+	// manifest. Payload slices are owned by the caller and copied.
+	Compact(drop int, replacement [][]byte) error
 	// Len returns the number of records currently in the log.
 	Len() int
 	// Close releases backing resources. Append after Close fails.
+	Close() error
+}
+
+// Checkpointer stores recovery checkpoints: opaque snapshot payloads keyed by
+// the log watermark (LSN) they cover. Recovery loads the latest good
+// checkpoint and replays only the log suffix past its watermark, making cold
+// start O(suffix) instead of O(log age). Implementations are safe for
+// concurrent use; Save is atomic with respect to crashes (a crash mid-save
+// leaves the previous latest checkpoint intact and loadable).
+type Checkpointer interface {
+	// Save durably stores a checkpoint covering every op with LSN <= lsn.
+	// The payload is owned by the caller and copied (or written out) before
+	// return. Implementations retain at least the latest checkpoint and may
+	// discard older ones.
+	Save(lsn uint64, payload []byte) error
+	// Latest returns the newest intact checkpoint, or ok=false when none
+	// exists (or none survived corruption — recovery then replays from LSN
+	// zero). The returned payload is the caller's.
+	Latest() (lsn uint64, payload []byte, ok bool)
+	// Close releases backing resources.
 	Close() error
 }
 

@@ -225,6 +225,37 @@ func (g *Graph) NewID() EntityID {
 	return EntityID(fmt.Sprintf("%sE%08d", KGNamespace, g.nextID.Add(1)))
 }
 
+// SeedIDs advances the ID-mint counter past every canonical KG entity ID
+// already present in the graph. Recovery calls it after restoring entities
+// from a checkpoint or log replay: the counter is in-memory only, so without
+// re-seeding a reopened platform would mint IDs that collide with restored
+// entities. Scanning the stored IDs is deterministic, which keeps the two
+// recovery paths (checkpoint+suffix vs full replay) byte-identical.
+func (g *Graph) SeedIDs() {
+	var maxSeq uint64
+	prefix := KGNamespace + "E"
+	for _, s := range g.shards {
+		s.mu.RLock()
+		for id := range s.entities {
+			sid := string(id)
+			if len(sid) <= len(prefix) || sid[:len(prefix)] != prefix {
+				continue
+			}
+			var n uint64
+			if _, err := fmt.Sscanf(sid[len(prefix):], "%d", &n); err == nil && n > maxSeq {
+				maxSeq = n
+			}
+		}
+		s.mu.RUnlock()
+	}
+	for {
+		cur := g.nextID.Load()
+		if cur >= maxSeq || g.nextID.CompareAndSwap(cur, maxSeq) {
+			return
+		}
+	}
+}
+
 // Get returns a deep copy of the entity with the given ID, or nil when the
 // graph has no such entity. Callers may freely mutate the copy; internal hot
 // paths that only read use GetShared and skip the clone.

@@ -90,6 +90,11 @@ var gates = []Gate{
 	// snapshot churn, lock contention — not runner jitter); the cached-vs-
 	// uncached ratio additionally hard-fails inside the benchmark below
 	// 1.5x, so the JSON gate only guards against large drifts.
+	// Recovery cold start must stay checkpoint-bounded: the ratio of aged to
+	// young recovery time hovers near 1 and must never drift toward the log
+	// age factor. The timings are ms-scale, so the threshold is generous;
+	// the benchmark itself hard-fails above 3.0x.
+	{Bench: "RecoveryColdStart", Metric: "recovery-flat-x", Higher: false, Threshold: 1.0},
 	{Bench: "ServeUnderIngest", Metric: "p99-ms", Higher: false, Threshold: 2.0},
 	{Bench: "ServeUnderIngest", Metric: "qps", Higher: true, Threshold: 0.6},
 	{Bench: "ServeUnderIngest", Metric: "cached-speedup-x", Higher: true, Threshold: 0.9},
